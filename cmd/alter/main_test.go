@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestBalancedHeuristic(t *testing.T) {
+	cases := map[string]bool{
+		"(+ 1 2)":           true,
+		"(define (f x)":     false,
+		"(f \"(\" )":        true,  // paren inside string ignored
+		"\"unterminated":    false, // open string
+		"; comment ( ( (\n": true,  // comment ignored
+		"()":                true,
+		")(":                true, // depth <= 0: let the reader report it
+		"(a (b) ":           false,
+		`("\"(" )`:          true, // escaped quote inside string
+	}
+	for src, want := range cases {
+		if got := balanced(src); got != want {
+			t.Errorf("balanced(%q) = %v, want %v", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// sage-atot runs the Architecture Trades and Optimization Tool's mapping
+// stage: it loads a model, maps its threads onto a platform with the genetic
+// algorithm (or a baseline), prints the cost breakdown and estimated
+// schedule, and optionally writes the mapping file consumed by
+// sage-gluegen/sage-run.
+//
+// Usage:
+//
+//	sage-atot -model fft2d.sage -platform CSPI -nodes 8 -o fft2d.map
+//	sage-atot -model fft2d.sage -platform CSPI -nodes 8 -strategy greedy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atot"
+	"repro/internal/funclib"
+	"repro/internal/model"
+	"repro/internal/platforms"
+)
+
+func main() {
+	modelFile := flag.String("model", "", "model file (required)")
+	platformName := flag.String("platform", "CSPI", "target platform")
+	nodes := flag.Int("nodes", 8, "processor count")
+	strategy := flag.String("strategy", "ga", "mapping strategy: ga | greedy | roundrobin | spread")
+	pop := flag.Int("pop", 64, "GA population")
+	gens := flag.Int("gens", 150, "GA generations")
+	seed := flag.Int64("seed", 1, "GA seed")
+	schedule := flag.Bool("schedule", false, "print the estimated execution schedule")
+	out := flag.String("o", "", "write the mapping file")
+	flag.Parse()
+
+	if err := run(*modelFile, *platformName, *nodes, *strategy, *pop, *gens, *seed, *schedule, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-atot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelFile, platformName string, nodes int, strategy string, pop, gens int, seed int64, schedule bool, out string) error {
+	if modelFile == "" {
+		return fmt.Errorf("-model is required")
+	}
+	f, err := os.Open(modelFile)
+	if err != nil {
+		return err
+	}
+	app, err := model.ReadText(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := funclib.ValidateApp(app); err != nil {
+		return err
+	}
+	pl, err := platforms.ByName(platformName)
+	if err != nil {
+		return err
+	}
+	ev, err := atot.NewEvaluator(app, pl, nodes)
+	if err != nil {
+		return err
+	}
+
+	var mapping *model.Mapping
+	switch strategy {
+	case "ga":
+		var stats *atot.GAStats
+		mapping, stats, err = atot.MapGA(ev, atot.GAConfig{Population: pop, Generations: gens, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("GA: %d generations, %d evaluations, best objective %.4g\n",
+			stats.Generations, stats.Evaluations, stats.Best.Total)
+	case "greedy":
+		if mapping, err = atot.MapGreedy(ev); err != nil {
+			return err
+		}
+	case "roundrobin":
+		mapping = model.RoundRobin(app, nodes)
+	case "spread":
+		if mapping, err = model.SpreadParallel(app, nodes); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	cost, err := ev.Evaluate(mapping, atot.Weights{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mapping cost: max-node-busy=%v comm=%v critical-path=%v\n",
+		cost.MaxNodeBusy, cost.Comm, cost.CriticalPath)
+	for _, fn := range app.Functions {
+		fmt.Printf("  %-14s -> nodes %v\n", fn.Name, mapping.Assign[fn.Name])
+	}
+
+	if schedule {
+		sched, err := ev.EstimateSchedule(mapping)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nestimated schedule (one iteration):")
+		for _, s := range sched {
+			fmt.Printf("  %-14s[%d] node %-3d %12v .. %v\n", s.Fn, s.Thread, s.Node, s.Start, s.End)
+		}
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return mapping.WriteText(f, app.Name)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+)
+
+func writeSTAP(t *testing.T, dir string) string {
+	t.Helper()
+	app, err := apps.STAP(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "stap.sage")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := app.WriteText(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStrategiesProduceValidMappings(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := writeSTAP(t, dir)
+	for _, strategy := range []string{"ga", "greedy", "roundrobin", "spread"} {
+		outPath := filepath.Join(dir, strategy+".map")
+		if err := run(modelPath, "CSPI", 8, strategy, 16, 10, 1, strategy == "ga", outPath); err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		f, err := os.Open(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapping, appName, err := model.ReadMappingText(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if appName != "stap_64" {
+			t.Fatalf("%s: app %q", strategy, appName)
+		}
+		if len(mapping.Assign) != 6 {
+			t.Fatalf("%s: %d functions mapped", strategy, len(mapping.Assign))
+		}
+	}
+}
+
+func TestAtotErrors(t *testing.T) {
+	if err := run("", "CSPI", 8, "ga", 8, 5, 1, false, ""); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	dir := t.TempDir()
+	modelPath := writeSTAP(t, dir)
+	if err := run(modelPath, "Cray", 8, "ga", 8, 5, 1, false, ""); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if err := run(modelPath, "CSPI", 8, "simulated-annealing", 8, 5, 1, false, ""); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestScheduleOutput(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := writeSTAP(t, dir)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(modelPath, "CSPI", 8, "spread", 8, 5, 1, true, "")
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+	if !strings.Contains(out, "estimated schedule") || !strings.Contains(out, "doppler") {
+		t.Fatalf("schedule output:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+// sage-bench regenerates the paper's evaluation tables and figures (see
+// DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	sage-bench -experiment table1              # Table 1.0 at paper scale
+//	sage-bench -experiment table1 -quick       # reduced protocol
+//	sage-bench -experiment all -quick
+//
+// Experiments: table1, twonode, aggregate, crossvendor, portability,
+// genstudy, pipeline, mapping, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/atot"
+	"repro/internal/experiments"
+	"repro/internal/platforms"
+)
+
+func main() {
+	exp := flag.String("experiment", "table1", "experiment to run (table1|twonode|aggregate|crossvendor|portability|genstudy|pipeline|mapping|heterogeneous|realtime|scaling|all)")
+	quick := flag.Bool("quick", false, "reduced sizes and protocol for a fast smoke run")
+	paper := flag.Bool("paper", false, "use the literal §3.3 protocol (10 executions x 100 iterations); slow, and — the simulator being deterministic — numerically identical to the default reduced protocol")
+	flag.Parse()
+
+	if err := run(*exp, *quick, *paper); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick, paper bool) error {
+	// Default: paper sizes, reduced repetition count. Averages are exact
+	// because virtual timing is deterministic across repetitions.
+	proto := experiments.Protocol{Repetitions: 1, Iterations: 5}
+	if paper {
+		proto = experiments.Paper()
+	}
+	sizes := []int{256, 512, 1024}
+	nodes := []int{4, 8}
+	anomalyN := 512
+	vendorN := 1024
+	vendorNodes := []int{2, 4, 8, 16}
+	if quick {
+		proto = experiments.Quick()
+		sizes = []int{64, 128}
+		anomalyN = 128
+		vendorN = 128
+		vendorNodes = []int{4, 8}
+	}
+	tblCfg := experiments.Table1Config{Sizes: sizes, Nodes: nodes, Protocol: proto}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			t, err := experiments.RunTable1(tblCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Format())
+		case "twonode":
+			t, err := experiments.RunTwoNode(platforms.CSPI(), anomalyN, proto)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Format())
+			fmt.Printf("two-node configuration is the worst: %v (paper §3.4 observed the same)\n\n", t.WorstIsTwoNodes())
+		case "aggregate":
+			a, err := experiments.RunAggregate(tblCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(a.Format())
+		case "crossvendor":
+			c, err := experiments.RunCrossVendor(vendorN, vendorNodes, proto)
+			if err != nil {
+				return err
+			}
+			fmt.Println(c.Format())
+		case "portability":
+			p, err := experiments.RunPortability(experiments.AppFFT2D, min(512, vendorN), 8, experiments.Quick())
+			if err != nil {
+				return err
+			}
+			fmt.Println(p.Format())
+			fmt.Printf("identical output on every platform: %v\n\n", p.AllVerified())
+		case "genstudy":
+			for _, kind := range []experiments.AppKind{experiments.AppFFT2D, experiments.AppCornerTurn} {
+				s, err := experiments.RunGenStudy(kind, platforms.CSPI(), vendorN, 8)
+				if err != nil {
+					return err
+				}
+				fmt.Println(s.Format())
+			}
+			fmt.Println()
+		case "pipeline":
+			p, err := experiments.RunPipeline(experiments.AppFFT2D, platforms.CSPI(), min(512, vendorN), 8, 8)
+			if err != nil {
+				return err
+			}
+			fmt.Println(p.Format())
+		case "mapping":
+			app, err := apps.STAP(min(256, vendorN), 6)
+			if err != nil {
+				return err
+			}
+			gens := 120
+			if quick {
+				gens = 30
+			}
+			s, err := experiments.RunMappingStudy(app, platforms.CSPI(), 8, atot.GAConfig{Generations: gens, Seed: 1})
+			if err != nil {
+				return err
+			}
+			fmt.Println(s.Format())
+		case "heterogeneous":
+			app, err := apps.STAP(min(128, vendorN), 4)
+			if err != nil {
+				return err
+			}
+			gens := 60
+			if quick {
+				gens = 25
+			}
+			h, err := experiments.RunHeterogeneous(app, platforms.CSPI(),
+				[]float64{2, 2, 1, 1, 1, 1, 0.5, 0.5},
+				atot.GAConfig{Generations: gens, Seed: 1})
+			if err != nil {
+				return err
+			}
+			fmt.Println(h.Format())
+		case "scaling":
+			sc, err := experiments.RunScaling(experiments.AppFFT2D, platforms.CSPI(),
+				min(512, vendorN), vendorNodes, proto)
+			if err != nil {
+				return err
+			}
+			fmt.Println(sc.Format())
+			sc2, err := experiments.RunScaling(experiments.AppCornerTurn, platforms.CSPI(),
+				min(512, vendorN), vendorNodes, proto)
+			if err != nil {
+				return err
+			}
+			fmt.Println(sc2.Format())
+		case "realtime":
+			rt, err := experiments.RunRealTime(experiments.AppCornerTurn, platforms.CSPI(),
+				min(512, vendorN), 8, 8, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(rt.Format())
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"table1", "twonode", "aggregate", "crossvendor", "portability", "genstudy", "pipeline", "mapping", "heterogeneous", "realtime", "scaling"} {
+			fmt.Printf("=== %s ===\n", name)
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

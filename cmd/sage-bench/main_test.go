@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<22)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestGenStudyExperiment(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run("genstudy", true, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 1.0") || !strings.Contains(out, "verified=true") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTable1QuickExperiment(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run("table1", true, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1.0", "2D FFT", "% of Hand", "Overall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("warpcore", true, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

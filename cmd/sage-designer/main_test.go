@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around f and returns what was printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestNewModelAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ct.sage")
+	if err := run("cornerturn", 128, 4, path, "", false, false, "", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run("", 0, 0, "", path, true, false, "", 0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OK", "transpose_block", "arc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindsListing(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run("", 0, 0, "", "", false, true, "", 0, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fft_rows", "source_matrix", "software shelf"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kinds missing %q", want)
+		}
+	}
+}
+
+func TestHWRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.hw")
+	if err := run("", 0, 0, path, "", false, false, "Mercury", 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run("", 0, 0, "", "", false, false, "", 0, path)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 boards x 4 procs = 12 nodes") {
+		t.Fatalf("hw summary wrong:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("warpdrive", 64, 4, "", "", false, false, "", 0, ""); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := run("", 0, 0, "", "", false, false, "", 0, ""); err == nil {
+		t.Fatal("no action accepted")
+	}
+	if err := run("", 0, 0, "", "/nonexistent.sage", false, false, "", 0, ""); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	if err := run("", 0, 0, "", "", false, false, "NoSuchVendor", 2, ""); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}

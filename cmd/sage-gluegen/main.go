@@ -1,0 +1,106 @@
+// sage-gluegen is the glue-code generator of Figure 1.0: it loads an
+// application model and a mapping, runs the Alter generator script (the
+// standard one or a user script), and writes the runtime table source and
+// the human-readable glue listing.
+//
+// Usage:
+//
+//	sage-gluegen -model fft2d.sage -mapping fft2d.map -platform CSPI -nodes 8 \
+//	             -tables fft2d.tbl -glue fft2d_glue.txt
+//	sage-gluegen -model fft2d.sage -mapping fft2d.map -script my-generator.alter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gluegen"
+	"repro/internal/model"
+	"repro/internal/platforms"
+)
+
+func main() {
+	modelFile := flag.String("model", "", "model file (required)")
+	mappingFile := flag.String("mapping", "", "mapping file (required)")
+	platformName := flag.String("platform", "CSPI", "target platform")
+	nodes := flag.Int("nodes", 8, "processor count")
+	scriptFile := flag.String("script", "", "custom Alter generator script (default: built-in standard script)")
+	tablesOut := flag.String("tables", "", "write the runtime table source (default stdout)")
+	glueOut := flag.String("glue", "", "write the human-readable glue listing")
+	printScript := flag.Bool("print-script", false, "print the built-in Alter generator script and exit")
+	flag.Parse()
+
+	if err := run(*modelFile, *mappingFile, *platformName, *nodes, *scriptFile, *tablesOut, *glueOut, *printScript); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-gluegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelFile, mappingFile, platformName string, nodes int, scriptFile, tablesOut, glueOut string, printScript bool) error {
+	if printScript {
+		fmt.Print(gluegen.StandardScript)
+		return nil
+	}
+	if modelFile == "" || mappingFile == "" {
+		return fmt.Errorf("-model and -mapping are required")
+	}
+	mf, err := os.Open(modelFile)
+	if err != nil {
+		return err
+	}
+	app, err := model.ReadText(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(mappingFile)
+	if err != nil {
+		return err
+	}
+	mapping, appName, err := model.ReadMappingText(pf)
+	pf.Close()
+	if err != nil {
+		return err
+	}
+	if appName != app.Name {
+		return fmt.Errorf("mapping is for app %q, model is %q", appName, app.Name)
+	}
+	pl, err := platforms.ByName(platformName)
+	if err != nil {
+		return err
+	}
+	script := gluegen.StandardScript
+	if scriptFile != "" {
+		b, err := os.ReadFile(scriptFile)
+		if err != nil {
+			return err
+		}
+		script = string(b)
+	}
+	out, err := gluegen.GenerateWith(gluegen.Input{App: app, Mapping: mapping, Platform: pl, NumNodes: nodes}, script)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d functions, %d logical buffers, %d transfers; tables verified\n",
+		len(out.Tables.Functions), len(out.Tables.Buffers), countTransfers(out.Tables))
+	if tablesOut == "" {
+		fmt.Print(out.TableSource)
+	} else if err := os.WriteFile(tablesOut, []byte(out.TableSource), 0o644); err != nil {
+		return err
+	}
+	if glueOut != "" {
+		if err := os.WriteFile(glueOut, []byte(out.GlueSource), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func countTransfers(t *gluegen.Tables) int {
+	n := 0
+	for _, b := range t.Buffers {
+		n += len(b.Transfers)
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gluegen"
+	"repro/internal/model"
+)
+
+// writeInputs serialises a model and matching mapping into dir.
+func writeInputs(t *testing.T, dir string) (modelPath, mappingPath string) {
+	t.Helper()
+	app, err := apps.FFT2D(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "m.sage")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.WriteText(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	mapping, err := model.SpreadParallel(app, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappingPath = filepath.Join(dir, "m.map")
+	pf, err := os.Create(mappingPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapping.WriteText(pf, app.Name); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	return modelPath, mappingPath
+}
+
+func TestGenerateToFiles(t *testing.T) {
+	dir := t.TempDir()
+	modelPath, mappingPath := writeInputs(t, dir)
+	tblPath := filepath.Join(dir, "m.tbl")
+	gluePath := filepath.Join(dir, "m.glue")
+	if err := run(modelPath, mappingPath, "CSPI", 4, "", tblPath, gluePath, false); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(tblPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := gluegen.ParseTableSource(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tables.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	glue, err := os.ReadFile(gluePath)
+	if err != nil || !strings.Contains(string(glue), "SAGE auto-generated") {
+		t.Fatalf("glue listing: %v", err)
+	}
+}
+
+func TestCustomScriptFile(t *testing.T) {
+	dir := t.TempDir()
+	modelPath, mappingPath := writeInputs(t, dir)
+	scriptPath := filepath.Join(dir, "broken.alter")
+	if err := os.WriteFile(scriptPath, []byte("(no-such-call)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(modelPath, mappingPath, "CSPI", 4, scriptPath, "", "", false); err == nil {
+		t.Fatal("broken custom script accepted")
+	}
+}
+
+func TestPrintScript(t *testing.T) {
+	if err := run("", "", "", 0, "", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGluegenErrors(t *testing.T) {
+	dir := t.TempDir()
+	modelPath, mappingPath := writeInputs(t, dir)
+	if err := run("", "", "CSPI", 4, "", "", "", false); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	if err := run(modelPath, mappingPath, "Cray", 4, "", "", "", false); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	// Mapping for a different app.
+	other := filepath.Join(dir, "other.map")
+	if err := os.WriteFile(other, []byte("mapping different\nmap f 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(modelPath, other, "CSPI", 4, "", "", "", false); err == nil {
+		t.Fatal("mismatched mapping accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/gluegen"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/platforms"
+)
+
+func mustPlatform(t *testing.T, name string) machine.Platform {
+	t.Helper()
+	pl, err := platforms.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func generateTableSource(t *testing.T, app *model.App, mapping *model.Mapping) string {
+	t.Helper()
+	out, err := gluegen.Generate(gluegen.Input{
+		App: app, Mapping: mapping, Platform: mustPlatform(t, "CSPI"), NumNodes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.TableSource
+}

@@ -1,0 +1,207 @@
+// sage-run executes a model under the SAGE runtime on the simulated
+// multicomputer: it loads (or generates) a mapping, generates the glue
+// tables (or loads pre-generated table source), runs the configured number
+// of iterations, and reports period and latency per §3.3. With -viz it
+// prints the Visualizer report; with -trace-csv / -svg it exports the probe
+// events.
+//
+// Usage:
+//
+//	sage-run -model fft2d.sage -platform CSPI -nodes 8 -iterations 100
+//	sage-run -model fft2d.sage -mapping fft2d.map -viz -trace-csv trace.csv
+//	sage-run -tables fft2d.tbl                  # run pre-generated glue
+//	sage-run -model fft2d.sage -hw custom.hw    # custom hardware design
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gluegen"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/platforms"
+	"repro/internal/sagert"
+	"repro/internal/viz"
+)
+
+type options struct {
+	modelFile, mappingFile, platformName, hwFile, tablesFile string
+	nodes, iterations                                        int
+	sequential, optimized, vizReport                         bool
+	traceCSV, svgOut                                         string
+	latencyBound                                             time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.modelFile, "model", "", "model file (or use -tables)")
+	flag.StringVar(&o.mappingFile, "mapping", "", "mapping file (default: spread mapping)")
+	flag.StringVar(&o.platformName, "platform", "CSPI", "target platform from the registry")
+	flag.StringVar(&o.hwFile, "hw", "", "custom hardware design file (overrides -platform)")
+	flag.StringVar(&o.tablesFile, "tables", "", "pre-generated runtime table source to execute (skips generation)")
+	flag.IntVar(&o.nodes, "nodes", 8, "processor count (ignored with -tables)")
+	flag.IntVar(&o.iterations, "iterations", 10, "data sets to process")
+	flag.BoolVar(&o.sequential, "sequential", false, "process one data set at a time (no pipelining)")
+	flag.BoolVar(&o.optimized, "optimized-buffers", false, "enable the future-work buffer optimisation")
+	flag.BoolVar(&o.vizReport, "viz", false, "print the Visualizer report")
+	flag.StringVar(&o.traceCSV, "trace-csv", "", "export probe events as CSV")
+	flag.StringVar(&o.svgOut, "svg", "", "export the execution timeline as SVG")
+	flag.DurationVar(&o.latencyBound, "latency-threshold", 0, "flag iterations over this latency")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-run:", err)
+		os.Exit(1)
+	}
+}
+
+// resolvePlatform picks the hardware: a custom design file or the registry.
+func resolvePlatform(o options) (machine.Platform, int, error) {
+	if o.hwFile != "" {
+		f, err := os.Open(o.hwFile)
+		if err != nil {
+			return machine.Platform{}, 0, err
+		}
+		defer f.Close()
+		sys, err := model.ReadHWText(f)
+		if err != nil {
+			return machine.Platform{}, 0, err
+		}
+		return sys.Platform(), sys.NumNodes(), nil
+	}
+	pl, err := platforms.ByName(o.platformName)
+	return pl, o.nodes, err
+}
+
+// loadTables obtains runtime tables: from a pre-generated table-source file
+// or by generating from a model + mapping.
+func loadTables(o options, pl machine.Platform, nodes int) (*gluegen.Tables, string, error) {
+	if o.tablesFile != "" {
+		src, err := os.ReadFile(o.tablesFile)
+		if err != nil {
+			return nil, "", err
+		}
+		tables, err := gluegen.ParseTableSource(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		if err := tables.Verify(); err != nil {
+			return nil, "", err
+		}
+		return tables, tables.AppName, nil
+	}
+	if o.modelFile == "" {
+		return nil, "", fmt.Errorf("pass -model or -tables")
+	}
+	mf, err := os.Open(o.modelFile)
+	if err != nil {
+		return nil, "", err
+	}
+	app, err := model.ReadText(mf)
+	mf.Close()
+	if err != nil {
+		return nil, "", err
+	}
+	var mapping *model.Mapping
+	if o.mappingFile != "" {
+		pf, err := os.Open(o.mappingFile)
+		if err != nil {
+			return nil, "", err
+		}
+		var appName string
+		mapping, appName, err = model.ReadMappingText(pf)
+		pf.Close()
+		if err != nil {
+			return nil, "", err
+		}
+		if appName != app.Name {
+			return nil, "", fmt.Errorf("mapping is for app %q, model is %q", appName, app.Name)
+		}
+	} else {
+		if mapping, err = model.SpreadParallel(app, nodes); err != nil {
+			return nil, "", err
+		}
+	}
+	out, err := gluegen.Generate(gluegen.Input{App: app, Mapping: mapping, Platform: pl, NumNodes: nodes})
+	if err != nil {
+		return nil, "", err
+	}
+	return out.Tables, app.Name, nil
+}
+
+func run(o options) error {
+	pl, nodes, err := resolvePlatform(o)
+	if err != nil {
+		return err
+	}
+	tables, appName, err := loadTables(o, pl, nodes)
+	if err != nil {
+		return err
+	}
+	if o.tablesFile != "" && tables.Platform != pl.Name {
+		// Pre-generated tables carry their target; honor it.
+		pl, err = platforms.ByName(tables.Platform)
+		if err != nil {
+			return fmt.Errorf("tables target platform %q: %w", tables.Platform, err)
+		}
+	}
+	opts := sagert.Options{Iterations: o.iterations, Sequential: o.sequential, OptimizedBuffers: o.optimized}
+	var trace *viz.Trace
+	if o.vizReport || o.traceCSV != "" || o.svgOut != "" {
+		var hook func(sagert.Event)
+		trace, hook = viz.Collector()
+		opts.ProbeAll = true
+		opts.Trace = hook
+	}
+	res, err := sagert.Run(tables, pl, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app %s on %s (%d nodes), %d iterations\n", appName, pl.Name, tables.NumNodes, o.iterations)
+	fmt.Printf("  period:      %v per data set\n", res.Period)
+	fmt.Printf("  avg latency: %v\n", res.AvgLatency())
+	fmt.Printf("  elapsed:     %v virtual\n", res.Elapsed)
+	for _, ns := range res.NodeStats {
+		fmt.Printf("  node %-3d compute=%-14v copy=%-14v comm=%-14v util=%5.1f%%\n",
+			ns.Node, ns.ComputeBusy, ns.CopyBusy, ns.CommBusy, 100*ns.Utilization)
+	}
+	if o.latencyBound > 0 {
+		for _, v := range viz.CheckLatencies(res.Latencies, o.latencyBound) {
+			fmt.Printf("  LATENCY VIOLATION: iteration %d took %v (threshold %v)\n", v.Iteration, v.Latency, v.Threshold)
+		}
+	}
+	if o.vizReport {
+		fmt.Println()
+		if err := trace.Report(os.Stdout, 100); err != nil {
+			return err
+		}
+	}
+	if o.traceCSV != "" {
+		f, err := os.Create(o.traceCSV)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.svgOut != "" {
+		f, err := os.Create(o.svgOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteSVG(f, 1200); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// sage-viz renders the Visualizer report from a probe-event CSV exported by
+// sage-run -trace-csv (or by any program using internal/viz.WriteCSV).
+//
+// Usage:
+//
+//	sage-viz -trace trace.csv
+//	sage-viz -trace trace.csv -width 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/viz"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "probe-event CSV file (required)")
+	width := flag.Int("width", 100, "timeline width in columns")
+	csvOnly := flag.Bool("breakdown", false, "print only the per-function breakdown")
+	svgOut := flag.String("svg", "", "write the timeline as an SVG file")
+	flag.Parse()
+
+	if err := run(*traceFile, *width, *csvOnly, *svgOut); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-viz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(traceFile string, width int, breakdownOnly bool, svgOut string) error {
+	if traceFile == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trace, err := viz.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if svgOut != "" {
+		out, err := os.Create(svgOut)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		return trace.WriteSVG(out, 1200)
+	}
+	if breakdownOnly {
+		for _, b := range trace.Breakdown() {
+			fmt.Printf("%-16s compute=%-14v recv=%-14v send=%-14v\n", b.Fn, b.Compute, b.Recv, b.Send)
+		}
+		return nil
+	}
+	return trace.Report(os.Stdout, width)
+}

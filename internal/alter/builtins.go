@@ -1,0 +1,729 @@
+package alter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// installStdlib registers the base procedure library. Model-traversal
+// standard calls are installed separately by the embedding tool.
+func installStdlib(env *Env) {
+	installArith(env)
+	installCompare(env)
+	installLists(env)
+	installStrings(env)
+	installPredicates(env)
+}
+
+func wantArgs(args List, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("wants %d arguments, got %d", n, len(args))
+	}
+	return nil
+}
+
+func wantAtLeast(args List, n int) error {
+	if len(args) < n {
+		return fmt.Errorf("wants at least %d arguments, got %d", n, len(args))
+	}
+	return nil
+}
+
+// numFold reduces numeric arguments, preserving int64 unless any float is
+// involved.
+func numFold(args List, intFn func(a, b int64) (int64, error), floatFn func(a, b float64) float64, unit int64, unary bool) (Value, error) {
+	if len(args) == 0 {
+		return unit, nil
+	}
+	allInt := true
+	for _, a := range args {
+		switch a.(type) {
+		case int64:
+		case float64:
+			allInt = false
+		default:
+			return nil, fmt.Errorf("expected number, got %s", TypeName(a))
+		}
+	}
+	if allInt {
+		acc := args[0].(int64)
+		if len(args) == 1 && unary {
+			return intFn(unit, acc)
+		}
+		for _, a := range args[1:] {
+			var err error
+			acc, err = intFn(acc, a.(int64))
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	acc, _ := AsFloat(args[0])
+	if len(args) == 1 && unary {
+		return floatFn(float64(unit), acc), nil
+	}
+	for _, a := range args[1:] {
+		f, _ := AsFloat(a)
+		acc = floatFn(acc, f)
+	}
+	return acc, nil
+}
+
+func installArith(env *Env) {
+	env.Register("+", func(args List) (Value, error) {
+		return numFold(args,
+			func(a, b int64) (int64, error) { return a + b, nil },
+			func(a, b float64) float64 { return a + b }, 0, false)
+	})
+	env.Register("-", func(args List) (Value, error) {
+		if err := wantAtLeast(args, 1); err != nil {
+			return nil, err
+		}
+		return numFold(args,
+			func(a, b int64) (int64, error) { return a - b, nil },
+			func(a, b float64) float64 { return a - b }, 0, true)
+	})
+	env.Register("*", func(args List) (Value, error) {
+		return numFold(args,
+			func(a, b int64) (int64, error) { return a * b, nil },
+			func(a, b float64) float64 { return a * b }, 1, false)
+	})
+	env.Register("/", func(args List) (Value, error) {
+		if err := wantAtLeast(args, 2); err != nil {
+			return nil, err
+		}
+		return numFold(args,
+			func(a, b int64) (int64, error) {
+				if b == 0 {
+					return 0, fmt.Errorf("division by zero")
+				}
+				return a / b, nil
+			},
+			func(a, b float64) float64 { return a / b }, 1, false)
+	})
+	env.Register("mod", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		a, err := AsInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := AsInt(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		return a % b, nil
+	})
+	env.Register("abs", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case int64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case float64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		default:
+			return nil, fmt.Errorf("expected number, got %s", TypeName(args[0]))
+		}
+	})
+	env.Register("even?", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		n, err := AsInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return n%2 == 0, nil
+	})
+	env.Register("odd?", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		n, err := AsInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return n%2 != 0, nil
+	})
+	env.Register("min", func(args List) (Value, error) {
+		if err := wantAtLeast(args, 1); err != nil {
+			return nil, err
+		}
+		return numFold(args,
+			func(a, b int64) (int64, error) {
+				if b < a {
+					return b, nil
+				}
+				return a, nil
+			},
+			func(a, b float64) float64 {
+				if b < a {
+					return b
+				}
+				return a
+			}, 0, false)
+	})
+	env.Register("max", func(args List) (Value, error) {
+		if err := wantAtLeast(args, 1); err != nil {
+			return nil, err
+		}
+		return numFold(args,
+			func(a, b int64) (int64, error) {
+				if b > a {
+					return b, nil
+				}
+				return a, nil
+			},
+			func(a, b float64) float64 {
+				if b > a {
+					return b
+				}
+				return a
+			}, 0, false)
+	})
+}
+
+func installCompare(env *Env) {
+	cmp := func(name string, ok func(c int) bool) {
+		env.Register(name, func(args List) (Value, error) {
+			if err := wantAtLeast(args, 2); err != nil {
+				return nil, err
+			}
+			for i := 0; i+1 < len(args); i++ {
+				a, err := AsFloat(args[i])
+				if err != nil {
+					return nil, err
+				}
+				b, err := AsFloat(args[i+1])
+				if err != nil {
+					return nil, err
+				}
+				c := 0
+				if a < b {
+					c = -1
+				} else if a > b {
+					c = 1
+				}
+				if !ok(c) {
+					return false, nil
+				}
+			}
+			return true, nil
+		})
+	}
+	cmp("<", func(c int) bool { return c < 0 })
+	cmp(">", func(c int) bool { return c > 0 })
+	cmp("<=", func(c int) bool { return c <= 0 })
+	cmp(">=", func(c int) bool { return c >= 0 })
+	cmp("=", func(c int) bool { return c == 0 })
+	env.Register("equal?", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		return Equal(args[0], args[1]), nil
+	})
+	env.Register("not", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		return !Truthy(args[0]), nil
+	})
+}
+
+func installLists(env *Env) {
+	env.Register("list", func(args List) (Value, error) {
+		out := make(List, len(args))
+		copy(out, args)
+		return out, nil
+	})
+	env.Register("cons", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		tail, err := AsList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		out := make(List, 0, len(tail)+1)
+		out = append(out, args[0])
+		return append(out, tail...), nil
+	})
+	env.Register("first", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, nil
+		}
+		return l[0], nil
+	})
+	env.Register("rest", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return List{}, nil
+		}
+		out := make(List, len(l)-1)
+		copy(out, l[1:])
+		return out, nil
+	})
+	env.Register("nth", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[0])
+		if err != nil {
+			return nil, err
+		}
+		i, err := AsInt(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || int(i) >= len(l) {
+			return nil, fmt.Errorf("index %d out of range for list of %d", i, len(l))
+		}
+		return l[i], nil
+	})
+	env.Register("length", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case nil:
+			return int64(0), nil
+		case List:
+			return int64(len(x)), nil
+		case string:
+			return int64(len(x)), nil
+		default:
+			return nil, fmt.Errorf("expected list or string, got %s", TypeName(args[0]))
+		}
+	})
+	env.Register("append", func(args List) (Value, error) {
+		var out List
+		for _, a := range args {
+			l, err := AsList(a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, l...)
+		}
+		return out, nil
+	})
+	env.Register("reverse", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make(List, len(l))
+		for i, v := range l {
+			out[len(l)-1-i] = v
+		}
+		return out, nil
+	})
+	env.Register("range", func(args List) (Value, error) {
+		// (range n) -> (0 .. n-1); (range a b) -> (a .. b-1).
+		if len(args) != 1 && len(args) != 2 {
+			return nil, fmt.Errorf("wants 1 or 2 arguments, got %d", len(args))
+		}
+		var lo, hi int64
+		var err error
+		if len(args) == 1 {
+			hi, err = AsInt(args[0])
+		} else {
+			lo, err = AsInt(args[0])
+			if err == nil {
+				hi, err = AsInt(args[1])
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return List{}, nil
+		}
+		out := make(List, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out, nil
+	})
+	env.Register("assoc", func(args List) (Value, error) {
+		// (assoc key alist) -> matching (key value) pair or nil.
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		alist, err := AsList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		for _, entry := range alist {
+			pair, ok := entry.(List)
+			if !ok || len(pair) < 1 {
+				continue
+			}
+			if Equal(pair[0], args[0]) {
+				return pair, nil
+			}
+		}
+		return nil, nil
+	})
+}
+
+func installStrings(env *Env) {
+	env.Register("string-append", func(args List) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteString(Display(a))
+		}
+		return b.String(), nil
+	})
+	env.Register("format", func(args List) (Value, error) {
+		// (format "template" args...): ~a inserts display form, ~s write
+		// form, ~~ a literal tilde, ~% a newline.
+		if err := wantAtLeast(args, 1); err != nil {
+			return nil, err
+		}
+		tpl, err := AsString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		argi := 1
+		for i := 0; i < len(tpl); i++ {
+			c := tpl[i]
+			if c != '~' {
+				b.WriteByte(c)
+				continue
+			}
+			i++
+			if i >= len(tpl) {
+				return nil, fmt.Errorf("dangling ~ in format template")
+			}
+			switch tpl[i] {
+			case 'a', 'A':
+				if argi >= len(args) {
+					return nil, fmt.Errorf("not enough arguments for format template %q", tpl)
+				}
+				b.WriteString(Display(args[argi]))
+				argi++
+			case 's', 'S':
+				if argi >= len(args) {
+					return nil, fmt.Errorf("not enough arguments for format template %q", tpl)
+				}
+				b.WriteString(Format(args[argi]))
+				argi++
+			case '~':
+				b.WriteByte('~')
+			case '%':
+				b.WriteByte('\n')
+			default:
+				return nil, fmt.Errorf("unknown format directive ~%c", tpl[i])
+			}
+		}
+		return b.String(), nil
+	})
+	env.Register("symbol->string", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		s, err := AsSymbol(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return string(s), nil
+	})
+	env.Register("string->symbol", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		s, err := AsString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Symbol(s), nil
+	})
+	env.Register("string-upcase", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		s, err := AsString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return strings.ToUpper(s), nil
+	})
+	env.Register("string-split", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		s, err := AsString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		sep, err := AsString(args[1])
+		if err != nil {
+			return nil, err
+		}
+		parts := strings.Split(s, sep)
+		out := make(List, len(parts))
+		for i, p := range parts {
+			out[i] = p
+		}
+		return out, nil
+	})
+	env.Register("string-contains?", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		s, err := AsString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		sub, err := AsString(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return strings.Contains(s, sub), nil
+	})
+	env.Register("number->string", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		if _, ok := numeric(args[0]); !ok {
+			return nil, fmt.Errorf("expected number, got %s", TypeName(args[0]))
+		}
+		return Display(args[0]), nil
+	})
+	env.Register("string->number", func(args List) (Value, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		s, err := AsString(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := ReadOne(s)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := numeric(v); !ok {
+			return nil, fmt.Errorf("%q is not a number", s)
+		}
+		return v, nil
+	})
+	env.Register("string-join", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[0])
+		if err != nil {
+			return nil, err
+		}
+		sep, err := AsString(args[1])
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(l))
+		for i, v := range l {
+			parts[i] = Display(v)
+		}
+		return strings.Join(parts, sep), nil
+	})
+}
+
+func installPredicates(env *Env) {
+	pred := func(name string, f func(v Value) bool) {
+		env.Register(name, func(args List) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			return f(args[0]), nil
+		})
+	}
+	pred("null?", func(v Value) bool {
+		if v == nil {
+			return true
+		}
+		l, ok := v.(List)
+		return ok && len(l) == 0
+	})
+	pred("list?", func(v Value) bool {
+		_, ok := v.(List)
+		return ok || v == nil
+	})
+	pred("number?", func(v Value) bool {
+		_, ok := numeric(v)
+		return ok
+	})
+	pred("string?", func(v Value) bool { _, ok := v.(string); return ok })
+	pred("symbol?", func(v Value) bool { _, ok := v.(Symbol); return ok })
+	pred("procedure?", func(v Value) bool {
+		switch v.(type) {
+		case *Lambda, *Builtin:
+			return true
+		}
+		return false
+	})
+}
+
+// installApplicative registers map/filter/for-each/apply/fold/sort-by, which
+// need the interpreter to apply procedures and are therefore installed per
+// Interp rather than per Env.
+func (in *Interp) installApplicative() {
+	env := in.Global
+	env.Register("apply", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return in.Apply(args[0], l)
+	})
+	env.Register("map", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		out := make(List, len(l))
+		for i, v := range l {
+			out[i], err = in.Apply(args[0], List{v})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	})
+	env.Register("filter", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		var out List
+		for _, v := range l {
+			keep, err := in.Apply(args[0], List{v})
+			if err != nil {
+				return nil, err
+			}
+			if Truthy(keep) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+	env.Register("for-each", func(args List) (Value, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range l {
+			if _, err := in.Apply(args[0], List{v}); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	env.Register("fold", func(args List) (Value, error) {
+		// (fold fn init list)
+		if err := wantArgs(args, 3); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[2])
+		if err != nil {
+			return nil, err
+		}
+		acc := args[1]
+		for _, v := range l {
+			acc, err = in.Apply(args[0], List{acc, v})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	env.Register("sort-by", func(args List) (Value, error) {
+		// (sort-by key-fn list): stable sort by numeric or string key.
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		l, err := AsList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]Value, len(l))
+		for i, v := range l {
+			keys[i], err = in.Apply(args[0], List{v})
+			if err != nil {
+				return nil, err
+			}
+		}
+		idx := make([]int, len(l))
+		for i := range idx {
+			idx[i] = i
+		}
+		var sortErr error
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := keys[idx[a]], keys[idx[b]]
+			if fa, ok := numeric(ka); ok {
+				fb, ok := numeric(kb)
+				if !ok {
+					sortErr = fmt.Errorf("mixed sort keys")
+					return false
+				}
+				return fa < fb
+			}
+			sa, aok := ka.(string)
+			sb, bok := kb.(string)
+			if !aok || !bok {
+				sortErr = fmt.Errorf("sort keys must be numbers or strings")
+				return false
+			}
+			return sa < sb
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		out := make(List, len(l))
+		for i, j := range idx {
+			out[i] = l[j]
+		}
+		return out, nil
+	})
+}

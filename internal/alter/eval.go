@@ -1,0 +1,478 @@
+package alter
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Env is a lexical environment frame.
+type Env struct {
+	vars   map[Symbol]Value
+	parent *Env
+}
+
+// NewEnv creates a child of parent (parent may be nil for a root frame).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[Symbol]Value{}, parent: parent}
+}
+
+// Lookup resolves a symbol through the frame chain.
+func (e *Env) Lookup(s Symbol) (Value, bool) {
+	for f := e; f != nil; f = f.parent {
+		if v, ok := f.vars[s]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Define binds a symbol in this frame.
+func (e *Env) Define(s Symbol, v Value) { e.vars[s] = v }
+
+// Set assigns the nearest existing binding, failing if none exists.
+func (e *Env) Set(s Symbol, v Value) error {
+	for f := e; f != nil; f = f.parent {
+		if _, ok := f.vars[s]; ok {
+			f.vars[s] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("alter: set! of undefined variable %s", s)
+}
+
+// Register installs a builtin procedure under its name.
+func (e *Env) Register(name string, fn func(args List) (Value, error)) {
+	e.Define(Symbol(name), &Builtin{Name: name, Fn: fn})
+}
+
+// Interp is an Alter interpreter instance: a global environment plus
+// execution limits.
+type Interp struct {
+	Global *Env
+	// MaxDepth bounds recursion (the glue generators recurse over models,
+	// not unboundedly; a runaway script is a bug to report, not a hang).
+	MaxDepth int
+	// MaxSteps bounds total evaluation steps (0 = unlimited).
+	MaxSteps int
+	depth    int
+	steps    int
+}
+
+// New creates an interpreter with the standard library installed.
+func New() *Interp {
+	in := &Interp{Global: NewEnv(nil), MaxDepth: 4096, MaxSteps: 0}
+	installStdlib(in.Global)
+	in.installApplicative()
+	return in
+}
+
+// RunString reads and evaluates every form in src, returning the last value.
+func (in *Interp) RunString(src string) (Value, error) {
+	forms, err := ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var last Value
+	for _, f := range forms {
+		last, err = in.Eval(f, in.Global)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// errTooDeep distinguishes resource exhaustion from script errors.
+var errTooDeep = errors.New("alter: recursion depth limit exceeded")
+
+// Eval evaluates one expression in env.
+func (in *Interp) Eval(expr Value, env *Env) (Value, error) {
+	in.steps++
+	if in.MaxSteps > 0 && in.steps > in.MaxSteps {
+		return nil, fmt.Errorf("alter: step limit %d exceeded", in.MaxSteps)
+	}
+	switch x := expr.(type) {
+	case Symbol:
+		v, ok := env.Lookup(x)
+		if !ok {
+			return nil, fmt.Errorf("alter: undefined variable %s", x)
+		}
+		return v, nil
+	case List:
+		if len(x) == 0 {
+			return List{}, nil
+		}
+		if head, ok := x[0].(Symbol); ok {
+			if fn, special := specialForms[head]; special {
+				return fn(in, x, env)
+			}
+		}
+		return in.evalCall(x, env)
+	default:
+		// Self-evaluating: numbers, strings, booleans, nil, procedures,
+		// host objects.
+		return expr, nil
+	}
+}
+
+func (in *Interp) evalCall(form List, env *Env) (Value, error) {
+	callee, err := in.Eval(form[0], env)
+	if err != nil {
+		return nil, err
+	}
+	args := make(List, len(form)-1)
+	for i, a := range form[1:] {
+		args[i], err = in.Eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return in.Apply(callee, args)
+}
+
+// Apply invokes a procedure value on already-evaluated arguments.
+func (in *Interp) Apply(callee Value, args List) (Value, error) {
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > in.MaxDepth {
+		return nil, errTooDeep
+	}
+	switch f := callee.(type) {
+	case *Builtin:
+		v, err := f.Fn(args)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		return v, nil
+	case *Lambda:
+		if f.Rest == "" && len(args) != len(f.Params) {
+			return nil, fmt.Errorf("alter: %s wants %d arguments, got %d", lambdaName(f), len(f.Params), len(args))
+		}
+		if f.Rest != "" && len(args) < len(f.Params) {
+			return nil, fmt.Errorf("alter: %s wants at least %d arguments, got %d", lambdaName(f), len(f.Params), len(args))
+		}
+		frame := NewEnv(f.Env)
+		for i, p := range f.Params {
+			frame.Define(p, args[i])
+		}
+		if f.Rest != "" {
+			rest := make(List, len(args)-len(f.Params))
+			copy(rest, args[len(f.Params):])
+			frame.Define(f.Rest, rest)
+		}
+		var out Value
+		for _, b := range f.Body {
+			var err error
+			out, err = in.Eval(b, frame)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("alter: cannot call %s", TypeName(callee))
+	}
+}
+
+func lambdaName(f *Lambda) string {
+	if f.Name == "" {
+		return "lambda"
+	}
+	return f.Name
+}
+
+// specialForms dispatches syntax that controls evaluation. It is populated
+// in init to break the initialisation cycle between the table and Eval.
+var specialForms map[Symbol]func(in *Interp, form List, env *Env) (Value, error)
+
+func init() {
+	specialForms = map[Symbol]func(in *Interp, form List, env *Env) (Value, error){
+		"quote":  sfQuote,
+		"if":     sfIf,
+		"cond":   sfCond,
+		"define": sfDefine,
+		"set!":   sfSet,
+		"lambda": sfLambda,
+		"let":    sfLet,
+		"let*":   sfLetStar,
+		"begin":  sfBegin,
+		"while":  sfWhile,
+		"and":    sfAnd,
+		"or":     sfOr,
+		"when":   sfWhen,
+		"unless": sfUnless,
+	}
+}
+
+func sfQuote(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) != 2 {
+		return nil, fmt.Errorf("alter: quote wants 1 argument")
+	}
+	return form[1], nil
+}
+
+func sfIf(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 3 || len(form) > 4 {
+		return nil, fmt.Errorf("alter: if wants (if test then [else])")
+	}
+	test, err := in.Eval(form[1], env)
+	if err != nil {
+		return nil, err
+	}
+	if Truthy(test) {
+		return in.Eval(form[2], env)
+	}
+	if len(form) == 4 {
+		return in.Eval(form[3], env)
+	}
+	return nil, nil
+}
+
+func sfCond(in *Interp, form List, env *Env) (Value, error) {
+	for _, clause := range form[1:] {
+		cl, ok := clause.(List)
+		if !ok || len(cl) < 1 {
+			return nil, fmt.Errorf("alter: cond clause must be a non-empty list")
+		}
+		if sym, ok := cl[0].(Symbol); ok && sym == "else" {
+			return in.evalSeq(cl[1:], env)
+		}
+		test, err := in.Eval(cl[0], env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(test) {
+			if len(cl) == 1 {
+				return test, nil
+			}
+			return in.evalSeq(cl[1:], env)
+		}
+	}
+	return nil, nil
+}
+
+func (in *Interp) evalSeq(forms List, env *Env) (Value, error) {
+	var out Value
+	for _, f := range forms {
+		var err error
+		out, err = in.Eval(f, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func sfDefine(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 3 {
+		return nil, fmt.Errorf("alter: define wants a name and a value")
+	}
+	switch target := form[1].(type) {
+	case Symbol:
+		if len(form) != 3 {
+			return nil, fmt.Errorf("alter: (define name value) wants exactly one value")
+		}
+		v, err := in.Eval(form[2], env)
+		if err != nil {
+			return nil, err
+		}
+		if lam, ok := v.(*Lambda); ok && lam.Name == "" {
+			lam.Name = string(target)
+		}
+		env.Define(target, v)
+		return nil, nil
+	case List:
+		// (define (name params...) body...) procedure shorthand.
+		if len(target) == 0 {
+			return nil, fmt.Errorf("alter: define procedure wants a name")
+		}
+		name, err := AsSymbol(target[0])
+		if err != nil {
+			return nil, err
+		}
+		lam, err := makeLambda(target[1:], form[2:], env)
+		if err != nil {
+			return nil, err
+		}
+		lam.Name = string(name)
+		env.Define(name, lam)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("alter: cannot define %s", TypeName(form[1]))
+	}
+}
+
+func sfSet(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) != 3 {
+		return nil, fmt.Errorf("alter: set! wants a name and a value")
+	}
+	name, err := AsSymbol(form[1])
+	if err != nil {
+		return nil, err
+	}
+	v, err := in.Eval(form[2], env)
+	if err != nil {
+		return nil, err
+	}
+	return v, env.Set(name, v)
+}
+
+func makeLambda(params List, body List, env *Env) (*Lambda, error) {
+	lam := &Lambda{Env: env, Body: body}
+	rest := false
+	for _, p := range params {
+		s, err := AsSymbol(p)
+		if err != nil {
+			return nil, fmt.Errorf("alter: lambda parameter: %w", err)
+		}
+		if s == "&rest" {
+			rest = true
+			continue
+		}
+		if rest {
+			if lam.Rest != "" {
+				return nil, fmt.Errorf("alter: multiple &rest parameters")
+			}
+			lam.Rest = s
+			continue
+		}
+		lam.Params = append(lam.Params, s)
+	}
+	if rest && lam.Rest == "" {
+		return nil, fmt.Errorf("alter: &rest without a parameter name")
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("alter: lambda with empty body")
+	}
+	return lam, nil
+}
+
+func sfLambda(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 3 {
+		return nil, fmt.Errorf("alter: lambda wants parameters and a body")
+	}
+	params, err := AsList(form[1])
+	if err != nil {
+		return nil, err
+	}
+	return makeLambda(params, form[2:], env)
+}
+
+func sfLet(in *Interp, form List, env *Env) (Value, error) {
+	return letCommon(in, form, env, false)
+}
+
+func sfLetStar(in *Interp, form List, env *Env) (Value, error) {
+	return letCommon(in, form, env, true)
+}
+
+func letCommon(in *Interp, form List, env *Env, sequential bool) (Value, error) {
+	if len(form) < 3 {
+		return nil, fmt.Errorf("alter: let wants bindings and a body")
+	}
+	bindings, err := AsList(form[1])
+	if err != nil {
+		return nil, err
+	}
+	frame := NewEnv(env)
+	evalEnv := env
+	if sequential {
+		evalEnv = frame
+	}
+	for _, b := range bindings {
+		pair, ok := b.(List)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("alter: let binding must be (name value)")
+		}
+		name, err := AsSymbol(pair[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := in.Eval(pair[1], evalEnv)
+		if err != nil {
+			return nil, err
+		}
+		frame.Define(name, v)
+	}
+	return in.evalSeq(form[2:], frame)
+}
+
+func sfBegin(in *Interp, form List, env *Env) (Value, error) {
+	return in.evalSeq(form[1:], env)
+}
+
+func sfWhile(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 2 {
+		return nil, fmt.Errorf("alter: while wants a test")
+	}
+	var out Value
+	for {
+		test, err := in.Eval(form[1], env)
+		if err != nil {
+			return nil, err
+		}
+		if !Truthy(test) {
+			return out, nil
+		}
+		out, err = in.evalSeq(form[2:], env)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func sfAnd(in *Interp, form List, env *Env) (Value, error) {
+	var out Value = true
+	for _, f := range form[1:] {
+		var err error
+		out, err = in.Eval(f, env)
+		if err != nil {
+			return nil, err
+		}
+		if !Truthy(out) {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+func sfOr(in *Interp, form List, env *Env) (Value, error) {
+	for _, f := range form[1:] {
+		out, err := in.Eval(f, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(out) {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func sfWhen(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 2 {
+		return nil, fmt.Errorf("alter: when wants a test")
+	}
+	test, err := in.Eval(form[1], env)
+	if err != nil {
+		return nil, err
+	}
+	if Truthy(test) {
+		return in.evalSeq(form[2:], env)
+	}
+	return nil, nil
+}
+
+func sfUnless(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 2 {
+		return nil, fmt.Errorf("alter: unless wants a test")
+	}
+	test, err := in.Eval(form[1], env)
+	if err != nil {
+		return nil, err
+	}
+	if !Truthy(test) {
+		return in.evalSeq(form[2:], env)
+	}
+	return nil, nil
+}

@@ -1,0 +1,182 @@
+package alter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The reader turns source text into Values. Syntax: parenthesised lists,
+// 'x quote shorthand, "strings" with Go escapes, ; line comments, integers,
+// floats, #t/#f booleans, nil, and symbols.
+
+type reader struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+// ReadAll parses every top-level form in src.
+func ReadAll(src string) (List, error) {
+	r := &reader{src: []rune(src), line: 1}
+	var forms List
+	for {
+		r.skipSpace()
+		if r.eof() {
+			return forms, nil
+		}
+		form, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		forms = append(forms, form)
+	}
+}
+
+// ReadOne parses a single form, failing on trailing garbage.
+func ReadOne(src string) (Value, error) {
+	forms, err := ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(forms) != 1 {
+		return nil, fmt.Errorf("alter: expected one form, got %d", len(forms))
+	}
+	return forms[0], nil
+}
+
+func (r *reader) eof() bool { return r.pos >= len(r.src) }
+
+func (r *reader) peek() rune { return r.src[r.pos] }
+
+func (r *reader) next() rune {
+	c := r.src[r.pos]
+	r.pos++
+	if c == '\n' {
+		r.line++
+	}
+	return c
+}
+
+func (r *reader) errf(format string, args ...any) error {
+	return fmt.Errorf("alter: line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
+func (r *reader) skipSpace() {
+	for !r.eof() {
+		c := r.peek()
+		switch {
+		case unicode.IsSpace(c):
+			r.next()
+		case c == ';':
+			for !r.eof() && r.peek() != '\n' {
+				r.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDelim(c rune) bool {
+	return unicode.IsSpace(c) || c == '(' || c == ')' || c == '"' || c == ';' || c == '\''
+}
+
+func (r *reader) read() (Value, error) {
+	r.skipSpace()
+	if r.eof() {
+		return nil, r.errf("unexpected end of input")
+	}
+	switch c := r.peek(); {
+	case c == '(':
+		r.next()
+		var items List
+		for {
+			r.skipSpace()
+			if r.eof() {
+				return nil, r.errf("unterminated list")
+			}
+			if r.peek() == ')' {
+				r.next()
+				return items, nil
+			}
+			item, err := r.read()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+		}
+	case c == ')':
+		return nil, r.errf("unexpected ')'")
+	case c == '\'':
+		r.next()
+		quoted, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		return List{Symbol("quote"), quoted}, nil
+	case c == '"':
+		return r.readString()
+	default:
+		return r.readAtom()
+	}
+}
+
+func (r *reader) readString() (Value, error) {
+	start := r.line
+	r.next() // opening quote
+	var b strings.Builder
+	for {
+		if r.eof() {
+			return nil, fmt.Errorf("alter: line %d: unterminated string", start)
+		}
+		c := r.next()
+		if c == '"' {
+			return b.String(), nil
+		}
+		if c == '\\' {
+			if r.eof() {
+				return nil, fmt.Errorf("alter: line %d: unterminated escape", start)
+			}
+			e := r.next()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return nil, fmt.Errorf("alter: line %d: unknown escape \\%c", start, e)
+			}
+			continue
+		}
+		b.WriteRune(c)
+	}
+}
+
+func (r *reader) readAtom() (Value, error) {
+	var b strings.Builder
+	for !r.eof() && !isDelim(r.peek()) {
+		b.WriteRune(r.next())
+	}
+	tok := b.String()
+	switch tok {
+	case "#t", "true":
+		return true, nil
+	case "#f", "false":
+		return false, nil
+	case "nil":
+		return nil, nil
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f, nil
+	}
+	return Symbol(tok), nil
+}

@@ -1,0 +1,238 @@
+// Package alter implements the Alter language: the Lisp-like programming
+// language the SAGE glue-code generator is written in (§2: "a programming
+// language similar to Lisp in its syntax and style, which provides a direct
+// interface to the contents of a SAGE model"). The interpreter provides the
+// constructs the paper enumerates — procedure encapsulation, conditionals,
+// looping, variable declaration, and recursion — plus a builtin registry
+// through which the embedding tool (internal/gluegen) installs the "standard
+// calls" for traversing model objects, reading and setting properties, and
+// emitting output.
+//
+// Values are s-expressions: nil, booleans, integers, floats, strings,
+// symbols, proper lists, procedures (lambdas and builtins) and opaque host
+// objects (model functions, ports, arcs). Lists are Go slices, which keeps
+// traversal code simple and garbage-collector friendly.
+package alter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Symbol is an interned identifier.
+type Symbol string
+
+// Value is any Alter datum: nil, bool, int64, float64, string, Symbol,
+// List, *Lambda, *Builtin, or an opaque host object.
+type Value any
+
+// List is a proper list.
+type List []Value
+
+// Lambda is a user-defined procedure with lexical scope.
+type Lambda struct {
+	Name   string // for error messages; "" for anonymous
+	Params []Symbol
+	Rest   Symbol // variadic tail parameter, "" if none
+	Body   List
+	Env    *Env
+}
+
+// Builtin is a host procedure. Args arrive already evaluated.
+type Builtin struct {
+	Name string
+	Fn   func(args List) (Value, error)
+}
+
+// Truthy implements Lisp truth: everything except nil and false is true.
+// (The empty list is a value, and it is true, as in Scheme.)
+func Truthy(v Value) bool {
+	if v == nil {
+		return false
+	}
+	b, ok := v.(bool)
+	return !ok || b
+}
+
+// Format renders a value in external (write) form: strings are quoted.
+func Format(v Value) string {
+	var b strings.Builder
+	writeValue(&b, v, true)
+	return b.String()
+}
+
+// Display renders a value in display form: strings appear bare.
+func Display(v Value) string {
+	var b strings.Builder
+	writeValue(&b, v, false)
+	return b.String()
+}
+
+func writeValue(b *strings.Builder, v Value, write bool) {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("nil")
+	case bool:
+		if x {
+			b.WriteString("#t")
+		} else {
+			b.WriteString("#f")
+		}
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+	case float64:
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		if write {
+			b.WriteString(strconv.Quote(x))
+		} else {
+			b.WriteString(x)
+		}
+	case Symbol:
+		b.WriteString(string(x))
+	case List:
+		b.WriteByte('(')
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			writeValue(b, e, write)
+		}
+		b.WriteByte(')')
+	case *Lambda:
+		name := x.Name
+		if name == "" {
+			name = "anonymous"
+		}
+		fmt.Fprintf(b, "#<lambda %s>", name)
+	case *Builtin:
+		fmt.Fprintf(b, "#<builtin %s>", x.Name)
+	default:
+		fmt.Fprintf(b, "#<object %T>", v)
+	}
+}
+
+// TypeName names a value's type for error messages.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "boolean"
+	case int64:
+		return "integer"
+	case float64:
+		return "float"
+	case string:
+		return "string"
+	case Symbol:
+		return "symbol"
+	case List:
+		return "list"
+	case *Lambda, *Builtin:
+		return "procedure"
+	default:
+		return fmt.Sprintf("object(%T)", v)
+	}
+}
+
+// AsInt coerces integers (and integral floats) to int64.
+func AsInt(v Value) (int64, error) {
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x), nil
+		}
+		return 0, fmt.Errorf("alter: %v is not an integer", x)
+	default:
+		return 0, fmt.Errorf("alter: expected integer, got %s", TypeName(v))
+	}
+}
+
+// AsFloat coerces numbers to float64.
+func AsFloat(v Value) (float64, error) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	default:
+		return 0, fmt.Errorf("alter: expected number, got %s", TypeName(v))
+	}
+}
+
+// AsString extracts a string value.
+func AsString(v Value) (string, error) {
+	if s, ok := v.(string); ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("alter: expected string, got %s", TypeName(v))
+}
+
+// AsSymbol extracts a symbol.
+func AsSymbol(v Value) (Symbol, error) {
+	if s, ok := v.(Symbol); ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("alter: expected symbol, got %s", TypeName(v))
+}
+
+// AsList extracts a list (nil is the empty list).
+func AsList(v Value) (List, error) {
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case List:
+		return x, nil
+	default:
+		return nil, fmt.Errorf("alter: expected list, got %s", TypeName(v))
+	}
+}
+
+// Equal implements structural equality across Alter values (numbers compare
+// across int/float; lists compare elementwise; host objects by identity).
+func Equal(a, b Value) bool {
+	if af, aok := numeric(a); aok {
+		bf, bok := numeric(b)
+		return bok && af == bf
+	}
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case Symbol:
+		y, ok := b.(Symbol)
+		return ok && x == y
+	case List:
+		y, ok := b.(List)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+func numeric(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}

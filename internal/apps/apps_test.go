@@ -1,0 +1,135 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/funclib"
+	"repro/internal/model"
+)
+
+func TestBuildersProduceValidModels(t *testing.T) {
+	builders := map[string]func(n, threads int) (*model.App, error){
+		"fft2d":      FFT2D,
+		"cornerturn": CornerTurn,
+		"stap":       STAP,
+	}
+	for name, build := range builders {
+		for _, threads := range []int{1, 3, 8} {
+			app, err := build(256, threads)
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", name, threads, err)
+			}
+			if err := app.Validate(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := funclib.ValidateApp(app); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(app.Sources()) != 1 || len(app.Sinks()) != 1 {
+				t.Fatalf("%s: sources/sinks = %d/%d", name, len(app.Sources()), len(app.Sinks()))
+			}
+		}
+	}
+}
+
+func TestAppNamesEncodeSize(t *testing.T) {
+	app, err := FFT2D(1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "fft2d_1024" {
+		t.Fatalf("name = %q", app.Name)
+	}
+	ct, _ := CornerTurn(512, 4)
+	if ct.Name != "cornerturn_512" {
+		t.Fatalf("name = %q", ct.Name)
+	}
+}
+
+func TestCornerTurnHasRedistributionArc(t *testing.T) {
+	app, err := CornerTurn(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ingest -> turn arc must change striping (rows -> cols): that arc
+	// IS the distributed corner turn.
+	found := false
+	for _, arc := range app.Arcs {
+		if arc.From.Fn.Name == "ingest" && arc.To.Fn.Name == "turn" {
+			if arc.From.Striping != model.ByRows || arc.To.Striping != model.ByCols {
+				t.Fatalf("redistribution arc striping %s -> %s", arc.From.Striping, arc.To.Striping)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("redistribution arc missing")
+	}
+}
+
+func TestBuilderSizeValidation(t *testing.T) {
+	cases := []struct {
+		n, threads int
+	}{
+		{63, 4},  // not a power of two
+		{0, 1},   // too small
+		{64, 0},  // no threads
+		{64, 65}, // more threads than rows
+	}
+	for _, c := range cases {
+		if _, err := FFT2D(c.n, c.threads); err == nil {
+			t.Errorf("FFT2D(%d, %d) accepted", c.n, c.threads)
+		}
+		if _, err := CornerTurn(c.n, c.threads); err == nil {
+			t.Errorf("CornerTurn(%d, %d) accepted", c.n, c.threads)
+		}
+		if _, err := STAP(c.n, c.threads); err == nil {
+			t.Errorf("STAP(%d, %d) accepted", c.n, c.threads)
+		}
+	}
+}
+
+func TestSTAPStageOrder(t *testing.T) {
+	app, err := STAP(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := app.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range order {
+		names = append(names, f.Name)
+	}
+	want := "source window doppler beam detect sink"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestModelsSerialise(t *testing.T) {
+	// Every builder's output must round-trip through the Designer text
+	// format (they are the shelf models shipped with the tools).
+	for _, build := range []func(n, threads int) (*model.App, error){FFT2D, CornerTurn, STAP} {
+		app, err := build(128, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := app.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := model.ReadText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if err := funclib.ValidateApp(back); err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Functions) != len(app.Functions) || len(back.Arcs) != len(app.Arcs) {
+			t.Fatalf("%s: round trip lost structure", app.Name)
+		}
+	}
+}

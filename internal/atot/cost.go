@@ -1,0 +1,415 @@
+// Package atot reproduces the SAGE Architecture Trades and Optimization
+// Tool's mapping capability (§1.1): "the genetic algorithm based
+// partitioning and mapping capability of AToT assigns the application tasks
+// to the multi-processor, heterogeneous architecture. AToT can be employed
+// for total design optimization, which includes load balancing of CPU
+// resources, optimizing over latency constraints, communication minimization
+// and scheduling of CPUs and busses."
+//
+// The package provides an analytic cost model over (application, mapping,
+// platform) triples — per-node load, communication volume priced by the
+// fabric, and a critical-path latency estimate via list scheduling — plus a
+// seeded, deterministic genetic algorithm that searches thread-to-node
+// assignments against that model, and greedy/round-robin baselines for
+// comparison.
+package atot
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/funclib"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// task identifies one thread of one function.
+type task struct {
+	fn     *model.Function
+	thread int
+}
+
+// flow is one precomputed data movement between threads (mapping
+// independent: derived purely from port striping).
+type flow struct {
+	srcFn, srcThread int // function IDs and thread indices
+	dstFn, dstThread int
+	bytes            int
+}
+
+// Evaluator prices mappings of one application on one platform. Build it
+// once; Evaluate is called per GA candidate.
+type Evaluator struct {
+	App      *model.App
+	Platform machine.Platform
+	NumNodes int
+
+	tasks []task
+	// taskTime[fnID][thread] is the per-iteration busy time of a thread on
+	// a baseline-speed node.
+	taskTime map[int][]sim.Duration
+	flows    []flow
+	order    []*model.Function
+	// speeds are per-node CPU multipliers (heterogeneous targets); nil
+	// means homogeneous.
+	speeds []float64
+}
+
+// SetNodeSpeeds installs per-node CPU speed multipliers matching the ones
+// the simulated machine will run with (sagert.Options.NodeSpeeds), so the
+// mapper optimises for the actual heterogeneous hardware.
+func (e *Evaluator) SetNodeSpeeds(speeds []float64) {
+	e.speeds = speeds
+}
+
+// nodeTime scales a baseline task time by the target node's speed.
+func (e *Evaluator) nodeTime(d sim.Duration, node int) sim.Duration {
+	if node < len(e.speeds) && e.speeds[node] > 0 {
+		return sim.Duration(float64(d) / e.speeds[node])
+	}
+	return d
+}
+
+// NewEvaluator prepares the mapping-independent parts of the cost model.
+func NewEvaluator(app *model.App, pl machine.Platform, numNodes int) (*Evaluator, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := funclib.ValidateApp(app); err != nil {
+		return nil, err
+	}
+	order, err := app.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		App: app, Platform: pl, NumNodes: numNodes,
+		taskTime: map[int][]sim.Duration{},
+		order:    order,
+	}
+	for _, f := range app.Functions {
+		times := make([]sim.Duration, f.Threads)
+		for th := 0; th < f.Threads; th++ {
+			d, err := e.threadTime(f, th)
+			if err != nil {
+				return nil, err
+			}
+			times[th] = d
+			e.tasks = append(e.tasks, task{fn: f, thread: th})
+		}
+		e.taskTime[f.ID] = times
+	}
+	if err := e.buildFlows(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// threadTime estimates one thread's per-iteration compute time from the
+// function library cost model.
+func (e *Evaluator) threadTime(f *model.Function, th int) (sim.Duration, error) {
+	impl, err := funclib.Lookup(f.Kind)
+	if err != nil {
+		return 0, err
+	}
+	blocks := func(ports []*model.Port) (map[string]*funclib.Block, error) {
+		out := map[string]*funclib.Block{}
+		for _, p := range ports {
+			reg, err := p.Partition(th)
+			if err != nil {
+				return nil, err
+			}
+			out[p.Name] = &funclib.Block{Region: reg}
+		}
+		return out, nil
+	}
+	ins, err := blocks(f.Inputs)
+	if err != nil {
+		return 0, err
+	}
+	outs, err := blocks(f.Outputs)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &funclib.Context{FuncName: f.Name, Params: f.Params, Thread: th, Threads: f.Threads}
+	c := impl.Cost(ctx, ins, outs)
+	return e.Platform.FlopTime(c.Flops) + e.Platform.CopyTime(c.CopyBytes), nil
+}
+
+// buildFlows derives the data movements from the striping relationships on
+// each arc (the same computation the glue generator performs).
+func (e *Evaluator) buildFlows() error {
+	for _, arc := range e.App.Arcs {
+		sp, dp := arc.From, arc.To
+		sf, df := sp.Fn, dp.Fn
+		eb, err := sp.Type.Elem.WireBytes()
+		if err != nil {
+			return err
+		}
+		for j := 0; j < df.Threads; j++ {
+			dreg, err := dp.Partition(j)
+			if err != nil {
+				return err
+			}
+			if sp.Striping == model.Replicated {
+				e.flows = append(e.flows, flow{
+					srcFn: sf.ID, srcThread: j % sf.Threads,
+					dstFn: df.ID, dstThread: j,
+					bytes: dreg.Elems() * eb,
+				})
+				continue
+			}
+			for i := 0; i < sf.Threads; i++ {
+				sreg, err := sp.Partition(i)
+				if err != nil {
+					return err
+				}
+				x := sreg.Intersect(dreg)
+				if x.Empty() {
+					continue
+				}
+				e.flows = append(e.flows, flow{
+					srcFn: sf.ID, srcThread: i,
+					dstFn: df.ID, dstThread: j,
+					bytes: x.Elems() * eb,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// transferTime prices one flow under a node assignment.
+func (e *Evaluator) transferTime(f flow, srcNode, dstNode int) sim.Duration {
+	pl := &e.Platform
+	if srcNode == dstNode {
+		return pl.CopyTime(f.bytes)
+	}
+	var bw float64
+	var lat sim.Duration
+	if pl.SameBoard(srcNode, dstNode) {
+		bw, lat = pl.IntraBW, pl.IntraLatency
+	} else {
+		bw, lat = pl.InterBW, pl.InterLatency
+	}
+	ser := sim.Duration(float64(f.bytes) / bw * 1e9)
+	return pl.SendOverhead + pl.RecvOverhead + lat + ser
+}
+
+// Cost is the evaluated quality of a mapping (lower is better).
+type Cost struct {
+	// MaxNodeBusy is the busiest node's per-iteration time (load balance).
+	MaxNodeBusy sim.Duration
+	// Comm is the total communication time summed over flows.
+	Comm sim.Duration
+	// CriticalPath is the list-scheduled end-to-end latency estimate.
+	CriticalPath sim.Duration
+	// Total is the weighted objective.
+	Total float64
+}
+
+// Weights combines the objectives; zero-valued weights fall back to the
+// defaults (1, 1, 1).
+type Weights struct {
+	Load, Comm, Latency float64
+	// LatencyBound, when positive, adds a steep penalty for estimated
+	// critical paths beyond the bound ("optimizing over latency
+	// constraints").
+	LatencyBound sim.Duration
+}
+
+func (w Weights) withDefaults() Weights {
+	if w.Load == 0 && w.Comm == 0 && w.Latency == 0 {
+		w.Load, w.Comm, w.Latency = 1, 1, 1
+	}
+	return w
+}
+
+// genome is a flat thread->node assignment in e.tasks order.
+type genome []int
+
+// mappingFromGenome converts a genome to a model mapping.
+func (e *Evaluator) mappingFromGenome(g genome) *model.Mapping {
+	m := model.NewMapping()
+	i := 0
+	for _, f := range e.App.Functions {
+		nodes := make([]int, f.Threads)
+		for th := 0; th < f.Threads; th++ {
+			nodes[th] = g[i]
+			i++
+		}
+		m.Set(f.Name, nodes...)
+	}
+	return m
+}
+
+// genomeFromMapping flattens a mapping (which must be valid for the app).
+func (e *Evaluator) genomeFromMapping(m *model.Mapping) (genome, error) {
+	var g genome
+	for _, f := range e.App.Functions {
+		nodes, ok := m.Assign[f.Name]
+		if !ok || len(nodes) != f.Threads {
+			return nil, fmt.Errorf("atot: mapping incomplete for %q", f.Name)
+		}
+		g = append(g, nodes...)
+	}
+	return g, nil
+}
+
+// Evaluate prices a mapping.
+func (e *Evaluator) Evaluate(m *model.Mapping, w Weights) (Cost, error) {
+	g, err := e.genomeFromMapping(m)
+	if err != nil {
+		return Cost{}, err
+	}
+	return e.evalGenome(g, w.withDefaults()), nil
+}
+
+// nodeOf looks up a task's node in a genome.
+func (e *Evaluator) nodeIndex() map[[2]int]int {
+	idx := map[[2]int]int{}
+	for i, t := range e.tasks {
+		idx[[2]int{t.fn.ID, t.thread}] = i
+	}
+	return idx
+}
+
+func (e *Evaluator) evalGenome(g genome, w Weights) Cost {
+	idx := e.nodeIndex()
+	nodeBusy := make([]sim.Duration, e.NumNodes)
+	for i, t := range e.tasks {
+		nodeBusy[g[i]] += e.nodeTime(e.taskTime[t.fn.ID][t.thread], g[i])
+	}
+	var comm sim.Duration
+	for _, f := range e.flows {
+		src := g[idx[[2]int{f.srcFn, f.srcThread}]]
+		dst := g[idx[[2]int{f.dstFn, f.dstThread}]]
+		t := e.transferTime(f, src, dst)
+		comm += t
+		// Communication also occupies the endpoints.
+		nodeBusy[src] += e.Platform.SendOverhead
+		nodeBusy[dst] += e.Platform.RecvOverhead
+	}
+	var maxBusy sim.Duration
+	for _, b := range nodeBusy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	cp := e.criticalPath(g, idx)
+	c := Cost{MaxNodeBusy: maxBusy, Comm: comm, CriticalPath: cp}
+	c.Total = w.Load*float64(maxBusy) + w.Comm*float64(comm) + w.Latency*float64(cp)
+	if w.LatencyBound > 0 && cp > w.LatencyBound {
+		c.Total += 10 * float64(cp-w.LatencyBound)
+	}
+	return c
+}
+
+// criticalPath list-schedules one iteration: each thread starts when its
+// inputs have arrived AND its processor is free (threads sharing a node
+// serialise), and transfers start when the producing thread finishes.
+func (e *Evaluator) criticalPath(g genome, idx map[[2]int]int) sim.Duration {
+	// ready[fnID][thread] = earliest start; done[fnID][thread] = finish.
+	done := map[int][]sim.Duration{}
+	ready := map[int][]sim.Duration{}
+	for _, f := range e.App.Functions {
+		ready[f.ID] = make([]sim.Duration, f.Threads)
+		done[f.ID] = make([]sim.Duration, f.Threads)
+	}
+	// Group incoming flows by destination.
+	incoming := map[int][]flow{}
+	for _, fl := range e.flows {
+		incoming[fl.dstFn] = append(incoming[fl.dstFn], fl)
+	}
+	nodeFree := make([]sim.Duration, e.NumNodes)
+	var finish sim.Duration
+	for _, f := range e.order {
+		for _, fl := range incoming[f.ID] {
+			src := g[idx[[2]int{fl.srcFn, fl.srcThread}]]
+			dst := g[idx[[2]int{fl.dstFn, fl.dstThread}]]
+			arrive := done[fl.srcFn][fl.srcThread] + e.transferTime(fl, src, dst)
+			if arrive > ready[f.ID][fl.dstThread] {
+				ready[f.ID][fl.dstThread] = arrive
+			}
+		}
+		for th := 0; th < f.Threads; th++ {
+			node := g[idx[[2]int{f.ID, th}]]
+			start := ready[f.ID][th]
+			if nodeFree[node] > start {
+				start = nodeFree[node]
+			}
+			done[f.ID][th] = start + e.nodeTime(e.taskTime[f.ID][th], node)
+			nodeFree[node] = done[f.ID][th]
+			if done[f.ID][th] > finish {
+				finish = done[f.ID][th]
+			}
+		}
+	}
+	return finish
+}
+
+// ScheduledTask is one entry of the estimated execution schedule.
+type ScheduledTask struct {
+	Fn     string
+	Thread int
+	Node   int
+	Start  sim.Duration
+	End    sim.Duration
+}
+
+// EstimateSchedule list-schedules one iteration of the mapped application
+// and returns per-task start/end estimates sorted by start time ("scheduling
+// of CPUs and busses").
+func (e *Evaluator) EstimateSchedule(m *model.Mapping) ([]ScheduledTask, error) {
+	g, err := e.genomeFromMapping(m)
+	if err != nil {
+		return nil, err
+	}
+	idx := e.nodeIndex()
+	done := map[int][]sim.Duration{}
+	ready := map[int][]sim.Duration{}
+	for _, f := range e.App.Functions {
+		ready[f.ID] = make([]sim.Duration, f.Threads)
+		done[f.ID] = make([]sim.Duration, f.Threads)
+	}
+	incoming := map[int][]flow{}
+	for _, fl := range e.flows {
+		incoming[fl.dstFn] = append(incoming[fl.dstFn], fl)
+	}
+	nodeFree := make([]sim.Duration, e.NumNodes)
+	var out []ScheduledTask
+	for _, f := range e.order {
+		for _, fl := range incoming[f.ID] {
+			src := g[idx[[2]int{fl.srcFn, fl.srcThread}]]
+			dst := g[idx[[2]int{fl.dstFn, fl.dstThread}]]
+			arrive := done[fl.srcFn][fl.srcThread] + e.transferTime(fl, src, dst)
+			if arrive > ready[f.ID][fl.dstThread] {
+				ready[f.ID][fl.dstThread] = arrive
+			}
+		}
+		for th := 0; th < f.Threads; th++ {
+			node := g[idx[[2]int{f.ID, th}]]
+			start := ready[f.ID][th]
+			if nodeFree[node] > start {
+				start = nodeFree[node]
+			}
+			done[f.ID][th] = start + e.nodeTime(e.taskTime[f.ID][th], node)
+			nodeFree[node] = done[f.ID][th]
+			out = append(out, ScheduledTask{
+				Fn: f.Name, Thread: th, Node: node,
+				Start: start, End: done[f.ID][th],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	return out, nil
+}

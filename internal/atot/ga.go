@@ -1,0 +1,213 @@
+package atot
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// GAConfig tunes the genetic search. Zero values select defaults.
+type GAConfig struct {
+	Population  int     // default 64
+	Generations int     // default 150
+	Crossover   float64 // default 0.85
+	Mutation    float64 // per-gene, default 0.04
+	Elite       int     // default 2
+	Tournament  int     // default 3
+	Seed        int64   // default 1
+	Weights     Weights
+}
+
+func (c GAConfig) withDefaults() GAConfig {
+	if c.Population <= 0 {
+		c.Population = 64
+	}
+	if c.Generations <= 0 {
+		c.Generations = 150
+	}
+	if c.Crossover <= 0 {
+		c.Crossover = 0.85
+	}
+	if c.Mutation <= 0 {
+		c.Mutation = 0.04
+	}
+	if c.Elite <= 0 {
+		c.Elite = 2
+	}
+	if c.Tournament <= 0 {
+		c.Tournament = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Weights = c.Weights.withDefaults()
+	return c
+}
+
+// GAStats reports the search trajectory.
+type GAStats struct {
+	Generations int
+	// BestByGen[g] is the best objective value after generation g.
+	BestByGen []float64
+	// Evaluations is the number of cost evaluations performed.
+	Evaluations int
+	// Best is the winning mapping's cost breakdown.
+	Best Cost
+}
+
+// MapGA runs the genetic algorithm and returns the best mapping found
+// together with search statistics. The search is deterministic for a given
+// seed.
+func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
+	c := cfg.withDefaults()
+	if len(e.tasks) == 0 {
+		return nil, nil, fmt.Errorf("atot: application has no tasks")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	genomeLen := len(e.tasks)
+
+	newGenome := func() genome {
+		g := make(genome, genomeLen)
+		for i := range g {
+			g[i] = rng.Intn(e.NumNodes)
+		}
+		return g
+	}
+
+	type scored struct {
+		g    genome
+		cost Cost
+	}
+	stats := &GAStats{Generations: c.Generations}
+	score := func(g genome) Cost {
+		stats.Evaluations++
+		return e.evalGenome(g, c.Weights)
+	}
+
+	pop := make([]scored, c.Population)
+	// Seed the population with the two deterministic baselines plus random
+	// genomes, so the GA never does worse than the heuristics.
+	if g, err := e.genomeFromMapping(model.RoundRobin(e.App, e.NumNodes)); err == nil {
+		pop[0] = scored{g: g, cost: score(g)}
+	} else {
+		g := newGenome()
+		pop[0] = scored{g: g, cost: score(g)}
+	}
+	if m, err := model.SpreadParallel(e.App, e.NumNodes); err == nil {
+		if g, err := e.genomeFromMapping(m); err == nil {
+			pop[1] = scored{g: g, cost: score(g)}
+		}
+	}
+	if pop[1].g == nil {
+		g := newGenome()
+		pop[1] = scored{g: g, cost: score(g)}
+	}
+	for i := 2; i < c.Population; i++ {
+		g := newGenome()
+		pop[i] = scored{g: g, cost: score(g)}
+	}
+
+	best := func() scored {
+		b := pop[0]
+		for _, s := range pop[1:] {
+			if s.cost.Total < b.cost.Total {
+				b = s
+			}
+		}
+		return b
+	}
+	tournament := func() genome {
+		b := pop[rng.Intn(len(pop))]
+		for i := 1; i < c.Tournament; i++ {
+			s := pop[rng.Intn(len(pop))]
+			if s.cost.Total < b.cost.Total {
+				b = s
+			}
+		}
+		return b.g
+	}
+
+	for gen := 0; gen < c.Generations; gen++ {
+		next := make([]scored, 0, c.Population)
+		// Elitism: carry the best genomes unchanged.
+		elitePool := append([]scored(nil), pop...)
+		for i := 0; i < c.Elite && i < len(elitePool); i++ {
+			bi := i
+			for j := i + 1; j < len(elitePool); j++ {
+				if elitePool[j].cost.Total < elitePool[bi].cost.Total {
+					bi = j
+				}
+			}
+			elitePool[i], elitePool[bi] = elitePool[bi], elitePool[i]
+			next = append(next, elitePool[i])
+		}
+		for len(next) < c.Population {
+			a := tournament()
+			b := tournament()
+			child := make(genome, genomeLen)
+			if rng.Float64() < c.Crossover {
+				// Single-point crossover preserves contiguous function
+				// thread groups reasonably well.
+				cut := rng.Intn(genomeLen)
+				copy(child, a[:cut])
+				copy(child[cut:], b[cut:])
+			} else {
+				copy(child, a)
+			}
+			for i := range child {
+				if rng.Float64() < c.Mutation {
+					child[i] = rng.Intn(e.NumNodes)
+				}
+			}
+			next = append(next, scored{g: child, cost: score(child)})
+		}
+		pop = next
+		stats.BestByGen = append(stats.BestByGen, best().cost.Total)
+	}
+
+	winner := best()
+	stats.Best = winner.cost
+	return e.mappingFromGenome(winner.g), stats, nil
+}
+
+// MapGreedy is the deterministic list-scheduling baseline: tasks are placed
+// in topological order onto the node minimising (load + inbound transfer
+// cost), a classic HEFT-style heuristic.
+func MapGreedy(e *Evaluator) (*model.Mapping, error) {
+	idx := e.nodeIndex()
+	g := make(genome, len(e.tasks))
+	for i := range g {
+		g[i] = -1
+	}
+	nodeBusy := make([]sim.Duration, e.NumNodes)
+	incoming := map[int][]flow{}
+	for _, fl := range e.flows {
+		incoming[fl.dstFn] = append(incoming[fl.dstFn], fl)
+	}
+	for _, f := range e.order {
+		for th := 0; th < f.Threads; th++ {
+			ti := idx[[2]int{f.ID, th}]
+			bestNode, bestCost := 0, sim.Duration(1<<62)
+			for n := 0; n < e.NumNodes; n++ {
+				cost := nodeBusy[n] + e.nodeTime(e.taskTime[f.ID][th], n)
+				for _, fl := range incoming[f.ID] {
+					if fl.dstThread != th {
+						continue
+					}
+					src := g[idx[[2]int{fl.srcFn, fl.srcThread}]]
+					if src >= 0 {
+						cost += e.transferTime(fl, src, n)
+					}
+				}
+				if cost < bestCost {
+					bestNode, bestCost = n, cost
+				}
+			}
+			g[ti] = bestNode
+			nodeBusy[bestNode] += e.nodeTime(e.taskTime[f.ID][th], bestNode)
+		}
+	}
+	return e.mappingFromGenome(g), nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gluegen"
+	"repro/internal/model"
+	"repro/internal/platforms"
+	"repro/internal/sagert"
+)
+
+func buildProgram(t *testing.T) *Program {
+	t.Helper()
+	app, err := apps.CornerTurn(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := model.SpreadParallel(app, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(app, mapping, platforms.CSPI(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestBuildAndRun(t *testing.T) {
+	prog := buildProgram(t)
+	if prog.Tables() == nil || len(prog.Tables().Functions) != 4 {
+		t.Fatalf("tables = %+v", prog.Tables())
+	}
+	res, err := prog.Run(sagert.Options{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output == nil || res.Period <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// A program can run repeatedly, each time on a fresh machine, with
+	// identical virtual timing.
+	res2, err := prog.Run(sagert.Options{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != res2.Period {
+		t.Fatalf("re-run diverged: %v vs %v", res.Period, res2.Period)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	prog := buildProgram(t)
+	res, trace, err := prog.RunTraced(sagert.Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(trace.Events) == 0 {
+		t.Fatal("no trace collected")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	app, _ := apps.CornerTurn(64, 4)
+	mapping, _ := model.SpreadParallel(app, 4)
+	if _, err := Build(nil, mapping, platforms.CSPI(), 4); err == nil {
+		t.Fatal("nil app accepted")
+	}
+	if _, err := Build(app, nil, platforms.CSPI(), 4); err == nil {
+		t.Fatal("nil mapping accepted")
+	}
+	// Unknown kind caught by the library validation layer.
+	bad := model.NewApp("bad")
+	mt, _ := bad.AddType(&model.DataType{Name: "m", Rows: 8, Cols: 8, Elem: model.ElemComplex})
+	f := bad.AddFunction(&model.Function{Name: "f", Kind: "warp", Threads: 1})
+	f.AddOutput("out", mt, model.ByRows)
+	badMap := model.NewMapping()
+	badMap.Set("f", 0)
+	if _, err := Build(bad, badMap, platforms.CSPI(), 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildWithScript(t *testing.T) {
+	app, _ := apps.CornerTurn(32, 2)
+	mapping, _ := model.SpreadParallel(app, 2)
+	prog, err := BuildWithScript(app, mapping, platforms.CSPI(), 2, gluegen.StandardScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Artifacts.GlueSource, "SAGE auto-generated") {
+		t.Fatal("glue listing missing")
+	}
+	if _, err := BuildWithScript(app, mapping, platforms.CSPI(), 2, "(nope)"); err == nil {
+		t.Fatal("broken script accepted")
+	}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"repro/internal/gluegen"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// gluegenGenerate wraps gluegen.Generate for an explicit mapping and returns
+// the verified tables.
+func gluegenGenerate(app *model.App, m *model.Mapping, pl machine.Platform, nodes int) (*gluegen.Tables, error) {
+	out, err := gluegen.Generate(gluegen.Input{App: app, Mapping: m, Platform: pl, NumNodes: nodes})
+	if err != nil {
+		return nil, err
+	}
+	return out.Tables, nil
+}

@@ -1,0 +1,265 @@
+// Package gluegen is the SAGE glue-code generator of §2 and Figure 1.0: an
+// Alter script traverses a mapped application model, collects attributes
+// through the model-access standard calls, and emits source files for the
+// SAGE run-time. Two artifacts are produced: the runtime table source (a
+// machine-readable s-expression listing that is parsed back into
+// RuntimeTables, the exact structures — function table, logical buffer
+// table with striding information, execution order — that §2 says the
+// generator derives from the model), and a human-readable glue listing for
+// inspection.
+//
+// The generator is faithful to the paper's architecture: the Go code here
+// only provides the standard calls (model traversal, property access, the
+// striping/partition math) and the parser; the generation logic itself is
+// written in Alter (see script.go) and user-supplied Alter scripts can
+// replace it.
+package gluegen
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/funclib"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// Transfer is one striding entry of a logical buffer: the region of the data
+// set that must move from a source thread to a destination thread each
+// iteration.
+type Transfer struct {
+	SrcThread int
+	DstThread int
+	Region    model.Region
+	Bytes     int
+}
+
+// BufferEntry is a logical buffer (§2: "Located and shared between each port
+// on the sender and receiver functions is the SAGE notion of a logical
+// buffer ... It contains the striding information, total buffer size (before
+// striding), thread information (number and type), etc.").
+type BufferEntry struct {
+	ID        int
+	SrcFn     int // function ID
+	SrcPort   string
+	DstFn     int
+	DstPort   string
+	Rows      int
+	Cols      int
+	ElemBytes int
+	Transfers []Transfer
+}
+
+// TotalBytes is the buffer's full data-set size before striding.
+func (b *BufferEntry) TotalBytes() int { return b.Rows * b.Cols * b.ElemBytes }
+
+// PortEntry is a port of a function-table entry, with the logical buffers it
+// feeds (outputs) or reads (inputs, exactly one).
+type PortEntry struct {
+	Name      string
+	Rows      int
+	Cols      int
+	ElemBytes int
+	Striping  model.StripeKind
+	Buffers   []int
+}
+
+// FuncEntry is one row of the function table. The runtime "executes
+// functions based on this ID, which is the index of this descriptor into the
+// function table" (§2).
+type FuncEntry struct {
+	ID      int
+	Name    string
+	Kind    string
+	Threads int
+	Nodes   []int // thread -> processor node
+	Params  map[string]any
+	Ins     []PortEntry
+	Outs    []PortEntry
+	Probe   bool
+}
+
+// Tables is the complete generated runtime configuration.
+type Tables struct {
+	AppName   string
+	Platform  string
+	NumNodes  int
+	Functions []FuncEntry
+	Buffers   []BufferEntry
+	Order     []int // function IDs in execution (topological) order
+}
+
+// Function returns the entry with the given ID.
+func (t *Tables) Function(id int) (*FuncEntry, error) {
+	if id < 0 || id >= len(t.Functions) {
+		return nil, fmt.Errorf("gluegen: function ID %d out of range [0,%d)", id, len(t.Functions))
+	}
+	return &t.Functions[id], nil
+}
+
+// Verify checks the structural integrity of generated tables: IDs dense and
+// ordered, nodes in range, buffers wired to real ports, and — the heart of
+// the striping logic — that for every buffer each destination thread's
+// partition is exactly tiled by its incoming transfers (full coverage, no
+// overlap, no spill).
+func (t *Tables) Verify() error {
+	var errs []error
+	add := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if t.NumNodes < 1 {
+		add("gluegen: tables declare %d nodes", t.NumNodes)
+	}
+	if len(t.Functions) == 0 {
+		add("gluegen: tables contain no functions (generator emitted nothing?)")
+	}
+	for i, f := range t.Functions {
+		if f.ID != i {
+			add("gluegen: function %q has ID %d at index %d", f.Name, f.ID, i)
+		}
+		if f.Threads < 1 || len(f.Nodes) != f.Threads {
+			add("gluegen: function %q has %d threads and %d nodes", f.Name, f.Threads, len(f.Nodes))
+		}
+		for _, n := range f.Nodes {
+			if n < 0 || n >= t.NumNodes {
+				add("gluegen: function %q mapped to node %d of %d", f.Name, n, t.NumNodes)
+			}
+		}
+		if _, err := funclib.Lookup(f.Kind); err != nil {
+			add("gluegen: function %q: %v", f.Name, err)
+		}
+	}
+	if len(t.Order) != len(t.Functions) {
+		add("gluegen: order lists %d of %d functions", len(t.Order), len(t.Functions))
+	}
+	seen := map[int]bool{}
+	for _, id := range t.Order {
+		if id < 0 || id >= len(t.Functions) || seen[id] {
+			add("gluegen: bad or duplicate ID %d in order", id)
+			continue
+		}
+		seen[id] = true
+	}
+
+	for i, b := range t.Buffers {
+		if b.ID != i {
+			add("gluegen: buffer %d has ID %d", i, b.ID)
+			continue
+		}
+		src, err := t.Function(b.SrcFn)
+		if err != nil {
+			add("gluegen: buffer %d: %v", b.ID, err)
+			continue
+		}
+		dst, err := t.Function(b.DstFn)
+		if err != nil {
+			add("gluegen: buffer %d: %v", b.ID, err)
+			continue
+		}
+		srcPort := findPort(src.Outs, b.SrcPort)
+		dstPort := findPort(dst.Ins, b.DstPort)
+		if srcPort == nil {
+			add("gluegen: buffer %d: source port %s.%s missing", b.ID, src.Name, b.SrcPort)
+			continue
+		}
+		if dstPort == nil {
+			add("gluegen: buffer %d: destination port %s.%s missing", b.ID, dst.Name, b.DstPort)
+			continue
+		}
+		if !containsInt(srcPort.Buffers, b.ID) || !containsInt(dstPort.Buffers, b.ID) {
+			add("gluegen: buffer %d not referenced by both its ports", b.ID)
+		}
+		// Per-destination-thread coverage.
+		for j := 0; j < dst.Threads; j++ {
+			want, err := model.Partition(dstPort.Striping, b.Rows, b.Cols, dst.Threads, j)
+			if err != nil {
+				add("gluegen: buffer %d dst thread %d: %v", b.ID, j, err)
+				continue
+			}
+			covered := 0
+			var regions []model.Region
+			for _, x := range b.Transfers {
+				if x.DstThread != j {
+					continue
+				}
+				if x.SrcThread < 0 || x.SrcThread >= src.Threads {
+					add("gluegen: buffer %d: transfer from thread %d of %d", b.ID, x.SrcThread, src.Threads)
+				}
+				if x.Region.Intersect(want) != x.Region {
+					add("gluegen: buffer %d: transfer region %v spills outside dst partition %v", b.ID, x.Region, want)
+				}
+				if x.Bytes != x.Region.Elems()*b.ElemBytes {
+					add("gluegen: buffer %d: transfer bytes %d != region %v x %d", b.ID, x.Bytes, x.Region, b.ElemBytes)
+				}
+				covered += x.Region.Elems()
+				regions = append(regions, x.Region)
+			}
+			for a := range regions {
+				for c := a + 1; c < len(regions); c++ {
+					if !regions[a].Intersect(regions[c]).Empty() {
+						add("gluegen: buffer %d dst thread %d: overlapping transfers %v and %v", b.ID, j, regions[a], regions[c])
+					}
+				}
+			}
+			if covered != want.Elems() {
+				add("gluegen: buffer %d dst thread %d: transfers cover %d of %d elements", b.ID, j, covered, want.Elems())
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func findPort(ports []PortEntry, name string) *PortEntry {
+	for i := range ports {
+		if ports[i].Name == name {
+			return &ports[i]
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Input is everything the generator needs: a flattened, validated
+// application, a validated mapping, and the target platform.
+type Input struct {
+	App      *model.App
+	Mapping  *model.Mapping
+	Platform machine.Platform
+	NumNodes int
+}
+
+// validate checks the generator preconditions.
+func (in *Input) validate() error {
+	if in.App == nil || in.Mapping == nil {
+		return fmt.Errorf("gluegen: nil app or mapping")
+	}
+	if in.NumNodes < 1 {
+		return fmt.Errorf("gluegen: %d nodes", in.NumNodes)
+	}
+	if err := in.App.Validate(); err != nil {
+		return err
+	}
+	if err := funclib.ValidateApp(in.App); err != nil {
+		return err
+	}
+	return in.Mapping.Validate(in.App, in.NumNodes)
+}
+
+// Output bundles the generation artifacts.
+type Output struct {
+	// Tables is the parsed, verified runtime configuration.
+	Tables *Tables
+	// TableSource is the machine-readable s-expression source the Alter
+	// script emitted (Figure 1.0's "source files"; parsing it yields
+	// Tables).
+	TableSource string
+	// GlueSource is the human-readable glue listing.
+	GlueSource string
+}

@@ -1,0 +1,145 @@
+package handcoded
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/funclib"
+	"repro/internal/isspl"
+	"repro/internal/model"
+	"repro/internal/platforms"
+	"repro/internal/sim"
+)
+
+// sourceMatrix reconstructs the iteration-0 input the benchmarks generate.
+func sourceMatrix(n int, seed int64) *isspl.Matrix {
+	m := isspl.NewMatrix(n, n)
+	b := &funclib.Block{Region: model.Region{Rows: n, Cols: n}, Data: m.Data}
+	funclib.FillSource(b, seed, 0)
+	return m
+}
+
+func TestCornerTurnProducesTranspose(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4, 8} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			const n = 32
+			res, err := CornerTurn(Config{Platform: platforms.CSPI(), Nodes: nodes, N: n, Iterations: 1, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sourceMatrix(n, 3).Transposed()
+			if d := res.Output.MaxDiff(want); d != 0 {
+				t.Fatalf("corner turn output wrong by %g", d)
+			}
+		})
+	}
+}
+
+func TestFFT2DProducesTransform(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			const n = 32
+			res, err := FFT2D(Config{Platform: platforms.CSPI(), Nodes: nodes, N: n, Iterations: 1, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sourceMatrix(n, 5)
+			if err := isspl.FFT2D(want.Data, n); err != nil {
+				t.Fatal(err)
+			}
+			if d := res.Output.MaxDiff(want); d > 1e-6 {
+				t.Fatalf("fft2d output wrong by %g", d)
+			}
+		})
+	}
+}
+
+func TestLatencyPositiveAndDeterministic(t *testing.T) {
+	cfg := Config{Platform: platforms.CSPI(), Nodes: 4, N: 64, Iterations: 3, Seed: 1}
+	a, err := CornerTurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CornerTurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Latencies) != 3 {
+		t.Fatalf("latencies = %v", a.Latencies)
+	}
+	for i := range a.Latencies {
+		if a.Latencies[i] <= 0 {
+			t.Fatalf("iteration %d latency %v", i, a.Latencies[i])
+		}
+		if a.Latencies[i] != b.Latencies[i] {
+			t.Fatalf("nondeterministic latency: %v vs %v", a.Latencies, b.Latencies)
+		}
+	}
+	if a.Period <= 0 || a.AvgLatency() <= 0 {
+		t.Fatalf("period=%v avg=%v", a.Period, a.AvgLatency())
+	}
+}
+
+func TestChargeOnlyIterationsMatchComputeIterationTiming(t *testing.T) {
+	// Iterations after the first charge costs without computing; their
+	// virtual-time latency must equal the computed iteration's.
+	res, err := FFT2D(Config{Platform: platforms.CSPI(), Nodes: 4, N: 64, Iterations: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Latencies[0]
+	for i, l := range res.Latencies {
+		if l != first {
+			t.Fatalf("iteration %d latency %v != first %v", i, l, first)
+		}
+	}
+}
+
+func TestMoreNodesFasterFFT(t *testing.T) {
+	// The 2D FFT is compute-bound at this size: 8 nodes must beat 2.
+	lat := func(nodes int) sim.Duration {
+		res, err := FFT2D(Config{Platform: platforms.CSPI(), Nodes: nodes, N: 256, Iterations: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLatency()
+	}
+	if l8, l2 := lat(8), lat(2); l8 >= l2 {
+		t.Fatalf("8 nodes (%v) not faster than 2 (%v)", l8, l2)
+	}
+}
+
+func TestVendorPlatformsRankByFabric(t *testing.T) {
+	// The corner turn is communication-bound: Mercury's crossbar should
+	// beat SIGI's narrow shared bus.
+	lat := func(pl string) sim.Duration {
+		p, err := platforms.ByName(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CornerTurn(Config{Platform: p, Nodes: 8, N: 256, Iterations: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLatency()
+	}
+	if lm, ls := lat("Mercury"), lat("SIGI"); lm >= ls {
+		t.Fatalf("Mercury (%v) not faster than SIGI (%v)", lm, ls)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Platform: platforms.CSPI(), Nodes: 0, N: 64, Iterations: 1},
+		{Platform: platforms.CSPI(), Nodes: 4, N: 63, Iterations: 1},
+		{Platform: platforms.CSPI(), Nodes: 4, N: 64, Iterations: 0},
+		{Platform: platforms.CSPI(), Nodes: 128, N: 64, Iterations: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := CornerTurn(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

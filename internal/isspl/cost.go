@@ -1,0 +1,41 @@
+package isspl
+
+import "math"
+
+// Operation-count models for the library kernels. The simulated machine
+// multiplies these by its sustained per-flop time to price computation in
+// virtual time; the constants are the standard textbook counts, so relative
+// costs across kernels and sizes are faithful even though no host cycles are
+// measured.
+
+// FFTFlops returns the floating-point operation count of a length-n complex
+// FFT (the conventional 5 n log2 n for a radix-2 implementation).
+func FFTFlops(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// FFTRowsFlops prices rows independent FFTs of length cols.
+func FFTRowsFlops(rows, cols int) float64 { return float64(rows) * FFTFlops(cols) }
+
+// FFT2DFlops prices a full n x n 2D FFT (2n row FFTs plus two transposes,
+// the transposes priced separately as copies).
+func FFT2DFlops(n int) float64 { return 2 * float64(n) * FFTFlops(n) }
+
+// TransposeBytes returns the bytes moved by transposing an r x c complex
+// matrix at the given element wire size (each element read and written).
+func TransposeBytes(r, c, elemBytes int) int { return 2 * r * c * elemBytes }
+
+// VectorOpFlops prices an elementwise complex multiply-class op over n
+// elements (6 flops per complex multiply).
+func VectorOpFlops(n int) float64 { return 6 * float64(n) }
+
+// FIRFlops prices an n-sample FIR with t taps (one complex multiply-add —
+// 8 flops with real taps counted as 2 madds — per tap per sample; we use the
+// conventional 2*t real MACs on complex data = 4t flops).
+func FIRFlops(n, taps int) float64 { return 4 * float64(n) * float64(taps) }
+
+// WindowFlops prices applying an n-point real window to complex data.
+func WindowFlops(n int) float64 { return 2 * float64(n) }

@@ -1,0 +1,302 @@
+// Package isspl is the reproduction's signal-processing function library,
+// standing in for the CSPI ISSPL library the paper's benchmarks link against
+// (§3.2: "CSPI also provided all software including ... the CSPI ISSPL
+// functional libraries").
+//
+// It provides the kernels the two benchmark applications are built from —
+// complex 1D/2D FFTs and the corner turn (distributed matrix transpose) —
+// plus the usual supporting vector, window and FIR routines found in such
+// libraries. Every routine has an accompanying operation-count function
+// (cost.go) so the simulated machine can price it in virtual time, and each
+// is verified against a naive reference implementation in the tests.
+package isspl
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// twiddle tables are cached per size; the library is used single-threaded
+// per simulated node, and Go benchmarks call it from one goroutine, so a
+// plain map suffices. (The cache is an implementation detail; Clear with
+// ResetTwiddleCache in memory-sensitive tests.)
+var twiddleCache = map[int][]complex128{}
+
+// twiddles returns the first n/2 forward twiddle factors e^{-2πik/n}.
+func twiddles(n int) []complex128 {
+	if w, ok := twiddleCache[n]; ok {
+		return w
+	}
+	w := make([]complex128, n/2)
+	for k := range w {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		w[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	twiddleCache[n] = w
+	return w
+}
+
+// ResetTwiddleCache drops all cached twiddle tables.
+func ResetTwiddleCache() { twiddleCache = map[int][]complex128{} }
+
+// FFT computes the in-place forward discrete Fourier transform of x using an
+// iterative radix-2 decimation-in-time algorithm. len(x) must be a power of
+// two.
+func FFT(x []complex128) error {
+	return fftInternal(x, false)
+}
+
+// IFFT computes the in-place inverse DFT of x, including the 1/n scaling.
+// len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := fftInternal(x, true); err != nil {
+		return err
+	}
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+	return nil
+}
+
+func fftInternal(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if !IsPow2(n) {
+		return fmt.Errorf("isspl: FFT length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	bitReverse(x)
+	w := twiddles(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tw := w[k*step]
+				if inverse {
+					tw = complex(real(tw), -imag(tw))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * tw
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// bitReverse permutes x into bit-reversed index order.
+func bitReverse(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range x {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// FFTStrided computes the in-place forward DFT of the n logical elements
+// data[offset], data[offset+stride], ..., data[offset+(n-1)*stride]. It lets
+// column transforms run directly on row-major storage without gather/scatter
+// buffers. n must be a power of two and stride >= 1.
+func FFTStrided(data []complex128, n, offset, stride int) error {
+	return fftStridedInternal(data, n, offset, stride, false)
+}
+
+// IFFTStrided is the inverse of FFTStrided, including the 1/n scaling.
+func IFFTStrided(data []complex128, n, offset, stride int) error {
+	if err := fftStridedInternal(data, n, offset, stride, true); err != nil {
+		return err
+	}
+	scale := complex(1/float64(n), 0)
+	for i := 0; i < n; i++ {
+		data[offset+i*stride] *= scale
+	}
+	return nil
+}
+
+func fftStridedInternal(data []complex128, n, offset, stride int, inverse bool) error {
+	if n == 0 {
+		return nil
+	}
+	if !IsPow2(n) {
+		return fmt.Errorf("isspl: strided FFT length %d is not a power of two", n)
+	}
+	if stride < 1 || offset < 0 {
+		return fmt.Errorf("isspl: strided FFT offset %d stride %d", offset, stride)
+	}
+	if last := offset + (n-1)*stride; last >= len(data) {
+		return fmt.Errorf("isspl: strided FFT overruns buffer: last index %d, length %d", last, len(data))
+	}
+	if n == 1 {
+		return nil
+	}
+	idx := func(i int) int { return offset + i*stride }
+	// Bit-reversal permutation over logical indices.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			data[idx(i)], data[idx(j)] = data[idx(j)], data[idx(i)]
+		}
+	}
+	w := twiddles(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tw := w[k*step]
+				if inverse {
+					tw = complex(real(tw), -imag(tw))
+				}
+				a := data[idx(start+k)]
+				b := data[idx(start+k+half)] * tw
+				data[idx(start+k)] = a + b
+				data[idx(start+k+half)] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// DFT computes the forward transform by direct O(n^2) evaluation. It exists
+// as the verification reference for FFT and for non-power-of-two lengths.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// RFFT computes the DFT of a real sequence of even power-of-two length n
+// using one complex FFT of length n/2 (the standard packing trick). The
+// result has n/2+1 unique bins (DC .. Nyquist).
+func RFFT(x []float64) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	if !IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("isspl: RFFT length %d is not a power of two >= 2", n)
+	}
+	h := n / 2
+	// Pack even samples into real parts, odd into imaginary parts.
+	z := make([]complex128, h)
+	for i := 0; i < h; i++ {
+		z[i] = complex(x[2*i], x[2*i+1])
+	}
+	if err := FFT(z); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, h+1)
+	for k := 0; k <= h; k++ {
+		var zk, zmk complex128
+		if k == h {
+			zk, zmk = z[0], z[0]
+		} else if k == 0 {
+			zk, zmk = z[0], z[0]
+		} else {
+			zk, zmk = z[k], z[h-k]
+		}
+		even := (zk + conj(zmk)) / 2
+		odd := (zk - conj(zmk)) / (2i)
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		out[k] = even + complex(math.Cos(ang), math.Sin(ang))*odd
+	}
+	return out, nil
+}
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// FFTRows transforms every row of an r x c row-major matrix in place.
+// c must be a power of two.
+func FFTRows(data []complex128, rows, cols int) error {
+	if len(data) != rows*cols {
+		return fmt.Errorf("isspl: FFTRows data length %d != %d x %d", len(data), rows, cols)
+	}
+	for r := 0; r < rows; r++ {
+		if err := FFT(data[r*cols : (r+1)*cols]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FFT2D computes the forward 2D transform of an n x n row-major matrix in
+// place: FFT of every row, transpose, FFT of every (former) column, and
+// transpose back so the output is in natural orientation.
+func FFT2D(data []complex128, n int) error {
+	if len(data) != n*n {
+		return fmt.Errorf("isspl: FFT2D data length %d != %d^2", len(data), n)
+	}
+	if err := FFTRows(data, n, n); err != nil {
+		return err
+	}
+	TransposeSquare(data, n)
+	if err := FFTRows(data, n, n); err != nil {
+		return err
+	}
+	TransposeSquare(data, n)
+	return nil
+}
+
+// IFFT2D inverts FFT2D.
+func IFFT2D(data []complex128, n int) error {
+	if len(data) != n*n {
+		return fmt.Errorf("isspl: IFFT2D data length %d != %d^2", len(data), n)
+	}
+	for r := 0; r < n; r++ {
+		if err := IFFT(data[r*n : (r+1)*n]); err != nil {
+			return err
+		}
+	}
+	TransposeSquare(data, n)
+	for r := 0; r < n; r++ {
+		if err := IFFT(data[r*n : (r+1)*n]); err != nil {
+			return err
+		}
+	}
+	TransposeSquare(data, n)
+	return nil
+}
+
+// DFT2D is the O(n^4)-ish reference for FFT2D built from row/column DFTs.
+func DFT2D(data []complex128, n int) []complex128 {
+	out := make([]complex128, n*n)
+	// Rows.
+	for r := 0; r < n; r++ {
+		copy(out[r*n:(r+1)*n], DFT(data[r*n:(r+1)*n]))
+	}
+	// Columns.
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = out[r*n+c]
+		}
+		fc := DFT(col)
+		for r := 0; r < n; r++ {
+			out[r*n+c] = fc[r]
+		}
+	}
+	return out
+}

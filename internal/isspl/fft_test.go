@@ -1,0 +1,338 @@
+package isspl
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	return x
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			x := randComplex(n, int64(n))
+			want := DFT(x)
+			if err := FFT(x); err != nil {
+				t.Fatal(err)
+			}
+			if d := MaxDiff(x, want); d > 1e-8*float64(n) {
+				t.Fatalf("FFT deviates from DFT by %g", d)
+			}
+		})
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 100} {
+		if err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("FFT accepted length %d", n)
+		}
+	}
+}
+
+func TestFFTEmptyAndOne(t *testing.T) {
+	if err := FFT(nil); err != nil {
+		t.Fatalf("FFT(nil): %v", err)
+	}
+	x := []complex128{3 + 4i}
+	if err := FFT(x); err != nil || x[0] != 3+4i {
+		t.Fatalf("FFT length-1 changed data or errored: %v %v", x, err)
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	for _, n := range []int{2, 16, 128, 1024} {
+		x := randComplex(n, 7)
+		orig := append([]complex128(nil), x...)
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxDiff(x, orig); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: roundtrip error %g", n, d)
+		}
+	}
+}
+
+func TestFFTImpulseIsFlat(t *testing.T) {
+	x := make([]complex128, 64)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleToneBin(t *testing.T) {
+	const n, bin = 128, 5
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * bin * float64(i) / n
+		x[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := complex128(0)
+		if i == bin {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// Property: FFT(a*x + b*y) == a*FFT(x) + b*FFT(y).
+	check := func(seed int64, ar, ai, br, bi float64) bool {
+		const n = 64
+		a := complex(math.Mod(ar, 4), math.Mod(ai, 4))
+		b := complex(math.Mod(br, 4), math.Mod(bi, 4))
+		x := randComplex(n, seed)
+		y := randComplex(n, seed+1)
+		lhs := make([]complex128, n)
+		for i := range lhs {
+			lhs[i] = a*x[i] + b*y[i]
+		}
+		if FFT(lhs) != nil || FFT(x) != nil || FFT(y) != nil {
+			return false
+		}
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*x[i]+b*y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Property: energy is preserved up to the 1/n convention:
+	// sum|X|^2 == n * sum|x|^2.
+	check := func(seed int64) bool {
+		const n = 256
+		x := randComplex(n, seed)
+		timeEnergy := Energy(x)
+		if FFT(x) != nil {
+			return false
+		}
+		freqEnergy := Energy(x)
+		return math.Abs(freqEnergy-float64(n)*timeEnergy) < 1e-6*freqEnergy
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRFFTMatchesComplexFFT(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 128, 512} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		xr := make([]float64, n)
+		xc := make([]complex128, n)
+		for i := range xr {
+			xr[i] = 2*rng.Float64() - 1
+			xc[i] = complex(xr[i], 0)
+		}
+		got, err := RFFT(xr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := FFT(xc); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n/2+1 {
+			t.Fatalf("n=%d: RFFT returned %d bins, want %d", n, len(got), n/2+1)
+		}
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(got[k]-xc[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: RFFT=%v FFT=%v", n, k, got[k], xc[k])
+			}
+		}
+	}
+}
+
+func TestRFFTRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{1, 3, 6} {
+		if _, err := RFFT(make([]float64, n)); err == nil {
+			t.Errorf("RFFT accepted length %d", n)
+		}
+	}
+	if out, err := RFFT(nil); err != nil || out != nil {
+		t.Errorf("RFFT(nil) = %v, %v", out, err)
+	}
+}
+
+func TestFFTStridedMatchesFFT(t *testing.T) {
+	const n, stride, offset = 64, 3, 2
+	data := randComplex(offset+n*stride, 21)
+	// Extract the strided view, FFT it densely as the reference.
+	want := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		want[i] = data[offset+i*stride]
+	}
+	if err := FFT(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFTStrided(data, n, offset, stride); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(data[offset+i*stride]-want[i]) > 1e-9 {
+			t.Fatalf("strided FFT differs at %d", i)
+		}
+	}
+}
+
+func TestFFTStridedColumnsEqualGatherScatter(t *testing.T) {
+	// Transforming every column of a matrix via FFTStrided must equal the
+	// gather/FFT/scatter approach.
+	const rows, cols = 32, 8
+	a := randComplex(rows*cols, 22)
+	b := append([]complex128(nil), a...)
+	tmp := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			tmp[r] = a[r*cols+c]
+		}
+		if err := FFT(tmp); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rows; r++ {
+			a[r*cols+c] = tmp[r]
+		}
+		if err := FFTStrided(b, rows, c, cols); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := MaxDiff(a, b); d > 1e-12 {
+		t.Fatalf("columns differ by %g", d)
+	}
+}
+
+func TestIFFTStridedInverts(t *testing.T) {
+	const n, stride = 32, 5
+	data := randComplex(n*stride, 23)
+	orig := append([]complex128(nil), data...)
+	if err := FFTStrided(data, n, 0, stride); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFTStrided(data, n, 0, stride); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(data, orig); d > 1e-10 {
+		t.Fatalf("roundtrip error %g", d)
+	}
+}
+
+func TestFFTStridedErrors(t *testing.T) {
+	data := make([]complex128, 16)
+	if err := FFTStrided(data, 12, 0, 1); err == nil {
+		t.Error("non-pow2 accepted")
+	}
+	if err := FFTStrided(data, 8, 0, 3); err == nil {
+		t.Error("overrun accepted")
+	}
+	if err := FFTStrided(data, 8, -1, 1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := FFTStrided(data, 8, 0, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if err := FFTStrided(data, 0, 0, 1); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := FFTStrided(data, 1, 3, 2); err != nil {
+		t.Errorf("n=1: %v", err)
+	}
+}
+
+func TestFFT2DMatchesDFT2D(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		m := TestMatrix(n, int64(n))
+		want := DFT2D(m.Data, n)
+		if err := FFT2D(m.Data, n); err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxDiff(m.Data, want); d > 1e-8*float64(n*n) {
+			t.Fatalf("n=%d: FFT2D deviates by %g", n, d)
+		}
+	}
+}
+
+func TestIFFT2DInverts(t *testing.T) {
+	const n = 32
+	m := TestMatrix(n, 3)
+	orig := m.Clone()
+	if err := FFT2D(m.Data, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT2D(m.Data, n); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.MaxDiff(orig); d > 1e-9 {
+		t.Fatalf("roundtrip error %g", d)
+	}
+}
+
+func TestFFT2DShapeErrors(t *testing.T) {
+	if err := FFT2D(make([]complex128, 10), 4); err == nil {
+		t.Fatal("FFT2D accepted wrong length")
+	}
+	if err := IFFT2D(make([]complex128, 10), 4); err == nil {
+		t.Fatal("IFFT2D accepted wrong length")
+	}
+	if err := FFTRows(make([]complex128, 10), 2, 4); err == nil {
+		t.Fatal("FFTRows accepted wrong length")
+	}
+}
+
+func TestResetTwiddleCache(t *testing.T) {
+	_ = twiddles(64)
+	if len(twiddleCache) == 0 {
+		t.Fatal("cache empty after use")
+	}
+	ResetTwiddleCache()
+	if len(twiddleCache) != 0 {
+		t.Fatal("cache not cleared")
+	}
+	// Still correct after reset.
+	x := randComplex(64, 1)
+	want := DFT(x)
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(x, want) > 1e-8 {
+		t.Fatal("FFT wrong after cache reset")
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for n, want := range map[int]bool{0: false, 1: true, 2: true, 3: false, 4: true, 1024: true, 1023: false, -4: false} {
+		if IsPow2(n) != want {
+			t.Errorf("IsPow2(%d) = %v", n, !want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package isspl
+
+import "fmt"
+
+// FIR applies a finite-impulse-response filter with the given real taps to a
+// complex input, producing len(x) outputs with zero-padded history:
+// y[n] = sum_k taps[k] * x[n-k].
+func FIR(dst, x []complex128, taps []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("isspl: FIR length mismatch dst=%d x=%d", len(dst), len(x)))
+	}
+	for n := range x {
+		var acc complex128
+		for k, t := range taps {
+			if n-k < 0 {
+				break
+			}
+			acc += complex(t, 0) * x[n-k]
+		}
+		dst[n] = acc
+	}
+}
+
+// FIRDecimate filters and keeps every factor-th output sample, the classic
+// front-end decimation stage of a radar/sonar chain. It returns the number
+// of outputs written (ceil(len(x)/factor)).
+func FIRDecimate(dst, x []complex128, taps []float64, factor int) int {
+	if factor < 1 {
+		panic(fmt.Sprintf("isspl: FIRDecimate factor %d < 1", factor))
+	}
+	out := 0
+	for n := 0; n < len(x); n += factor {
+		var acc complex128
+		for k, t := range taps {
+			if n-k < 0 {
+				break
+			}
+			acc += complex(t, 0) * x[n-k]
+		}
+		dst[out] = acc
+		out++
+	}
+	return out
+}
+
+// Convolve computes the full linear convolution of a and b (length
+// len(a)+len(b)-1) by direct evaluation; it is the reference for FIR and is
+// also used by tests.
+func Convolve(a []complex128, b []float64) []complex128 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]complex128, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * complex(bv, 0)
+		}
+	}
+	return out
+}

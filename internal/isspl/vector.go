@@ -1,0 +1,145 @@
+package isspl
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Vector primitives in the style of an embedded signal-processing library:
+// destination-first, length-checked, allocation-free.
+
+func checkLen3(op string, dst, a, b int) {
+	if dst != a || dst != b {
+		panic(fmt.Sprintf("isspl: %s length mismatch dst=%d a=%d b=%d", op, dst, a, b))
+	}
+}
+
+func checkLen2(op string, dst, a int) {
+	if dst != a {
+		panic(fmt.Sprintf("isspl: %s length mismatch dst=%d src=%d", op, dst, a))
+	}
+}
+
+// VAdd computes dst = a + b elementwise.
+func VAdd(dst, a, b []complex128) {
+	checkLen3("VAdd", len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// VSub computes dst = a - b elementwise.
+func VSub(dst, a, b []complex128) {
+	checkLen3("VSub", len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// VMul computes dst = a * b elementwise.
+func VMul(dst, a, b []complex128) {
+	checkLen3("VMul", len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// VConjMul computes dst = a * conj(b) elementwise (correlation kernels).
+func VConjMul(dst, a, b []complex128) {
+	checkLen3("VConjMul", len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] * conj(b[i])
+	}
+}
+
+// VScale computes dst = s * a.
+func VScale(dst, a []complex128, s complex128) {
+	checkLen2("VScale", len(dst), len(a))
+	for i := range dst {
+		dst[i] = s * a[i]
+	}
+}
+
+// VApplyWindow computes dst = a * w for a real window w.
+func VApplyWindow(dst, a []complex128, w []float64) {
+	checkLen3("VApplyWindow", len(dst), len(a), len(w))
+	for i := range dst {
+		dst[i] = a[i] * complex(w[i], 0)
+	}
+}
+
+// Dot returns the inner product sum(a[i] * conj(b[i])).
+func Dot(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("isspl: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum complex128
+	for i := range a {
+		sum += a[i] * conj(b[i])
+	}
+	return sum
+}
+
+// MagSq writes |a[i]|^2 into dst.
+func MagSq(dst []float64, a []complex128) {
+	checkLen2("MagSq", len(dst), len(a))
+	for i := range a {
+		re, im := real(a[i]), imag(a[i])
+		dst[i] = re*re + im*im
+	}
+}
+
+// PowerDB writes 10*log10(|a[i]|^2) into dst, flooring at floorDB to avoid
+// -Inf on exact zeros.
+func PowerDB(dst []float64, a []complex128, floorDB float64) {
+	checkLen2("PowerDB", len(dst), len(a))
+	for i := range a {
+		p := real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+		if p <= 0 {
+			dst[i] = floorDB
+			continue
+		}
+		db := 10 * math.Log10(p)
+		if db < floorDB {
+			db = floorDB
+		}
+		dst[i] = db
+	}
+}
+
+// Energy returns sum(|a[i]|^2).
+func Energy(a []complex128) float64 {
+	var e float64
+	for i := range a {
+		re, im := real(a[i]), imag(a[i])
+		e += re*re + im*im
+	}
+	return e
+}
+
+// MaxAbs returns the largest magnitude in a and its index (-1 for empty a).
+func MaxAbs(a []complex128) (float64, int) {
+	best, idx := 0.0, -1
+	for i := range a {
+		if m := cmplx.Abs(a[i]); m > best || idx == -1 {
+			best, idx = m, i
+		}
+	}
+	return best, idx
+}
+
+// MaxDiff returns the largest elementwise magnitude difference |a[i]-b[i]|,
+// used throughout the tests to compare against references.
+func MaxDiff(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("isspl: MaxDiff length mismatch %d vs %d", len(a), len(b)))
+	}
+	var worst float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,210 @@
+package isspl
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	a := []complex128{1 + 1i, 2, 3i}
+	b := []complex128{2, 1 - 1i, 1 + 1i}
+	dst := make([]complex128, 3)
+
+	VAdd(dst, a, b)
+	if dst[0] != 3+1i || dst[1] != 3-1i {
+		t.Fatalf("VAdd = %v", dst)
+	}
+	VSub(dst, a, b)
+	if dst[0] != -1+1i {
+		t.Fatalf("VSub = %v", dst)
+	}
+	VMul(dst, a, b)
+	if dst[0] != 2+2i || dst[2] != -3+3i {
+		t.Fatalf("VMul = %v", dst)
+	}
+	VConjMul(dst, a, b)
+	if dst[1] != 2*(1+1i) {
+		t.Fatalf("VConjMul = %v", dst)
+	}
+	VScale(dst, a, 2i)
+	if dst[0] != -2+2i {
+		t.Fatalf("VScale = %v", dst)
+	}
+	VApplyWindow(dst, a, []float64{0.5, 1, 2})
+	if dst[0] != 0.5+0.5i || dst[2] != 6i {
+		t.Fatalf("VApplyWindow = %v", dst)
+	}
+}
+
+func TestVectorLengthMismatchPanics(t *testing.T) {
+	funcs := map[string]func(){
+		"VAdd":  func() { VAdd(make([]complex128, 2), make([]complex128, 3), make([]complex128, 2)) },
+		"VMul":  func() { VMul(make([]complex128, 2), make([]complex128, 2), make([]complex128, 3)) },
+		"Dot":   func() { Dot(make([]complex128, 2), make([]complex128, 3)) },
+		"MagSq": func() { MagSq(make([]float64, 2), make([]complex128, 3)) },
+	}
+	for name, f := range funcs {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDotHermitianProperty(t *testing.T) {
+	// Property: Dot(a, b) == conj(Dot(b, a)) and Dot(a, a) is real >= 0.
+	check := func(seed int64) bool {
+		a := randComplex(16, seed)
+		b := randComplex(16, seed+100)
+		ab := Dot(a, b)
+		ba := Dot(b, a)
+		if cmplx.Abs(ab-cmplx.Conj(ba)) > 1e-12 {
+			return false
+		}
+		aa := Dot(a, a)
+		return math.Abs(imag(aa)) < 1e-12 && real(aa) >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMagSqAndEnergy(t *testing.T) {
+	a := []complex128{3 + 4i, 1i}
+	dst := make([]float64, 2)
+	MagSq(dst, a)
+	if dst[0] != 25 || dst[1] != 1 {
+		t.Fatalf("MagSq = %v", dst)
+	}
+	if Energy(a) != 26 {
+		t.Fatalf("Energy = %v", Energy(a))
+	}
+}
+
+func TestPowerDB(t *testing.T) {
+	a := []complex128{10, 0, 1}
+	dst := make([]float64, 3)
+	PowerDB(dst, a, -120)
+	if math.Abs(dst[0]-20) > 1e-12 {
+		t.Fatalf("PowerDB[0] = %v, want 20", dst[0])
+	}
+	if dst[1] != -120 {
+		t.Fatalf("PowerDB floor = %v", dst[1])
+	}
+	if dst[2] != 0 {
+		t.Fatalf("PowerDB unit = %v", dst[2])
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m, i := MaxAbs([]complex128{1, 5i, -3})
+	if m != 5 || i != 1 {
+		t.Fatalf("MaxAbs = %v, %d", m, i)
+	}
+	if _, i := MaxAbs(nil); i != -1 {
+		t.Fatal("MaxAbs(nil) index should be -1")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for _, kind := range []WindowKind{WindowRect, WindowHann, WindowHamming, WindowBlackman, WindowKaiser} {
+		w, err := Window(kind, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(w) != 64 {
+			t.Fatalf("%s: length %d", kind, len(w))
+		}
+		for i, v := range w {
+			if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+				t.Fatalf("%s[%d] = %v out of [0,1]", kind, i, v)
+			}
+		}
+	}
+	// Rect is all ones; Hann starts at 0.
+	rect, _ := Window(WindowRect, 8)
+	for _, v := range rect {
+		if v != 1 {
+			t.Fatal("rect window not flat")
+		}
+	}
+	hann, _ := Window(WindowHann, 8)
+	if hann[0] != 0 {
+		t.Fatalf("hann[0] = %v", hann[0])
+	}
+}
+
+func TestWindowErrors(t *testing.T) {
+	if _, err := Window("bogus", 8); err == nil {
+		t.Fatal("unknown window accepted")
+	}
+	if _, err := Window(WindowHann, 0); err == nil {
+		t.Fatal("zero-length window accepted")
+	}
+	if w, err := Window(WindowKaiser, 1); err != nil || len(w) != 1 {
+		t.Fatalf("kaiser length 1: %v %v", w, err)
+	}
+}
+
+func TestFIRMatchesConvolution(t *testing.T) {
+	x := randComplex(50, 11)
+	taps := []float64{0.5, 0.25, -0.125, 0.0625}
+	dst := make([]complex128, len(x))
+	FIR(dst, x, taps)
+	full := Convolve(x, taps)
+	if d := MaxDiff(dst, full[:len(x)]); d > 1e-12 {
+		t.Fatalf("FIR deviates from convolution by %g", d)
+	}
+}
+
+func TestFIRDecimate(t *testing.T) {
+	x := randComplex(40, 12)
+	taps := []float64{1, 0.5}
+	full := make([]complex128, len(x))
+	FIR(full, x, taps)
+	dec := make([]complex128, 10)
+	n := FIRDecimate(dec, x, taps, 4)
+	if n != 10 {
+		t.Fatalf("wrote %d outputs, want 10", n)
+	}
+	for i := 0; i < n; i++ {
+		if dec[i] != full[4*i] {
+			t.Fatalf("decimated[%d] != full[%d]", i, 4*i)
+		}
+	}
+}
+
+func TestFIRDecimateBadFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FIRDecimate(nil, nil, nil, 0)
+}
+
+func TestConvolveEdges(t *testing.T) {
+	if Convolve(nil, []float64{1}) != nil {
+		t.Fatal("empty input should give nil")
+	}
+	out := Convolve([]complex128{1, 2}, []float64{3})
+	if len(out) != 2 || out[0] != 3 || out[1] != 6 {
+		t.Fatalf("Convolve = %v", out)
+	}
+}
+
+func TestBesselI0(t *testing.T) {
+	// Reference values (Abramowitz & Stegun).
+	cases := map[float64]float64{0: 1, 1: 1.2660658, 2: 2.2795853, 5: 27.239872}
+	for x, want := range cases {
+		if got := besselI0(x); math.Abs(got-want) > 1e-5*want {
+			t.Errorf("I0(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

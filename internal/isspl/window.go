@@ -1,0 +1,74 @@
+package isspl
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowKind selects a tapering window.
+type WindowKind string
+
+const (
+	WindowRect     WindowKind = "rect"
+	WindowHann     WindowKind = "hann"
+	WindowHamming  WindowKind = "hamming"
+	WindowBlackman WindowKind = "blackman"
+	WindowKaiser   WindowKind = "kaiser" // beta fixed at 8.6 (approx. Blackman sidelobes)
+)
+
+// Window returns an n-point window of the requested kind (periodic form,
+// suitable for spectral processing pipelines).
+func Window(kind WindowKind, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("isspl: window length %d < 1", n)
+	}
+	w := make([]float64, n)
+	switch kind {
+	case WindowRect:
+		for i := range w {
+			w[i] = 1
+		}
+	case WindowHann:
+		for i := range w {
+			w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n))
+		}
+	case WindowHamming:
+		for i := range w {
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n))
+		}
+	case WindowBlackman:
+		for i := range w {
+			t := 2 * math.Pi * float64(i) / float64(n)
+			w[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+		}
+	case WindowKaiser:
+		const beta = 8.6
+		denom := besselI0(beta)
+		for i := range w {
+			r := 2*float64(i)/float64(n-1) - 1 // -1 .. 1
+			if n == 1 {
+				r = 0
+			}
+			w[i] = besselI0(beta*math.Sqrt(1-r*r)) / denom
+		}
+	default:
+		return nil, fmt.Errorf("isspl: unknown window kind %q", kind)
+	}
+	return w, nil
+}
+
+// besselI0 evaluates the zeroth-order modified Bessel function of the first
+// kind by its power series (converges quickly for the argument range used by
+// Kaiser windows).
+func besselI0(x float64) float64 {
+	sum, term := 1.0, 1.0
+	half := x / 2
+	for k := 1; k < 64; k++ {
+		term *= (half / float64(k)) * (half / float64(k))
+		sum += term
+		if term < 1e-16*sum {
+			break
+		}
+	}
+	return sum
+}

@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Machine is a Platform instantiated at a specific node count on a simulation
+// kernel. All nodes of a machine share one kernel and one virtual clock.
+type Machine struct {
+	K      *sim.Kernel
+	Plat   Platform
+	nodes  []*Node
+	fabric *sim.Resource // nil when FabricConcurrency == 0 (crossbar)
+}
+
+// Node is one processor of the machine. Per-node accounting (busy time split
+// into compute, copy and communication) feeds the utilisation reports of the
+// visualizer.
+type Node struct {
+	ID     int
+	Board  int
+	mach   *Machine
+	egress *sim.Resource
+	cpu    *sim.Resource // serialises the CPU among co-located threads
+	// speed is the node's CPU speed multiplier relative to the platform
+	// baseline (heterogeneous systems mix processor generations; the
+	// paper's mapper explicitly targets "the multi-processor,
+	// heterogeneous architecture"). Affects compute, not the memory or
+	// messaging system.
+	speed float64
+
+	// Accounting, in virtual time.
+	ComputeBusy sim.Duration
+	CopyBusy    sim.Duration
+	CommBusy    sim.Duration
+	MsgsSent    int
+	BytesSent   int64
+}
+
+// cpuQuantum is the preemption granularity of the node CPU model: a long
+// computation holds the processor in quantum-sized slices so co-located
+// threads time-share (as under the VxWorks scheduler) instead of convoying
+// behind one unpreemptable burst.
+const cpuQuantum = 250 * time.Microsecond
+
+// busy occupies the node's CPU for duration d: co-located simulated threads
+// time-share the processor rather than overlapping for free.
+func (nd *Node) busy(p *sim.Proc, d sim.Duration) {
+	for d > 0 {
+		q := d
+		if q > cpuQuantum {
+			q = cpuQuantum
+		}
+		nd.cpu.Use(p, 1, q)
+		d -= q
+	}
+}
+
+// New creates a machine with n nodes of the given platform. It panics on an
+// invalid platform or node count, since both are programming errors in this
+// codebase (platforms are compiled in, counts come from validated configs).
+func New(k *sim.Kernel, pl Platform, n int) *Machine {
+	if err := pl.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: invalid platform %s: %v", pl.Name, err))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("machine: node count %d < 1", n))
+	}
+	m := &Machine{K: k, Plat: pl}
+	if pl.FabricConcurrency > 0 {
+		m.fabric = sim.NewResource(k, pl.Name+".fabric", pl.FabricConcurrency)
+	}
+	for i := 0; i < n; i++ {
+		m.nodes = append(m.nodes, &Node{
+			ID:     i,
+			Board:  pl.Board(i),
+			mach:   m,
+			egress: sim.NewResource(k, fmt.Sprintf("%s.n%d.egress", pl.Name, i), 1),
+			cpu:    sim.NewResource(k, fmt.Sprintf("%s.n%d.cpu", pl.Name, i), 1),
+			speed:  1,
+		})
+	}
+	return m
+}
+
+// NumNodes reports the node count.
+func (m *Machine) NumNodes() int { return len(m.nodes) }
+
+// Node returns node id (panics if out of range).
+func (m *Machine) Node(id int) *Node { return m.nodes[id] }
+
+// Nodes returns all nodes in id order.
+func (m *Machine) Nodes() []*Node { return m.nodes }
+
+// ComputeFlops blocks the calling process for the CPU time of nflops
+// floating-point operations on this node.
+func (nd *Node) ComputeFlops(p *sim.Proc, nflops float64) {
+	d := sim.Duration(float64(nd.mach.Plat.FlopTime(nflops)) / nd.speed)
+	nd.ComputeBusy += d
+	nd.busy(p, d)
+}
+
+// Speed reports the node's CPU speed multiplier.
+func (nd *Node) Speed() float64 { return nd.speed }
+
+// SetSpeed sets the node's CPU speed multiplier (must be > 0).
+func (nd *Node) SetSpeed(mult float64) {
+	if mult <= 0 {
+		panic(fmt.Sprintf("machine: node %d speed %v <= 0", nd.ID, mult))
+	}
+	nd.speed = mult
+}
+
+// SetNodeSpeeds applies per-node CPU speed multipliers; speeds beyond the
+// node count are ignored, missing entries keep 1.0.
+func (m *Machine) SetNodeSpeeds(speeds []float64) {
+	for i, s := range speeds {
+		if i >= len(m.nodes) {
+			return
+		}
+		m.nodes[i].SetSpeed(s)
+	}
+}
+
+// ComputeTime blocks the calling process for an explicit CPU duration
+// (used for fixed software overheads such as dispatch).
+func (nd *Node) ComputeTime(p *sim.Proc, d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	nd.ComputeBusy += d
+	nd.busy(p, d)
+}
+
+// Memcpy blocks the calling process for a local copy of n bytes.
+func (nd *Node) Memcpy(p *sim.Proc, n int) {
+	d := nd.mach.Plat.CopyTime(n)
+	nd.CopyBusy += d
+	nd.busy(p, d)
+}
+
+// Transfer models sending n bytes from this node to node dst. The calling
+// process (the sender's CPU) is blocked for the software send overhead and
+// the wire serialisation time (during which the node's egress port — and,
+// for inter-board transfers, a unit of the shared fabric — is held). It
+// returns the virtual time at which the payload arrives at dst, i.e. the
+// earliest moment a receiver can observe it; latency is pipelined and does
+// not occupy the sender.
+//
+// A self-transfer (dst == this node) is priced as a local memory copy.
+func (nd *Node) Transfer(p *sim.Proc, dst int, n int) sim.Time {
+	m := nd.mach
+	pl := &m.Plat
+	nd.MsgsSent++
+	nd.BytesSent += int64(n)
+	if dst == nd.ID {
+		nd.Memcpy(p, n)
+		return p.Now()
+	}
+	// Software overhead on the sending CPU.
+	nd.busy(p, pl.SendOverhead)
+
+	intra := pl.SameBoard(nd.ID, dst)
+	var lat sim.Duration
+	var ser sim.Duration
+	if intra {
+		lat = pl.IntraLatency
+		ser = serialTime(n, pl.IntraBW)
+	} else {
+		lat = pl.InterLatency
+		ser = serialTime(n, pl.InterBW)
+	}
+
+	useFabric := !intra && m.fabric != nil
+	if useFabric {
+		m.fabric.Acquire(p, 1)
+	}
+	nd.egress.Acquire(p, 1)
+	p.Sleep(ser)
+	nd.egress.Release(1)
+	if useFabric {
+		m.fabric.Release(1)
+	}
+	// Account occupancy only (overhead + wire serialisation), not time
+	// spent queueing for the fabric, so utilisation stays meaningful.
+	nd.CommBusy += pl.SendOverhead + ser
+	return p.Now().Add(lat)
+}
+
+// RecvOverhead blocks the calling process for the software cost of receiving
+// one message on this node.
+func (nd *Node) RecvOverhead(p *sim.Proc) {
+	d := nd.mach.Plat.RecvOverhead
+	nd.CommBusy += d
+	nd.busy(p, d)
+}
+
+// Utilization reports the fraction of the elapsed virtual time [0, now] this
+// node's CPU spent busy (compute + copy). Wire serialisation is concurrent
+// DMA-engine work and is reported separately via CommBusy. Returns 0 for an
+// idle clock.
+func (nd *Node) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(nd.ComputeBusy+nd.CopyBusy) / float64(now)
+}
+
+// ResetAccounting clears the per-node counters (used between experiment
+// repetitions that share a machine).
+func (nd *Node) ResetAccounting() {
+	nd.ComputeBusy, nd.CopyBusy, nd.CommBusy = 0, 0, 0
+	nd.MsgsSent, nd.BytesSent = 0, 0
+}

@@ -1,0 +1,305 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// testPlatform returns a small, round-numbered platform for exact timing
+// assertions.
+func testPlatform() Platform {
+	return Platform{
+		Name:          "test",
+		NodesPerBoard: 2,
+		ClockHz:       100e6,
+		FlopsPerCycle: 1, // 100 Mflop/s
+		MemCopyBW:     100e6,
+		SendOverhead:  10 * time.Microsecond,
+		RecvOverhead:  10 * time.Microsecond,
+		IntraLatency:  1 * time.Microsecond,
+		IntraBW:       100e6,
+		InterLatency:  10 * time.Microsecond,
+		InterBW:       50e6,
+		AllToAll:      "direct",
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	good := testPlatform()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(p *Platform){
+		func(p *Platform) { p.Name = "" },
+		func(p *Platform) { p.NodesPerBoard = 0 },
+		func(p *Platform) { p.ClockHz = 0 },
+		func(p *Platform) { p.FlopsPerCycle = -1 },
+		func(p *Platform) { p.MemCopyBW = 0 },
+		func(p *Platform) { p.SendOverhead = -1 },
+		func(p *Platform) { p.IntraBW = 0 },
+		func(p *Platform) { p.InterBW = 0 },
+		func(p *Platform) { p.FabricConcurrency = -1 },
+		func(p *Platform) { p.AllToAll = "warp" },
+	}
+	for i, mutate := range mutations {
+		p := testPlatform()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFlopAndCopyTime(t *testing.T) {
+	p := testPlatform()
+	// 100 Mflop/s: 1e6 flops = 10ms.
+	if got := p.FlopTime(1e6); got != 10*time.Millisecond {
+		t.Fatalf("FlopTime = %v", got)
+	}
+	if p.FlopTime(0) != 0 || p.FlopTime(-5) != 0 {
+		t.Fatal("non-positive flops should cost nothing")
+	}
+	// 100 MB/s: 1 MB = 10ms.
+	if got := p.CopyTime(1_000_000); got != 10*time.Millisecond {
+		t.Fatalf("CopyTime = %v", got)
+	}
+	if p.CopyTime(0) != 0 {
+		t.Fatal("zero copy should cost nothing")
+	}
+}
+
+func TestBoardTopology(t *testing.T) {
+	p := testPlatform()
+	if p.Board(0) != 0 || p.Board(1) != 0 || p.Board(2) != 1 || p.Board(5) != 2 {
+		t.Fatal("board mapping wrong")
+	}
+	if !p.SameBoard(0, 1) || p.SameBoard(1, 2) {
+		t.Fatal("same-board test wrong")
+	}
+}
+
+func TestComputeFlopsAdvancesClock(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 2)
+	var at sim.Time
+	k.Spawn("c", func(p *sim.Proc) {
+		m.Node(0).ComputeFlops(p, 1e6)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(10*time.Millisecond) {
+		t.Fatalf("compute finished at %v, want 10ms", at)
+	}
+	if m.Node(0).ComputeBusy != 10*time.Millisecond {
+		t.Fatalf("accounting = %v", m.Node(0).ComputeBusy)
+	}
+}
+
+func TestNodeSpeedScalesCompute(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 2)
+	m.SetNodeSpeeds([]float64{2}) // node 0 twice as fast; node 1 default
+	var fast, slow sim.Time
+	k.Spawn("fast", func(p *sim.Proc) {
+		m.Node(0).ComputeFlops(p, 1e6)
+		fast = p.Now()
+	})
+	k.Spawn("slow", func(p *sim.Proc) {
+		m.Node(1).ComputeFlops(p, 1e6)
+		slow = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fast != sim.Time(5*time.Millisecond) || slow != sim.Time(10*time.Millisecond) {
+		t.Fatalf("fast=%v slow=%v", fast, slow)
+	}
+	if m.Node(0).Speed() != 2 {
+		t.Fatal("speed not recorded")
+	}
+}
+
+func TestSetSpeedInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 1)
+	m.Node(0).SetSpeed(0)
+}
+
+func TestTransferIntraVsInterBoard(t *testing.T) {
+	// Same payload: inter-board (slower wire + higher latency) must arrive
+	// later than intra-board.
+	arrival := func(dst int) sim.Time {
+		k := sim.NewKernel()
+		m := New(k, testPlatform(), 4)
+		var at sim.Time
+		k.Spawn("s", func(p *sim.Proc) {
+			at = m.Node(0).Transfer(p, dst, 100_000)
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	intra, inter := arrival(1), arrival(2)
+	if inter <= intra {
+		t.Fatalf("inter-board (%v) not slower than intra (%v)", inter, intra)
+	}
+	// Exact intra arrival: 10us overhead + 1ms serialisation + 1us latency.
+	want := sim.Time(10*time.Microsecond + time.Millisecond + time.Microsecond)
+	if intra != want {
+		t.Fatalf("intra arrival %v, want %v", intra, want)
+	}
+}
+
+func TestSelfTransferIsMemcpy(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 2)
+	var at sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		at = m.Node(0).Transfer(p, 0, 1_000_000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != sim.Time(10*time.Millisecond) {
+		t.Fatalf("self transfer arrival %v, want 10ms memcpy", at)
+	}
+	if m.Node(0).CopyBusy != 10*time.Millisecond {
+		t.Fatal("self transfer not accounted as copy")
+	}
+}
+
+func TestEgressSerialisesSenders(t *testing.T) {
+	// Two threads on one node sending back-to-back must serialise on the
+	// egress port.
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 2)
+	var a1, a2 sim.Time
+	k.Spawn("s1", func(p *sim.Proc) { a1 = m.Node(0).Transfer(p, 1, 100_000) })
+	k.Spawn("s2", func(p *sim.Proc) { a2 = m.Node(0).Transfer(p, 1, 100_000) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a2 < a1+sim.Time(time.Millisecond) {
+		t.Fatalf("second send (%v) overlapped the first (%v)", a2, a1)
+	}
+}
+
+func TestPreemptionQuantumInterleaves(t *testing.T) {
+	// A long computation must not convoy a short one for its entire
+	// duration: with 250us quanta the short task finishes well before the
+	// long one.
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 1)
+	var long, short sim.Time
+	k.Spawn("long", func(p *sim.Proc) {
+		m.Node(0).ComputeFlops(p, 1e6) // 10ms
+		long = p.Now()
+	})
+	k.Spawn("short", func(p *sim.Proc) {
+		m.Node(0).ComputeFlops(p, 1e4) // 100us
+		short = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if short >= long {
+		t.Fatalf("short task (%v) did not preempt long (%v)", short, long)
+	}
+	if short > sim.Time(2*time.Millisecond) {
+		t.Fatalf("short task took %v under time-sharing", short)
+	}
+	// Total CPU time conserved.
+	if got := m.Node(0).ComputeBusy; got != 10*time.Millisecond+100*time.Microsecond {
+		t.Fatalf("compute accounting %v", got)
+	}
+}
+
+func TestFabricConcurrencyLimit(t *testing.T) {
+	pl := testPlatform()
+	pl.FabricConcurrency = 1
+	k := sim.NewKernel()
+	m := New(k, pl, 4)
+	var done []sim.Time
+	for _, src := range []int{0, 1} {
+		src := src
+		k.Spawn("s", func(p *sim.Proc) {
+			m.Node(src).Transfer(p, src+2, 500_000) // inter-board
+			done = append(done, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 500KB at 50MB/s = 10ms serialisation each; with concurrency 1 the
+	// second completes ~10ms after the first.
+	if len(done) != 2 || done[1] < done[0]+sim.Time(9*time.Millisecond) {
+		t.Fatalf("transfers overlapped on a concurrency-1 fabric: %v", done)
+	}
+}
+
+func TestInvalidMachinePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad platform": func() { New(sim.NewKernel(), Platform{}, 2) },
+		"zero nodes":   func() { New(sim.NewKernel(), testPlatform(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestResetAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 1)
+	k.Spawn("c", func(p *sim.Proc) {
+		m.Node(0).ComputeFlops(p, 1e5)
+		m.Node(0).Memcpy(p, 1000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	nd := m.Node(0)
+	if nd.ComputeBusy == 0 || nd.CopyBusy == 0 {
+		t.Fatal("no accounting recorded")
+	}
+	nd.ResetAccounting()
+	if nd.ComputeBusy != 0 || nd.CopyBusy != 0 || nd.CommBusy != 0 || nd.MsgsSent != 0 || nd.BytesSent != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if nd.Utilization(k.Now()) != 0 {
+		t.Fatal("utilization after reset")
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 1)
+	k.Spawn("c", func(p *sim.Proc) {
+		m.Node(0).ComputeFlops(p, 1e6)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := m.Node(0).Utilization(k.Now())
+	if u <= 0.99 || u > 1.0 {
+		t.Fatalf("utilization = %v, want ~1.0", u)
+	}
+	if m.Node(0).Utilization(0) != 0 {
+		t.Fatal("utilization at t=0")
+	}
+}

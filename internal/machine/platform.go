@@ -1,0 +1,125 @@
+// Package machine models a COTS embedded multicomputer of the kind the paper
+// targets (CSPI/Mercury/SKY/SIGI): compute nodes grouped onto boards, an
+// intra-board interconnect, and an inter-board fabric (Myrinet, RACEway, VME)
+// with finite bandwidth, latency, software messaging overhead and contention.
+//
+// The model executes on the internal/sim discrete-event kernel: computation
+// and communication advance virtual time, and all experiment timings in this
+// repository come from that clock. The cost parameters follow a LogGP-style
+// decomposition — per-message software overhead on the CPU, wire latency,
+// and per-byte serialisation on the sender's NIC — plus an optional shared
+// fabric concurrency limit that models a bus/switch bottleneck.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Platform describes the fixed hardware characteristics of a multicomputer
+// family. A Machine instantiates a Platform at a specific node count.
+type Platform struct {
+	// Name identifies the platform ("CSPI", "Mercury", ...).
+	Name string
+	// NodesPerBoard is how many processors share a board-local interconnect
+	// (e.g. 4 for the CSPI quad-PowerPC boards).
+	NodesPerBoard int
+
+	// ClockHz is the CPU clock rate.
+	ClockHz float64
+	// FlopsPerCycle is the sustained floating-point throughput per cycle for
+	// the signal-processing kernels of interest (well below the peak of the
+	// architecture; e.g. ~0.3 for a PowerPC 603e running a tuned FFT).
+	FlopsPerCycle float64
+	// MemCopyBW is local memory copy bandwidth in bytes/second; it prices
+	// the runtime's buffer management (the paper's "extra data access
+	// times" from unique logical buffers).
+	MemCopyBW float64
+
+	// SendOverhead and RecvOverhead are the per-message CPU costs of the
+	// messaging software stack.
+	SendOverhead sim.Duration
+	RecvOverhead sim.Duration
+
+	// IntraLatency/IntraBW describe board-local communication;
+	// InterLatency/InterBW describe the inter-board fabric.
+	IntraLatency sim.Duration
+	IntraBW      float64
+	InterLatency sim.Duration
+	InterBW      float64
+
+	// FabricConcurrency limits how many inter-board transfers can be in
+	// flight simultaneously (a shared bus is 1; a full crossbar is 0,
+	// meaning unlimited).
+	FabricConcurrency int
+
+	// AllToAll names the vendor-tuned all-to-all algorithm the platform's
+	// MPI uses ("direct", "pairwise", "bruck"). The paper notes each vendor
+	// implemented its own MPI_All_to_All tailored to its hardware.
+	AllToAll string
+}
+
+// Validate reports whether the platform parameters are complete and sane.
+func (pl *Platform) Validate() error {
+	var errs []error
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+	check(pl.Name != "", "platform name is empty")
+	check(pl.NodesPerBoard >= 1, "NodesPerBoard = %d, want >= 1", pl.NodesPerBoard)
+	check(pl.ClockHz > 0, "ClockHz = %v, want > 0", pl.ClockHz)
+	check(pl.FlopsPerCycle > 0, "FlopsPerCycle = %v, want > 0", pl.FlopsPerCycle)
+	check(pl.MemCopyBW > 0, "MemCopyBW = %v, want > 0", pl.MemCopyBW)
+	check(pl.SendOverhead >= 0, "SendOverhead = %v, want >= 0", pl.SendOverhead)
+	check(pl.RecvOverhead >= 0, "RecvOverhead = %v, want >= 0", pl.RecvOverhead)
+	check(pl.IntraLatency >= 0, "IntraLatency = %v, want >= 0", pl.IntraLatency)
+	check(pl.IntraBW > 0, "IntraBW = %v, want > 0", pl.IntraBW)
+	check(pl.InterLatency >= 0, "InterLatency = %v, want >= 0", pl.InterLatency)
+	check(pl.InterBW > 0, "InterBW = %v, want > 0", pl.InterBW)
+	check(pl.FabricConcurrency >= 0, "FabricConcurrency = %d, want >= 0", pl.FabricConcurrency)
+	switch pl.AllToAll {
+	case "", "direct", "pairwise", "bruck":
+	default:
+		errs = append(errs, fmt.Errorf("unknown AllToAll algorithm %q", pl.AllToAll))
+	}
+	return errors.Join(errs...)
+}
+
+// FlopTime returns the virtual CPU time to execute nflops floating-point
+// operations at the platform's sustained rate.
+func (pl *Platform) FlopTime(nflops float64) sim.Duration {
+	if nflops <= 0 {
+		return 0
+	}
+	sec := nflops / (pl.ClockHz * pl.FlopsPerCycle)
+	return sim.Duration(sec * float64(time.Second))
+}
+
+// CopyTime returns the virtual time to copy n bytes in local memory.
+func (pl *Platform) CopyTime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	sec := float64(n) / pl.MemCopyBW
+	return sim.Duration(sec * float64(time.Second))
+}
+
+// serialTime returns the wire serialisation time for n bytes at bw bytes/s.
+func serialTime(n int, bw float64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	sec := float64(n) / bw
+	return sim.Duration(sec * float64(time.Second))
+}
+
+// Board returns the board index hosting node id.
+func (pl *Platform) Board(id int) int { return id / pl.NodesPerBoard }
+
+// SameBoard reports whether two nodes share a board-local interconnect.
+func (pl *Platform) SameBoard(a, b int) bool { return pl.Board(a) == pl.Board(b) }

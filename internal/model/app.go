@@ -1,0 +1,356 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Direction distinguishes input from output ports.
+type Direction string
+
+const (
+	In  Direction = "in"
+	Out Direction = "out"
+)
+
+// Port is a function's sending or receiving point for dataflow communication
+// (§2: "A function's port object is the sending and receiving point for all
+// data-flow communication between functions; the striping characteristics of
+// a data-flow connection are defined on the source and destination ports").
+type Port struct {
+	Name     string
+	Dir      Direction
+	Type     *DataType
+	Striping StripeKind
+	Fn       *Function // back-pointer, set by App wiring
+}
+
+// QualifiedName returns "function.port".
+func (p *Port) QualifiedName() string {
+	if p.Fn == nil {
+		return "?." + p.Name
+	}
+	return p.Fn.Name + "." + p.Name
+}
+
+// Partition returns the region of this port's data set held by thread i of
+// the host function.
+func (p *Port) Partition(i int) (Region, error) {
+	return Partition(p.Striping, p.Type.Rows, p.Type.Cols, p.Fn.Threads, i)
+}
+
+// Function is a behavioural block in the application editor. Kind names an
+// entry in the function library (the "software shelf"); Threads is the
+// degree of data parallelism; Params are kind-specific attributes; Props are
+// free-form properties that tools (and Alter scripts) may read and write.
+//
+// A Function with a non-nil Body is a hierarchical (composite) block whose
+// behaviour is an inner subgraph; composites are expanded by App.Flatten
+// before mapping and code generation.
+type Function struct {
+	Name    string
+	Kind    string
+	Threads int
+	Params  map[string]any
+	Props   map[string]any
+	Inputs  []*Port
+	Outputs []*Port
+	Body    *Subgraph
+
+	// ID is assigned by App.AssignIDs in Designer order; the runtime
+	// dispatches functions by this index into the function table.
+	ID int
+}
+
+// IsComposite reports whether the function is a hierarchical block.
+func (f *Function) IsComposite() bool { return f.Body != nil }
+
+// Port finds a port by name on either side, or nil.
+func (f *Function) Port(name string) *Port {
+	for _, p := range f.Inputs {
+		if p.Name == name {
+			return p
+		}
+	}
+	for _, p := range f.Outputs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// AddInput appends an input port and wires its back-pointer.
+func (f *Function) AddInput(name string, t *DataType, s StripeKind) *Port {
+	p := &Port{Name: name, Dir: In, Type: t, Striping: s, Fn: f}
+	f.Inputs = append(f.Inputs, p)
+	return p
+}
+
+// AddOutput appends an output port and wires its back-pointer.
+func (f *Function) AddOutput(name string, t *DataType, s StripeKind) *Port {
+	p := &Port{Name: name, Dir: Out, Type: t, Striping: s, Fn: f}
+	f.Outputs = append(f.Outputs, p)
+	return p
+}
+
+// Prop reads a property with a default.
+func (f *Function) Prop(key string, def any) any {
+	if v, ok := f.Props[key]; ok {
+		return v
+	}
+	return def
+}
+
+// SetProp writes a property, allocating the map lazily.
+func (f *Function) SetProp(key string, v any) {
+	if f.Props == nil {
+		f.Props = map[string]any{}
+	}
+	f.Props[key] = v
+}
+
+// Arc is a dataflow connection from an output port to an input port.
+type Arc struct {
+	From *Port
+	To   *Port
+}
+
+func (a *Arc) String() string {
+	return a.From.QualifiedName() + " -> " + a.To.QualifiedName()
+}
+
+// Subgraph is the body of a composite block: inner functions and arcs, plus
+// bindings from the composite's boundary ports to inner ports.
+type Subgraph struct {
+	Functions []*Function
+	Arcs      []*Arc
+	// Bind maps a boundary port of the composite to the inner port that
+	// realises it (an inner input for a composite input, an inner output
+	// for a composite output).
+	Bind map[*Port]*Port
+}
+
+// App is an application model: the data type dictionary plus the top-level
+// dataflow graph.
+type App struct {
+	Name      string
+	Types     map[string]*DataType
+	Functions []*Function
+	Arcs      []*Arc
+}
+
+// NewApp creates an empty application model.
+func NewApp(name string) *App {
+	return &App{Name: name, Types: map[string]*DataType{}}
+}
+
+// AddType registers a data type in the dictionary.
+func (a *App) AddType(t *DataType) (*DataType, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := a.Types[t.Name]; dup {
+		return nil, fmt.Errorf("model: duplicate data type %q", t.Name)
+	}
+	a.Types[t.Name] = t
+	return t, nil
+}
+
+// MustType returns a registered type or panics (for programmatic model
+// construction where the type was just added).
+func (a *App) MustType(name string) *DataType {
+	t, ok := a.Types[name]
+	if !ok {
+		panic(fmt.Sprintf("model: unknown data type %q", name))
+	}
+	return t
+}
+
+// AddFunction appends a function block to the top-level graph.
+func (a *App) AddFunction(f *Function) *Function {
+	a.Functions = append(a.Functions, f)
+	return f
+}
+
+// Function finds a top-level function by name, or nil.
+func (a *App) Function(name string) *Function {
+	for _, f := range a.Functions {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Connect adds an arc from fromFn.fromPort to toFn.toPort.
+func (a *App) Connect(fromFn, fromPort, toFn, toPort string) (*Arc, error) {
+	src := a.Function(fromFn)
+	dst := a.Function(toFn)
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("model: connect %s.%s -> %s.%s: unknown function", fromFn, fromPort, toFn, toPort)
+	}
+	fp := src.Port(fromPort)
+	tp := dst.Port(toPort)
+	if fp == nil || tp == nil {
+		return nil, fmt.Errorf("model: connect %s.%s -> %s.%s: unknown port", fromFn, fromPort, toFn, toPort)
+	}
+	if fp.Dir != Out {
+		return nil, fmt.Errorf("model: arc source %s is not an output", fp.QualifiedName())
+	}
+	if tp.Dir != In {
+		return nil, fmt.Errorf("model: arc destination %s is not an input", tp.QualifiedName())
+	}
+	arc := &Arc{From: fp, To: tp}
+	a.Arcs = append(a.Arcs, arc)
+	return arc, nil
+}
+
+// AssignIDs numbers the functions 0..N-1 in Designer order (the order they
+// were added), as §2 describes: "SAGE Designer orders all function instances
+// and assigns them IDs from 0..N-1".
+func (a *App) AssignIDs() {
+	for i, f := range a.Functions {
+		f.ID = i
+	}
+}
+
+// Flatten expands composite blocks into their bodies, rewriting arcs that
+// touch composite boundary ports to the bound inner ports. Inner function
+// names are prefixed with "composite/" to stay unique. The result is a new
+// App containing only leaf functions; the original is not modified.
+func (a *App) Flatten() (*App, error) {
+	out := NewApp(a.Name)
+	for n, t := range a.Types {
+		out.Types[n] = t
+	}
+	// portMap sends original boundary ports to the (possibly renamed)
+	// flattened inner ports.
+	portMap := map[*Port]*Port{}
+	var expand func(prefix string, fns []*Function, arcs []*Arc) error
+	expand = func(prefix string, fns []*Function, arcs []*Arc) error {
+		for _, f := range fns {
+			if !f.IsComposite() {
+				clone := &Function{
+					Name: prefix + f.Name, Kind: f.Kind, Threads: f.Threads,
+					Params: f.Params, Props: f.Props,
+				}
+				for _, p := range f.Inputs {
+					np := clone.AddInput(p.Name, p.Type, p.Striping)
+					portMap[p] = np
+				}
+				for _, p := range f.Outputs {
+					np := clone.AddOutput(p.Name, p.Type, p.Striping)
+					portMap[p] = np
+				}
+				out.AddFunction(clone)
+				continue
+			}
+			if err := expand(prefix+f.Name+"/", f.Body.Functions, f.Body.Arcs); err != nil {
+				return err
+			}
+			// Boundary ports resolve through the binding to inner ports.
+			for _, p := range append(append([]*Port{}, f.Inputs...), f.Outputs...) {
+				inner, ok := f.Body.Bind[p]
+				if !ok {
+					return fmt.Errorf("model: composite %s: boundary port %s unbound", f.Name, p.Name)
+				}
+				resolved, ok := portMap[inner]
+				if !ok {
+					return fmt.Errorf("model: composite %s: binding for %s resolves to unknown inner port", f.Name, p.Name)
+				}
+				portMap[p] = resolved
+			}
+		}
+		for _, arc := range arcs {
+			from, ok := portMap[arc.From]
+			if !ok {
+				return fmt.Errorf("model: flatten: arc source %s unresolved", arc.From.QualifiedName())
+			}
+			to, ok := portMap[arc.To]
+			if !ok {
+				return fmt.Errorf("model: flatten: arc destination %s unresolved", arc.To.QualifiedName())
+			}
+			out.Arcs = append(out.Arcs, &Arc{From: from, To: to})
+		}
+		return nil
+	}
+	if err := expand("", a.Functions, a.Arcs); err != nil {
+		return nil, err
+	}
+	out.AssignIDs()
+	return out, nil
+}
+
+// Sources returns functions with no incoming arcs, in ID order.
+func (a *App) Sources() []*Function {
+	hasIn := map[*Function]bool{}
+	for _, arc := range a.Arcs {
+		hasIn[arc.To.Fn] = true
+	}
+	var out []*Function
+	for _, f := range a.Functions {
+		if !hasIn[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Sinks returns functions with no outgoing arcs, in ID order.
+func (a *App) Sinks() []*Function {
+	hasOut := map[*Function]bool{}
+	for _, arc := range a.Arcs {
+		hasOut[arc.From.Fn] = true
+	}
+	var out []*Function
+	for _, f := range a.Functions {
+		if !hasOut[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the functions in a deterministic topological order
+// (Kahn's algorithm, ready set kept sorted by ID). It fails if the dataflow
+// graph has a cycle.
+func (a *App) TopoOrder() ([]*Function, error) {
+	indeg := map[*Function]int{}
+	succ := map[*Function][]*Function{}
+	for _, f := range a.Functions {
+		indeg[f] = 0
+	}
+	for _, arc := range a.Arcs {
+		indeg[arc.To.Fn]++
+		succ[arc.From.Fn] = append(succ[arc.From.Fn], arc.To.Fn)
+	}
+	var ready []*Function
+	for _, f := range a.Functions {
+		if indeg[f] == 0 {
+			ready = append(ready, f)
+		}
+	}
+	var order []*Function
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool {
+			if ready[i].ID != ready[j].ID {
+				return ready[i].ID < ready[j].ID
+			}
+			return ready[i].Name < ready[j].Name
+		})
+		f := ready[0]
+		ready = ready[1:]
+		order = append(order, f)
+		for _, s := range succ[f] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(a.Functions) {
+		return nil, fmt.Errorf("model: application %q has a dataflow cycle", a.Name)
+	}
+	return order, nil
+}

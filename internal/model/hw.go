@@ -1,0 +1,117 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// The hardware editor builds architectures "hierarchically from the
+// processor all the way up to the system level" (§1.1). These types mirror
+// that hierarchy; HWSystem.Platform lowers a system design onto the machine
+// simulator's flat cost model.
+
+// Processor is a CPU shelf item.
+type Processor struct {
+	Name          string
+	ClockHz       float64
+	FlopsPerCycle float64
+	MemCopyBW     float64 // bytes/s
+}
+
+// Board groups processors behind a board-local interconnect.
+type Board struct {
+	Name         string
+	Proc         *Processor
+	NumProcs     int
+	IntraLatency sim.Duration
+	IntraBW      float64
+}
+
+// Fabric is the inter-board interconnect of a chassis.
+type Fabric struct {
+	Name         string
+	Latency      sim.Duration
+	BW           float64
+	Concurrency  int // 0 = crossbar
+	SendOverhead sim.Duration
+	RecvOverhead sim.Duration
+	AllToAll     string
+}
+
+// HWSystem is a complete target: boards in a chassis joined by a fabric.
+type HWSystem struct {
+	Name      string
+	Board     *Board
+	NumBoards int
+	Fabric    *Fabric
+}
+
+// NumNodes returns the processor count of the system.
+func (s *HWSystem) NumNodes() int { return s.Board.NumProcs * s.NumBoards }
+
+// Validate checks the hardware design for completeness.
+func (s *HWSystem) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("model: hardware system with empty name")
+	}
+	if s.Board == nil || s.Board.Proc == nil || s.Fabric == nil {
+		return fmt.Errorf("model: hardware system %q is missing board, processor or fabric", s.Name)
+	}
+	if s.NumBoards < 1 || s.Board.NumProcs < 1 {
+		return fmt.Errorf("model: hardware system %q has %d boards x %d procs", s.Name, s.NumBoards, s.Board.NumProcs)
+	}
+	pl := s.Platform()
+	return pl.Validate()
+}
+
+// Platform lowers the hierarchical design to the simulator's descriptor.
+func (s *HWSystem) Platform() machine.Platform {
+	return machine.Platform{
+		Name:              s.Name,
+		NodesPerBoard:     s.Board.NumProcs,
+		ClockHz:           s.Board.Proc.ClockHz,
+		FlopsPerCycle:     s.Board.Proc.FlopsPerCycle,
+		MemCopyBW:         s.Board.Proc.MemCopyBW,
+		SendOverhead:      s.Fabric.SendOverhead,
+		RecvOverhead:      s.Fabric.RecvOverhead,
+		IntraLatency:      s.Board.IntraLatency,
+		IntraBW:           s.Board.IntraBW,
+		InterLatency:      s.Fabric.Latency,
+		InterBW:           s.Fabric.BW,
+		FabricConcurrency: s.Fabric.Concurrency,
+		AllToAll:          s.Fabric.AllToAll,
+	}
+}
+
+// SystemFromPlatform reconstructs a hierarchical hardware design from a flat
+// platform descriptor with the given board count (the inverse of Platform,
+// used when instantiating registry platforms in the Designer).
+func SystemFromPlatform(pl machine.Platform, numBoards int) *HWSystem {
+	return &HWSystem{
+		Name: pl.Name,
+		Board: &Board{
+			Name: pl.Name + "-board",
+			Proc: &Processor{
+				Name:          pl.Name + "-cpu",
+				ClockHz:       pl.ClockHz,
+				FlopsPerCycle: pl.FlopsPerCycle,
+				MemCopyBW:     pl.MemCopyBW,
+			},
+			NumProcs:     pl.NodesPerBoard,
+			IntraLatency: pl.IntraLatency,
+			IntraBW:      pl.IntraBW,
+		},
+		NumBoards: numBoards,
+		Fabric: &Fabric{
+			Name:         pl.Name + "-fabric",
+			Latency:      pl.InterLatency,
+			BW:           pl.InterBW,
+			Concurrency:  pl.FabricConcurrency,
+			SendOverhead: pl.SendOverhead,
+			RecvOverhead: pl.RecvOverhead,
+			AllToAll:     pl.AllToAll,
+		},
+	}
+}

@@ -1,0 +1,180 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Textual hardware format, mirroring the hardware editor's hierarchy
+// (processor -> board -> system). Durations use Go syntax ("15us"),
+// rates are plain floats in Hz / bytes-per-second.
+//
+//	hardware <name> boards <n>
+//	processor <name> clock <hz> flops-per-cycle <f> memcopy-bw <Bps>
+//	board <name> procs <n> intra-latency <dur> intra-bw <Bps>
+//	fabric <name> latency <dur> bw <Bps> concurrency <n> send-overhead <dur> recv-overhead <dur> alltoall <alg>
+
+// WriteHWText serialises the hardware system.
+func (s *HWSystem) WriteHWText(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "hardware %s boards %d\n", s.Name, s.NumBoards)
+	p := s.Board.Proc
+	fmt.Fprintf(bw, "processor %s clock %g flops-per-cycle %g memcopy-bw %g\n",
+		p.Name, p.ClockHz, p.FlopsPerCycle, p.MemCopyBW)
+	fmt.Fprintf(bw, "board %s procs %d intra-latency %s intra-bw %g\n",
+		s.Board.Name, s.Board.NumProcs, time.Duration(s.Board.IntraLatency), s.Board.IntraBW)
+	f := s.Fabric
+	fmt.Fprintf(bw, "fabric %s latency %s bw %g concurrency %d send-overhead %s recv-overhead %s alltoall %s\n",
+		f.Name, time.Duration(f.Latency), f.BW, f.Concurrency,
+		time.Duration(f.SendOverhead), time.Duration(f.RecvOverhead), f.AllToAll)
+	return bw.Flush()
+}
+
+// hwFields parses "key value key value ..." pairs after the leading name.
+type hwFields map[string]string
+
+func parseHWLine(fields []string) (name string, kv hwFields, err error) {
+	if len(fields) < 2 {
+		return "", nil, fmt.Errorf("want: <directive> <name> key value ...")
+	}
+	name = fields[1]
+	kv = hwFields{}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return "", nil, fmt.Errorf("odd key/value list")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		kv[rest[i]] = rest[i+1]
+	}
+	return name, kv, nil
+}
+
+func (kv hwFields) float(key string) (float64, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %q", key)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q: %v", key, err)
+	}
+	return f, nil
+}
+
+func (kv hwFields) integer(key string) (int, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %q", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q: %v", key, err)
+	}
+	return n, nil
+}
+
+func (kv hwFields) duration(key string) (time.Duration, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %q", key)
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q: %v", key, err)
+	}
+	return d, nil
+}
+
+// ReadHWText parses a serialised hardware system and validates it.
+func ReadHWText(r io.Reader) (*HWSystem, error) {
+	sc := bufio.NewScanner(r)
+	sys := &HWSystem{}
+	lineNo := 0
+	fail := func(format string, args ...any) (*HWSystem, error) {
+		return nil, fmt.Errorf("model: hw line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		name, kv, err := parseHWLine(fields)
+		if err != nil {
+			return fail("%v", err)
+		}
+		switch fields[0] {
+		case "hardware":
+			sys.Name = name
+			if sys.NumBoards, err = kv.integer("boards"); err != nil {
+				return fail("%v", err)
+			}
+		case "processor":
+			p := &Processor{Name: name}
+			if p.ClockHz, err = kv.float("clock"); err != nil {
+				return fail("%v", err)
+			}
+			if p.FlopsPerCycle, err = kv.float("flops-per-cycle"); err != nil {
+				return fail("%v", err)
+			}
+			if p.MemCopyBW, err = kv.float("memcopy-bw"); err != nil {
+				return fail("%v", err)
+			}
+			if sys.Board == nil {
+				sys.Board = &Board{}
+			}
+			sys.Board.Proc = p
+		case "board":
+			if sys.Board == nil {
+				sys.Board = &Board{}
+			}
+			b := sys.Board
+			b.Name = name
+			if b.NumProcs, err = kv.integer("procs"); err != nil {
+				return fail("%v", err)
+			}
+			if b.IntraLatency, err = kv.duration("intra-latency"); err != nil {
+				return fail("%v", err)
+			}
+			if b.IntraBW, err = kv.float("intra-bw"); err != nil {
+				return fail("%v", err)
+			}
+		case "fabric":
+			f := &Fabric{Name: name}
+			if f.Latency, err = kv.duration("latency"); err != nil {
+				return fail("%v", err)
+			}
+			if f.BW, err = kv.float("bw"); err != nil {
+				return fail("%v", err)
+			}
+			if f.Concurrency, err = kv.integer("concurrency"); err != nil {
+				return fail("%v", err)
+			}
+			if f.SendOverhead, err = kv.duration("send-overhead"); err != nil {
+				return fail("%v", err)
+			}
+			if f.RecvOverhead, err = kv.duration("recv-overhead"); err != nil {
+				return fail("%v", err)
+			}
+			f.AllToAll = kv["alltoall"]
+			sys.Fabric = f
+		default:
+			return fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("model: hardware text: %w", err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func demoSystem() *HWSystem {
+	return &HWSystem{
+		Name: "demo",
+		Board: &Board{
+			Name:         "quad",
+			Proc:         &Processor{Name: "ppc", ClockHz: 200e6, FlopsPerCycle: 0.3, MemCopyBW: 180e6},
+			NumProcs:     4,
+			IntraLatency: 5 * time.Microsecond,
+			IntraBW:      240e6,
+		},
+		NumBoards: 2,
+		Fabric: &Fabric{
+			Name: "myrinet", Latency: 15 * time.Microsecond, BW: 160e6, Concurrency: 8,
+			SendOverhead: 8 * time.Microsecond, RecvOverhead: 8 * time.Microsecond, AllToAll: "pairwise",
+		},
+	}
+}
+
+func TestHWTextRoundTrip(t *testing.T) {
+	sys := demoSystem()
+	var buf bytes.Buffer
+	if err := sys.WriteHWText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHWText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("%v\ntext:\n%s", err, buf.String())
+	}
+	if got.Platform() != sys.Platform() {
+		t.Fatalf("platforms differ:\n%+v\n%+v", got.Platform(), sys.Platform())
+	}
+	if got.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d", got.NumNodes())
+	}
+	// Stable output.
+	var buf2 bytes.Buffer
+	if err := got.WriteHWText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("not stable:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestWriteHWTextRejectsInvalid(t *testing.T) {
+	sys := demoSystem()
+	sys.NumBoards = 0
+	if err := sys.WriteHWText(&bytes.Buffer{}); err == nil {
+		t.Fatal("invalid system serialised")
+	}
+}
+
+func TestReadHWTextErrors(t *testing.T) {
+	good := func() string {
+		var buf bytes.Buffer
+		if err := demoSystem().WriteHWText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := map[string]string{
+		"empty":           "",
+		"missing fabric":  strings.Replace(good, "fabric", "# fabric", 1),
+		"bad clock":       strings.Replace(good, "clock 2e+08", "clock fast", 1),
+		"bad latency":     strings.Replace(good, "latency 15µs", "latency soon", 1),
+		"odd kv":          "hardware x boards\n",
+		"unknown":         "hardware x boards 1\nwarp y speed 9\n",
+		"bad concurrency": strings.Replace(good, "concurrency 8", "concurrency many", 1),
+		"bad alltoall":    strings.Replace(good, "alltoall pairwise", "alltoall warp", 1),
+	}
+	for name, text := range cases {
+		if _, err := ReadHWText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s accepted:\n%s", name, text)
+		}
+	}
+}
+
+func TestReadHWTextComments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoSystem().WriteHWText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := "# custom hardware\n\n" + buf.String()
+	if _, err := ReadHWText(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+}

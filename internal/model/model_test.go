@@ -1,0 +1,570 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildPipeline constructs a minimal valid app: src -> work (T threads) -> sink.
+func buildPipeline(t *testing.T, workThreads int) *App {
+	t.Helper()
+	a := NewApp("pipe")
+	mt, err := a.AddType(&DataType{Name: "m", Rows: 16, Cols: 16, Elem: ElemComplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := a.AddFunction(&Function{Name: "src", Kind: "source_matrix", Threads: 1})
+	src.AddOutput("out", mt, ByRows)
+	work := a.AddFunction(&Function{Name: "work", Kind: "fft_rows", Threads: workThreads})
+	work.AddInput("in", mt, ByRows)
+	work.AddOutput("out", mt, ByRows)
+	sink := a.AddFunction(&Function{Name: "sink", Kind: "sink_matrix", Threads: 1})
+	sink.AddInput("in", mt, ByRows)
+	if _, err := a.Connect("src", "out", "work", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect("work", "out", "sink", "in"); err != nil {
+		t.Fatal(err)
+	}
+	a.AssignIDs()
+	return a
+}
+
+func TestDataTypeValidate(t *testing.T) {
+	good := &DataType{Name: "x", Rows: 4, Cols: 4, Elem: ElemComplex}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []*DataType{
+		{Name: "", Rows: 4, Cols: 4, Elem: ElemComplex},
+		{Name: "x", Rows: 0, Cols: 4, Elem: ElemComplex},
+		{Name: "x", Rows: 4, Cols: -1, Elem: ElemComplex},
+		{Name: "x", Rows: 4, Cols: 4, Elem: "quaternion"},
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad type %d accepted", i)
+		}
+	}
+}
+
+func TestDataTypeBytes(t *testing.T) {
+	tt := &DataType{Name: "x", Rows: 4, Cols: 8, Elem: ElemComplex}
+	if tt.Elems() != 32 || tt.Bytes() != 256 {
+		t.Fatalf("elems=%d bytes=%d", tt.Elems(), tt.Bytes())
+	}
+	ft := &DataType{Name: "f", Rows: 2, Cols: 2, Elem: ElemFloat}
+	if ft.Bytes() != 16 {
+		t.Fatalf("float bytes = %d", ft.Bytes())
+	}
+	bt := &DataType{Name: "b", Rows: 3, Cols: 1, Elem: ElemByte}
+	if bt.Bytes() != 3 {
+		t.Fatalf("byte bytes = %d", bt.Bytes())
+	}
+}
+
+func TestPartitionByRows(t *testing.T) {
+	// 10 rows over 4 threads: 2,3,2,3 split by the block formula.
+	sizes := []int{}
+	for i := 0; i < 4; i++ {
+		r, err := Partition(ByRows, 10, 6, 4, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cols != 6 || r.C0 != 0 {
+			t.Fatalf("thread %d region %v should span all cols", i, r)
+		}
+		sizes = append(sizes, r.Rows)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 10 {
+		t.Fatalf("row partitions %v do not cover 10 rows", sizes)
+	}
+}
+
+func TestPartitionPropertyCoverDisjoint(t *testing.T) {
+	// Property: for any striping and thread count, partitions are disjoint
+	// and cover the whole data set.
+	check := func(rowsRaw, colsRaw, tRaw uint8, byCols bool) bool {
+		rows := 1 + int(rowsRaw%64)
+		cols := 1 + int(colsRaw%64)
+		s := ByRows
+		limit := rows
+		if byCols {
+			s = ByCols
+			limit = cols
+		}
+		tn := 1 + int(tRaw)%limit
+		covered := 0
+		var regions []Region
+		for i := 0; i < tn; i++ {
+			r, err := Partition(s, rows, cols, tn, i)
+			if err != nil {
+				return false
+			}
+			covered += r.Elems()
+			regions = append(regions, r)
+		}
+		if covered != rows*cols {
+			return false
+		}
+		for i := range regions {
+			for j := i + 1; j < len(regions); j++ {
+				if !regions[i].Intersect(regions[j]).Empty() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionReplicated(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		r, err := Partition(Replicated, 8, 8, 3, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != (Region{Rows: 8, Cols: 8}) {
+			t.Fatalf("replicated partition %v", r)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(ByRows, 8, 8, 0, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := Partition(ByRows, 8, 8, 2, 2); err == nil {
+		t.Error("index out of range accepted")
+	}
+	if _, err := Partition("diagonal", 8, 8, 2, 0); err == nil {
+		t.Error("bad striping accepted")
+	}
+}
+
+func TestRegionIntersect(t *testing.T) {
+	a := Region{R0: 0, C0: 0, Rows: 4, Cols: 4}
+	b := Region{R0: 2, C0: 2, Rows: 4, Cols: 4}
+	got := a.Intersect(b)
+	if got != (Region{R0: 2, C0: 2, Rows: 2, Cols: 2}) {
+		t.Fatalf("intersect = %v", got)
+	}
+	c := Region{R0: 10, C0: 10, Rows: 2, Cols: 2}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint intersect not empty")
+	}
+	if a.Intersect(c).Elems() != 0 {
+		t.Fatal("empty region has elements")
+	}
+	if s := b.String(); !strings.Contains(s, "4x4") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestValidateAcceptsPipeline(t *testing.T) {
+	a := buildPipeline(t, 4)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesUndrivenInput(t *testing.T) {
+	a := buildPipeline(t, 4)
+	extra := a.AddFunction(&Function{Name: "orphan", Kind: "fft_rows", Threads: 1})
+	extra.AddInput("in", a.MustType("m"), ByRows)
+	extra.AddOutput("out", a.MustType("m"), ByRows)
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "not driven") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesDuplicateNamesAndBadThreads(t *testing.T) {
+	a := buildPipeline(t, 4)
+	a.AddFunction(&Function{Name: "src", Kind: "source_matrix", Threads: 0})
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "threads") {
+		t.Fatalf("thread error missing: %v", err)
+	}
+}
+
+func TestValidateCatchesShapeMismatch(t *testing.T) {
+	a := buildPipeline(t, 4)
+	small, _ := a.AddType(&DataType{Name: "small", Rows: 4, Cols: 4, Elem: ElemComplex})
+	bad := a.AddFunction(&Function{Name: "bad", Kind: "sink_matrix", Threads: 1})
+	bad.AddInput("in", small, ByRows)
+	if _, err := a.Connect("work", "out", "bad", "in"); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "incompatible shapes") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesOverStriping(t *testing.T) {
+	a := NewApp("x")
+	mt, _ := a.AddType(&DataType{Name: "m", Rows: 2, Cols: 2, Elem: ElemComplex})
+	f := a.AddFunction(&Function{Name: "f", Kind: "fft_rows", Threads: 8})
+	f.AddInput("in", mt, ByRows)
+	f.AddOutput("out", mt, ByRows)
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "stripes") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	a := NewApp("cyc")
+	mt, _ := a.AddType(&DataType{Name: "m", Rows: 4, Cols: 4, Elem: ElemComplex})
+	f1 := a.AddFunction(&Function{Name: "f1", Kind: "k", Threads: 1})
+	f1.AddInput("in", mt, Replicated)
+	f1.AddOutput("out", mt, Replicated)
+	f2 := a.AddFunction(&Function{Name: "f2", Kind: "k", Threads: 1})
+	f2.AddInput("in", mt, Replicated)
+	f2.AddOutput("out", mt, Replicated)
+	if _, err := a.Connect("f1", "out", "f2", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect("f2", "out", "f1", "in"); err != nil {
+		t.Fatal(err)
+	}
+	a.AssignIDs()
+	err := a.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	a := buildPipeline(t, 2)
+	if _, err := a.Connect("nosuch", "out", "sink", "in"); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := a.Connect("src", "nosuch", "sink", "in"); err == nil {
+		t.Error("unknown port accepted")
+	}
+	if _, err := a.Connect("sink", "in", "src", "out"); err == nil {
+		t.Error("reversed arc accepted")
+	}
+}
+
+func TestTopoOrderAndSourcesSinks(t *testing.T) {
+	a := buildPipeline(t, 2)
+	order, err := a.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0].Name != "src" || order[2].Name != "sink" {
+		t.Fatalf("order = %v", []string{order[0].Name, order[1].Name, order[2].Name})
+	}
+	if s := a.Sources(); len(s) != 1 || s[0].Name != "src" {
+		t.Fatalf("sources = %v", s)
+	}
+	if s := a.Sinks(); len(s) != 1 || s[0].Name != "sink" {
+		t.Fatalf("sinks = %v", s)
+	}
+}
+
+func TestAssignIDsDesignerOrder(t *testing.T) {
+	a := buildPipeline(t, 2)
+	for i, f := range a.Functions {
+		if f.ID != i {
+			t.Fatalf("function %s has ID %d, want %d", f.Name, f.ID, i)
+		}
+	}
+}
+
+func TestFlattenComposite(t *testing.T) {
+	a := NewApp("comp")
+	mt, _ := a.AddType(&DataType{Name: "m", Rows: 16, Cols: 16, Elem: ElemComplex})
+
+	src := a.AddFunction(&Function{Name: "src", Kind: "source_matrix", Threads: 1})
+	src.AddOutput("out", mt, ByRows)
+
+	// Composite "stage" wraps two chained leaf functions.
+	inner1 := &Function{Name: "a", Kind: "fft_rows", Threads: 2}
+	in1 := inner1.AddInput("in", mt, ByRows)
+	out1 := inner1.AddOutput("out", mt, ByRows)
+	inner2 := &Function{Name: "b", Kind: "fft_rows", Threads: 2}
+	in2 := inner2.AddInput("in", mt, ByRows)
+	out2 := inner2.AddOutput("out", mt, ByRows)
+
+	comp := &Function{Name: "stage", Threads: 1}
+	cin := comp.AddInput("in", mt, ByRows)
+	cout := comp.AddOutput("out", mt, ByRows)
+	comp.Body = &Subgraph{
+		Functions: []*Function{inner1, inner2},
+		Arcs:      []*Arc{{From: out1, To: in2}},
+		Bind:      map[*Port]*Port{cin: in1, cout: out2},
+	}
+	a.AddFunction(comp)
+
+	sink := a.AddFunction(&Function{Name: "sink", Kind: "sink_matrix", Threads: 1})
+	sink.AddInput("in", mt, ByRows)
+	if _, err := a.Connect("src", "out", "stage", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect("stage", "out", "sink", "in"); err != nil {
+		t.Fatal(err)
+	}
+
+	flat, err := a.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Functions) != 4 {
+		t.Fatalf("flattened to %d functions, want 4", len(flat.Functions))
+	}
+	if flat.Function("stage/a") == nil || flat.Function("stage/b") == nil {
+		t.Fatal("inner functions not present with prefixed names")
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Arcs) != 3 {
+		t.Fatalf("flattened arcs = %d, want 3", len(flat.Arcs))
+	}
+}
+
+func TestFlattenUnboundPortFails(t *testing.T) {
+	a := NewApp("comp")
+	mt, _ := a.AddType(&DataType{Name: "m", Rows: 4, Cols: 4, Elem: ElemComplex})
+	comp := &Function{Name: "c", Threads: 1}
+	comp.AddInput("in", mt, ByRows)
+	comp.Body = &Subgraph{Bind: map[*Port]*Port{}}
+	a.AddFunction(comp)
+	if _, err := a.Flatten(); err == nil {
+		t.Fatal("unbound boundary port accepted")
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	a := buildPipeline(t, 4)
+	m := NewMapping()
+	m.Set("src", 0)
+	m.Set("work", 0, 1, 2, 3)
+	m.Set("sink", 0)
+	if err := m.Validate(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(a, 2); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	m.Set("work", 0, 1)
+	if err := m.Validate(a, 4); err == nil {
+		t.Fatal("wrong thread count accepted")
+	}
+	delete(m.Assign, "src")
+	if err := m.Validate(a, 4); err == nil {
+		t.Fatal("missing function accepted")
+	}
+}
+
+func TestMappingHelpers(t *testing.T) {
+	m := NewMapping()
+	m.Set("f", 3, 1)
+	n, err := m.NodeOf("f", 1)
+	if err != nil || n != 1 {
+		t.Fatalf("NodeOf = %d, %v", n, err)
+	}
+	if _, err := m.NodeOf("g", 0); err == nil {
+		t.Fatal("unknown fn accepted")
+	}
+	if _, err := m.NodeOf("f", 5); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+	used := m.NodesUsed()
+	if len(used) != 2 || used[0] != 1 || used[1] != 3 {
+		t.Fatalf("NodesUsed = %v", used)
+	}
+	cl := m.Clone()
+	cl.Set("f", 0, 0)
+	if m.Assign["f"][0] != 3 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestRoundRobinAndSpreadParallel(t *testing.T) {
+	a := buildPipeline(t, 4)
+	rr := RoundRobin(a, 4)
+	if err := rr.Validate(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpreadParallel(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	// SpreadParallel puts work thread i on node i.
+	for i := 0; i < 4; i++ {
+		if sp.Assign["work"][i] != i {
+			t.Fatalf("work mapping = %v", sp.Assign["work"])
+		}
+	}
+	if _, err := SpreadParallel(a, 2); err == nil {
+		t.Fatal("over-wide function accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	a := buildPipeline(t, 4)
+	a.Function("work").Params = map[string]any{"size": 16, "scale": 1.5, "label": "hello world"}
+	a.Function("work").SetProp("probe", true)
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("%v\ntext:\n%s", err, buf.String())
+	}
+	if got.Name != "pipe" || len(got.Functions) != 3 || len(got.Arcs) != 2 {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	w := got.Function("work")
+	if w.Params["size"] != 16 || w.Params["scale"] != 1.5 || w.Params["label"] != "hello world" {
+		t.Fatalf("params = %v", w.Params)
+	}
+	if w.Props["probe"] != true {
+		t.Fatalf("props = %v", w.Props)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Serialise again: stable output.
+	var buf2 bytes.Buffer
+	if err := got.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("serialisation not stable:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no app":         "type m 4 4 complex\n",
+		"bad type":       "app x\ntype m zero 4 complex\n",
+		"dup type":       "app x\ntype m 4 4 complex\ntype m 4 4 complex\n",
+		"unknown type":   "app x\nfunction f k threads 1\n  in p nosuch rows\n",
+		"bad stripe":     "app x\ntype m 4 4 complex\nfunction f k threads 1\n  in p m diagonal\n",
+		"port no fn":     "app x\ntype m 4 4 complex\n  in p m rows\n",
+		"bad arc":        "app x\narc a b c\n",
+		"unknown arc fn": "app x\narc a.x -> b.y\n",
+		"bad directive":  "app x\nfrobnicate\n",
+		"bad threads":    "app x\nfunction f k threads many\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	text := "# a comment\napp x\n\n# another\ntype m 4 4 complex\n"
+	a, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Types) != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestMappingTextRoundTrip(t *testing.T) {
+	m := NewMapping()
+	m.Set("alpha", 0, 1, 2)
+	m.Set("beta", 3)
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf, "myapp"); err != nil {
+		t.Fatal(err)
+	}
+	got, app, err := ReadMappingText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != "myapp" {
+		t.Fatalf("app = %q", app)
+	}
+	if len(got.Assign["alpha"]) != 3 || got.Assign["beta"][0] != 3 {
+		t.Fatalf("assign = %v", got.Assign)
+	}
+}
+
+func TestReadMappingErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"no header": "map f 0\n",
+		"bad node":  "mapping x\nmap f zero\n",
+		"short map": "mapping x\nmap f\n",
+		"unknown":   "mapping x\nfrob\n",
+	} {
+		if _, _, err := ReadMappingText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestHWSystemPlatformRoundTrip(t *testing.T) {
+	proc := &Processor{Name: "ppc603e", ClockHz: 200e6, FlopsPerCycle: 0.3, MemCopyBW: 85e6}
+	sys := &HWSystem{
+		Name:      "CSPI-like",
+		Board:     &Board{Name: "quad", Proc: proc, NumProcs: 4, IntraLatency: 5000, IntraBW: 240e6},
+		NumBoards: 2,
+		Fabric:    &Fabric{Name: "myrinet", Latency: 15000, BW: 160e6, Concurrency: 8, SendOverhead: 8000, RecvOverhead: 8000, AllToAll: "pairwise"},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d", sys.NumNodes())
+	}
+	pl := sys.Platform()
+	back := SystemFromPlatform(pl, 2)
+	if back.Platform() != pl {
+		t.Fatalf("platform round trip: %+v vs %+v", back.Platform(), pl)
+	}
+}
+
+func TestHWSystemValidateErrors(t *testing.T) {
+	if err := (&HWSystem{}).Validate(); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	sys := &HWSystem{Name: "x", Board: &Board{Proc: &Processor{}, NumProcs: 1}, NumBoards: 0, Fabric: &Fabric{}}
+	if err := sys.Validate(); err == nil {
+		t.Fatal("zero boards accepted")
+	}
+}
+
+func TestFunctionPropAndPort(t *testing.T) {
+	f := &Function{Name: "f", Kind: "k", Threads: 1}
+	if f.Prop("missing", 42) != 42 {
+		t.Fatal("default not returned")
+	}
+	f.SetProp("x", "y")
+	if f.Prop("x", nil) != "y" {
+		t.Fatal("prop not stored")
+	}
+	if f.Port("nosuch") != nil {
+		t.Fatal("phantom port")
+	}
+	if f.IsComposite() {
+		t.Fatal("leaf reported composite")
+	}
+}

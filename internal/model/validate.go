@@ -1,0 +1,117 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural integrity of the application model:
+// non-empty names, valid types and striping, ports wired correctly, every
+// input driven by exactly one arc, every output consumed, shapes compatible
+// across arcs, and an acyclic dataflow graph. Kind-specific checks (does the
+// function library know this Kind, are its ports right) belong to the
+// function library, which layers on top.
+func (a *App) Validate() error {
+	var errs []error
+	add := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if a.Name == "" {
+		add("model: application with empty name")
+	}
+	for _, t := range a.Types {
+		if err := t.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	seen := map[string]bool{}
+	for _, f := range a.Functions {
+		if f.Name == "" {
+			add("model: function with empty name")
+			continue
+		}
+		if seen[f.Name] {
+			add("model: duplicate function name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Threads < 1 {
+			add("model: function %q has %d threads, want >= 1", f.Name, f.Threads)
+		}
+		if f.Kind == "" && !f.IsComposite() {
+			add("model: function %q has no kind and no body", f.Name)
+		}
+		for _, p := range append(append([]*Port{}, f.Inputs...), f.Outputs...) {
+			if p.Fn != f {
+				add("model: port %s has broken back-pointer", p.QualifiedName())
+			}
+			if p.Type == nil {
+				add("model: port %s has no data type", p.QualifiedName())
+				continue
+			}
+			if a.Types[p.Type.Name] != p.Type {
+				add("model: port %s uses type %q not in the dictionary", p.QualifiedName(), p.Type.Name)
+			}
+			if !ValidStripe(p.Striping) {
+				add("model: port %s has invalid striping %q", p.QualifiedName(), p.Striping)
+			}
+			// Striped ports must divide cleanly enough that no thread is
+			// left with an empty partition.
+			if p.Striping == ByRows && f.Threads > p.Type.Rows {
+				add("model: port %s stripes %d rows over %d threads", p.QualifiedName(), p.Type.Rows, f.Threads)
+			}
+			if p.Striping == ByCols && f.Threads > p.Type.Cols {
+				add("model: port %s stripes %d cols over %d threads", p.QualifiedName(), p.Type.Cols, f.Threads)
+			}
+		}
+	}
+
+	inDriven := map[*Port]int{}
+	outUsed := map[*Port]int{}
+	for _, arc := range a.Arcs {
+		if arc.From == nil || arc.To == nil {
+			add("model: arc with nil endpoint")
+			continue
+		}
+		if arc.From.Dir != Out {
+			add("model: arc source %s is not an output", arc.From.QualifiedName())
+		}
+		if arc.To.Dir != In {
+			add("model: arc destination %s is not an input", arc.To.QualifiedName())
+		}
+		inDriven[arc.To]++
+		outUsed[arc.From]++
+		// Arc endpoints must agree on the data set shape; the striping may
+		// differ (that is how redistribution is expressed) but the logical
+		// data set is one and the same.
+		ft, tt := arc.From.Type, arc.To.Type
+		if ft != nil && tt != nil {
+			if ft.Rows != tt.Rows || ft.Cols != tt.Cols || ft.Elem != tt.Elem {
+				add("model: arc %s connects incompatible shapes %dx%d(%s) -> %dx%d(%s)",
+					arc, ft.Rows, ft.Cols, ft.Elem, tt.Rows, tt.Cols, tt.Elem)
+			}
+		}
+	}
+	for _, f := range a.Functions {
+		for _, p := range f.Inputs {
+			switch inDriven[p] {
+			case 0:
+				add("model: input %s is not driven by any arc", p.QualifiedName())
+			case 1:
+			default:
+				add("model: input %s is driven by %d arcs", p.QualifiedName(), inDriven[p])
+			}
+		}
+		for _, p := range f.Outputs {
+			if outUsed[p] == 0 {
+				add("model: output %s is not consumed by any arc", p.QualifiedName())
+			}
+		}
+	}
+
+	if len(errs) == 0 {
+		if _, err := a.TopoOrder(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a sub-communicator: a subset of world ranks with a private rank
+// numbering and tag space, split off the world like MPI_Comm_split. The 2D
+// decompositions of signal-processing codes use these as row/column
+// communicators.
+//
+// Every member must construct the communicator with the same member list
+// and color; collectives then run entirely inside the group.
+type Comm struct {
+	under   *Rank
+	members []int // sorted world ranks
+	myIdx   int
+	tagBase int
+}
+
+// maxComms bounds the per-world communicator colors so tag spaces stay
+// disjoint: world collectives use [collTagBase, collTagBase+commTagSpan),
+// color c uses the (c+1)-th span.
+const (
+	commTagSpan = 1 << 16
+	maxComms    = 100
+)
+
+// Split creates the communicator of the given color containing exactly the
+// listed world ranks (which must include this rank). All listed ranks must
+// call Split with identical arguments, as in MPI.
+func (r *Rank) Split(color int, members []int) (*Comm, error) {
+	if color < 0 || color >= maxComms {
+		return nil, fmt.Errorf("mpi: split color %d outside [0, %d)", color, maxComms)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("mpi: split with no members")
+	}
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	myIdx := -1
+	for i, m := range sorted {
+		if m < 0 || m >= r.Size() {
+			return nil, fmt.Errorf("mpi: split member %d outside world of %d", m, r.Size())
+		}
+		if i > 0 && sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("mpi: split member %d duplicated", m)
+		}
+		if m == r.id {
+			myIdx = i
+		}
+	}
+	if myIdx < 0 {
+		return nil, fmt.Errorf("mpi: rank %d not in its own split member list %v", r.id, sorted)
+	}
+	return &Comm{
+		under:   r,
+		members: sorted,
+		myIdx:   myIdx,
+		tagBase: collTagBase + (color+1)*commTagSpan,
+	}, nil
+}
+
+// Size reports the communicator's rank count.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Rank reports this member's rank within the communicator.
+func (c *Comm) Rank() int { return c.myIdx }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(i int) int { return c.members[i] }
+
+func (c *Comm) checkRank(i int) {
+	if i < 0 || i >= len(c.members) {
+		panic(fmt.Sprintf("mpi: comm rank %d of %d", i, len(c.members)))
+	}
+}
+
+// Send transmits to communicator rank dst with a tag below commTagSpan/2.
+func (c *Comm) Send(dst, tag int, body Payload) {
+	c.checkRank(dst)
+	c.under.Send(c.members[dst], c.tagBase+tag, body)
+}
+
+// Recv receives from communicator rank src.
+func (c *Comm) Recv(src, tag int) Payload {
+	c.checkRank(src)
+	return c.under.Recv(c.members[src], c.tagBase+tag)
+}
+
+// Sendrecv sends to dst and then receives from src.
+func (c *Comm) Sendrecv(dst, sendTag int, body Payload, src, recvTag int) Payload {
+	c.Send(dst, sendTag, body)
+	return c.Recv(src, recvTag)
+}
+
+// collective builds the group's collCtx.
+func (c *Comm) collective() *collCtx {
+	return &collCtx{
+		size: len(c.members),
+		me:   c.myIdx,
+		send: func(dst, tag int, body Payload) {
+			c.under.Send(c.members[dst], c.tagBase+tag, body)
+		},
+		recv: func(src, tag int) Payload {
+			return c.under.Recv(c.members[src], c.tagBase+tag)
+		},
+		memcpySelf: func(bytes int) {
+			c.under.node.Memcpy(c.under.proc, bytes)
+		},
+	}
+}
+
+// Barrier synchronises the communicator's members.
+func (c *Comm) Barrier() { barrierOn(c.collective()) }
+
+// Bcast distributes root's payload within the communicator.
+func (c *Comm) Bcast(root int, body Payload) Payload {
+	c.checkRank(root)
+	return bcastOn(c.collective(), root, body)
+}
+
+// Gather collects one payload per member at root (indexed by comm rank).
+func (c *Comm) Gather(root int, body Payload) []Payload {
+	c.checkRank(root)
+	return gatherOn(c.collective(), root, body)
+}
+
+// Scatter distributes parts[i] from root to comm rank i.
+func (c *Comm) Scatter(root int, parts []Payload) Payload {
+	c.checkRank(root)
+	return scatterOn(c.collective(), root, parts)
+}
+
+// Alltoall exchanges parts within the communicator.
+func (c *Comm) Alltoall(parts []Payload, alg AlltoallAlgorithm) []Payload {
+	return alltoallOn(c.collective(), parts, alg)
+}
+
+// Reduce combines every member's payload at root.
+func (c *Comm) Reduce(root int, body Payload, op ReduceOp) Payload {
+	c.checkRank(root)
+	return reduceOn(c.collective(), root, body, op)
+}
+
+// Allreduce combines every member's payload on all members.
+func (c *Comm) Allreduce(body Payload, op ReduceOp) Payload {
+	return allreduceOn(c.collective(), body, op)
+}

@@ -1,0 +1,217 @@
+// Package mpi implements the message-passing substrate of the reproduction:
+// a deterministic MPI subset (point-to-point with tag matching, barrier,
+// broadcast, gather/scatter, and three all-to-all algorithms) executing on the
+// simulated multicomputer of internal/machine.
+//
+// The paper's benchmarks — and the vendor systems it measures — are MPI
+// programs; the corner turn in particular is dominated by MPI_All_to_All,
+// which "each vendor implemented ... tailored to their respective hardware".
+// This package therefore provides selectable all-to-all algorithms (direct,
+// pairwise-exchange, Bruck) so platform descriptors can express that tuning.
+//
+// Real data moves through every call: Send delivers the payload object to the
+// matching Recv, while the machine model charges virtual time for software
+// overhead, wire serialisation, latency and contention. One rank runs per
+// node, but a rank may host multiple simulated threads (the SAGE runtime
+// does); tag matching keeps concurrent receivers on one rank independent.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// EnvelopeBytes is the wire-size overhead charged per message.
+const EnvelopeBytes = 32
+
+// Payload is a typed message body together with its wire size in bytes. The
+// wire size is explicit because the simulated hardware era used single
+// precision (8-byte complex) while the Go kernels compute in float64.
+type Payload struct {
+	Bytes int
+	Data  any
+}
+
+// BytesPerComplex is the wire size of one complex sample (complex64 on the
+// 1999-era targets).
+const BytesPerComplex = 8
+
+// ComplexPayload wraps a complex vector, priced at single-precision size.
+func ComplexPayload(data []complex128) Payload {
+	return Payload{Bytes: BytesPerComplex * len(data), Data: data}
+}
+
+// Complex extracts a complex vector payload, panicking on type mismatch
+// (which is a protocol bug, not a runtime condition).
+func (p Payload) Complex() []complex128 {
+	v, ok := p.Data.([]complex128)
+	if !ok {
+		panic(fmt.Sprintf("mpi: payload holds %T, want []complex128", p.Data))
+	}
+	return v
+}
+
+// Float64Payload wraps a float64 vector, priced at float32 wire size.
+func Float64Payload(data []float64) Payload {
+	return Payload{Bytes: 4 * len(data), Data: data}
+}
+
+// Empty returns a zero-byte payload (control messages).
+func Empty() Payload { return Payload{} }
+
+// message is the wire unit: envelope fields used for matching plus payload.
+type message struct {
+	src  int
+	tag  int
+	body Payload
+}
+
+// waiter is a blocked receiver: a match key plus a private one-shot channel
+// the matching message is handed over on.
+type waiter struct {
+	src, tag int
+	ch       *sim.Chan[message]
+}
+
+// endpoint is the per-rank receive engine: an unordered pending set matched
+// by (source, tag), serving possibly many simulated threads on one rank.
+type endpoint struct {
+	k       *sim.Kernel
+	rank    int
+	pending []message
+	waiters []*waiter
+}
+
+func matches(m *message, src, tag int) bool {
+	return m.src == src && m.tag == tag
+}
+
+// deliver makes m visible to receivers at the current virtual instant,
+// handing it to the first blocked waiter that matches (FIFO among waiters).
+func (e *endpoint) deliver(m message) {
+	for i, w := range e.waiters {
+		if matches(&m, w.src, w.tag) {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			w.ch.Send(m)
+			return
+		}
+	}
+	e.pending = append(e.pending, m)
+}
+
+// recv blocks the calling process until a message matching (src, tag) is
+// available and returns it.
+func (e *endpoint) recv(p *sim.Proc, src, tag int) message {
+	for i := range e.pending {
+		if matches(&e.pending[i], src, tag) {
+			m := e.pending[i]
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return m
+		}
+	}
+	w := &waiter{
+		src: src, tag: tag,
+		ch: sim.NewChan[message](e.k, fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag)),
+	}
+	e.waiters = append(e.waiters, w)
+	return w.ch.Recv(p)
+}
+
+// World is an MPI job: one rank per machine node.
+type World struct {
+	Mach      *machine.Machine
+	endpoints []*endpoint
+}
+
+// NewWorld creates a world spanning every node of the machine.
+func NewWorld(m *machine.Machine) *World {
+	w := &World{Mach: m}
+	for i := 0; i < m.NumNodes(); i++ {
+		w.endpoints = append(w.endpoints, &endpoint{k: m.K, rank: i})
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.endpoints) }
+
+// Rank is the handle a simulated thread uses to communicate as world rank id.
+// Multiple threads on the same rank may share the id; tags must disambiguate.
+type Rank struct {
+	w    *World
+	id   int
+	node *machine.Node
+	proc *sim.Proc
+}
+
+// Launch spawns body as the main thread of every rank and returns once all
+// processes are created (call w.Mach.K.Run() to execute). Rank i runs on
+// machine node i.
+func (w *World) Launch(name string, body func(r *Rank)) {
+	for i := 0; i < w.Size(); i++ {
+		i := i
+		w.Mach.K.Spawn(fmt.Sprintf("%s.rank%d", name, i), func(p *sim.Proc) {
+			body(&Rank{w: w, id: i, node: w.Mach.Node(i), proc: p})
+		})
+	}
+}
+
+// Attach creates a Rank handle for an existing simulated process p acting as
+// rank id (used by the SAGE runtime, which manages its own threads).
+func (w *World) Attach(id int, p *sim.Proc) *Rank {
+	if id < 0 || id >= w.Size() {
+		panic(fmt.Sprintf("mpi: attach to rank %d of world size %d", id, w.Size()))
+	}
+	return &Rank{w: w, id: id, node: w.Mach.Node(id), proc: p}
+}
+
+// ID reports this rank's id.
+func (r *Rank) ID() int { return r.id }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return r.w.Size() }
+
+// Proc exposes the underlying simulated process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Node exposes the node this rank runs on.
+func (r *Rank) Node() *machine.Node { return r.node }
+
+// Send transmits body to rank dst with the given tag. The caller is blocked
+// for the send-side costs (software overhead plus wire serialisation under
+// contention); delivery to dst happens asynchronously after the fabric
+// latency. Send never blocks on the receiver, so exchange patterns in which
+// every rank sends before receiving are deadlock-free.
+func (r *Rank) Send(dst, tag int, body Payload) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mpi: send to rank %d of world size %d", dst, r.Size()))
+	}
+	arrival := r.node.Transfer(r.proc, dst, body.Bytes+EnvelopeBytes)
+	ep := r.w.endpoints[dst]
+	m := message{src: r.id, tag: tag, body: body}
+	if arrival <= r.proc.Now() {
+		ep.deliver(m)
+		return
+	}
+	r.w.Mach.K.After(arrival.Sub(r.proc.Now()), func() { ep.deliver(m) })
+}
+
+// Recv blocks until a message from src with the given tag arrives, charges
+// the receive software overhead, and returns the payload.
+func (r *Rank) Recv(src, tag int) Payload {
+	if src < 0 || src >= r.Size() {
+		panic(fmt.Sprintf("mpi: recv from rank %d of world size %d", src, r.Size()))
+	}
+	m := r.w.endpoints[r.id].recv(r.proc, src, tag)
+	r.node.RecvOverhead(r.proc)
+	return m.body
+}
+
+// Sendrecv sends to dst and then receives from src (safe because Send does
+// not block on the receiver).
+func (r *Rank) Sendrecv(dst, sendTag int, body Payload, src, recvTag int) Payload {
+	r.Send(dst, sendTag, body)
+	return r.Recv(src, recvTag)
+}

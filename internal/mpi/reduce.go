@@ -1,0 +1,57 @@
+package mpi
+
+import "fmt"
+
+// ReduceOp combines two payloads into one. Implementations must tolerate
+// nil Data (charge-only iterations carry sizes without samples) by
+// combining only the Bytes fields.
+type ReduceOp func(a, b Payload) Payload
+
+// SumComplex element-wise adds complex vectors (the canonical reduction of
+// the signal-processing library, e.g. beam summation).
+func SumComplex(a, b Payload) Payload {
+	out := Payload{Bytes: maxInt(a.Bytes, b.Bytes)}
+	if a.Data == nil || b.Data == nil {
+		return out
+	}
+	av, bv := a.Complex(), b.Complex()
+	if len(av) != len(bv) {
+		panic(fmt.Sprintf("mpi: SumComplex length mismatch %d vs %d", len(av), len(bv)))
+	}
+	sum := make([]complex128, len(av))
+	for i := range av {
+		sum[i] = av[i] + bv[i]
+	}
+	out.Data = sum
+	return out
+}
+
+// MaxFloat64 keeps the element-wise maximum of float64 vectors (detection
+// across channels).
+func MaxFloat64(a, b Payload) Payload {
+	out := Payload{Bytes: maxInt(a.Bytes, b.Bytes)}
+	if a.Data == nil || b.Data == nil {
+		return out
+	}
+	av := a.Data.([]float64)
+	bv := b.Data.([]float64)
+	if len(av) != len(bv) {
+		panic(fmt.Sprintf("mpi: MaxFloat64 length mismatch %d vs %d", len(av), len(bv)))
+	}
+	m := make([]float64, len(av))
+	for i := range av {
+		m[i] = av[i]
+		if bv[i] > m[i] {
+			m[i] = bv[i]
+		}
+	}
+	out.Data = m
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReduceSumComplexAllRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < n && root < 3; root++ {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n=%d root=%d", n, root), func(t *testing.T) {
+				k, w := world(n)
+				var got []complex128
+				w.Launch("t", func(r *Rank) {
+					v := []complex128{complex(float64(r.ID()), 0), complex(0, float64(r.ID()))}
+					res := r.Reduce(root, ComplexPayload(v), SumComplex)
+					if r.ID() == root {
+						got = res.Complex()
+					}
+				})
+				run(t, k)
+				want := complex128(0)
+				for i := 0; i < n; i++ {
+					want += complex(float64(i), 0)
+				}
+				if got[0] != want || got[1] != complex(0, real(want)) {
+					t.Fatalf("reduce = %v, want sum %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceAllRanksAgree(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			k, w := world(n)
+			results := make([][]complex128, n)
+			w.Launch("t", func(r *Rank) {
+				v := []complex128{complex(1, 0), complex(float64(r.ID()), 0)}
+				results[r.ID()] = r.Allreduce(ComplexPayload(v), SumComplex).Complex()
+			})
+			run(t, k)
+			wantSecond := 0.0
+			for i := 0; i < n; i++ {
+				wantSecond += float64(i)
+			}
+			for rank, res := range results {
+				if real(res[0]) != float64(n) || real(res[1]) != wantSecond {
+					t.Fatalf("rank %d allreduce = %v, want [%d %v]", rank, res, n, wantSecond)
+				}
+			}
+		})
+	}
+}
+
+func TestMaxFloat64Op(t *testing.T) {
+	a := Payload{Bytes: 8, Data: []float64{1, 5}}
+	b := Payload{Bytes: 8, Data: []float64{3, 2}}
+	got := MaxFloat64(a, b).Data.([]float64)
+	if got[0] != 3 || got[1] != 5 {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+func TestReduceOpsHandleChargeOnly(t *testing.T) {
+	// nil Data payloads (charge-only iterations) must combine sizes only.
+	a := Payload{Bytes: 100}
+	b := Payload{Bytes: 80, Data: []complex128{1}}
+	if out := SumComplex(a, b); out.Bytes != 100 || out.Data != nil {
+		t.Fatalf("SumComplex charge-only = %+v", out)
+	}
+	if out := MaxFloat64(a, Payload{Bytes: 120}); out.Bytes != 120 || out.Data != nil {
+		t.Fatalf("MaxFloat64 charge-only = %+v", out)
+	}
+}
+
+func TestReduceChargesTime(t *testing.T) {
+	k, w := world(8)
+	w.Launch("t", func(r *Rank) {
+		r.Reduce(0, Payload{Bytes: 1 << 16}, SumComplex)
+	})
+	run(t, k)
+	if k.Now() == 0 {
+		t.Fatal("reduce took no virtual time")
+	}
+}

@@ -1,0 +1,88 @@
+package platforms
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestAllRegisteredPlatformsValid(t *testing.T) {
+	for _, name := range Names() {
+		pl, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if pl.Name != name {
+			t.Errorf("%s: descriptor name %q", name, pl.Name)
+		}
+		// Every platform's all-to-all preference must resolve to a real
+		// algorithm without falling back.
+		if string(mpi.AlgorithmFor(pl.AllToAll)) != pl.AllToAll {
+			t.Errorf("%s: alltoall %q does not resolve", name, pl.AllToAll)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Cray"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	want := []string{"CSPI", "Mercury", "SIGI", "SKY", "Workstations"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestVendorsMatchPaperOrder(t *testing.T) {
+	v := Vendors()
+	if len(v) != 4 {
+		t.Fatalf("vendors = %d", len(v))
+	}
+	order := []string{"Mercury", "CSPI", "SIGI", "SKY"}
+	for i, pl := range v {
+		if pl.Name != order[i] {
+			t.Fatalf("vendor %d = %s, want %s", i, pl.Name, order[i])
+		}
+	}
+}
+
+func TestCSPIMatchesPaperSection32(t *testing.T) {
+	pl := CSPI()
+	// §3.2: 200 MHz PowerPC 603e, quad-CPU boards, 160 MB/s Myrinet.
+	if pl.ClockHz != 200e6 {
+		t.Fatalf("clock = %v", pl.ClockHz)
+	}
+	if pl.NodesPerBoard != 4 {
+		t.Fatalf("nodes/board = %d", pl.NodesPerBoard)
+	}
+	if pl.InterBW != 160e6 {
+		t.Fatalf("fabric bw = %v", pl.InterBW)
+	}
+}
+
+func TestRelativeVendorCharacter(t *testing.T) {
+	// The calibrated descriptors must preserve the qualitative ordering the
+	// cross-vendor experiment depends on.
+	m, c, s, g := Mercury(), CSPI(), SKY(), SIGI()
+	if !(m.InterBW > c.InterBW) || !(s.InterBW > c.InterBW) || !(g.InterBW < c.InterBW) {
+		t.Fatal("fabric bandwidth ordering broken")
+	}
+	if m.FabricConcurrency != 0 {
+		t.Fatal("Mercury should be a crossbar")
+	}
+	if !(g.SendOverhead > c.SendOverhead) {
+		t.Fatal("SIGI should have the heaviest software stack")
+	}
+}

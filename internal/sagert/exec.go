@@ -1,0 +1,412 @@
+package sagert
+
+import (
+	"fmt"
+
+	"repro/internal/funclib"
+	"repro/internal/gluegen"
+	"repro/internal/isspl"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// xferRef is one planned transfer seen from one side.
+type xferRef struct {
+	buf      *gluegen.BufferEntry
+	x        gluegen.Transfer
+	peerNode int
+}
+
+// portPlan is a port's per-thread execution plan.
+type portPlan struct {
+	entry  *gluegen.PortEntry
+	region model.Region
+	// xfers are incoming (for inputs) or outgoing (for outputs) transfers
+	// touching this thread, in deterministic table order.
+	xfers []xferRef
+}
+
+// threadPlan is the static plan of one function thread.
+type threadPlan struct {
+	fn       *gluegen.FuncEntry
+	thread   int
+	node     int
+	impl     *funclib.Impl
+	ins      []*portPlan
+	outs     []*portPlan
+	isSource bool
+	isSink   bool
+	probe    bool
+}
+
+// localKey routes optimised node-local handoffs.
+type localKey struct {
+	buf, srcThread, dstThread int
+}
+
+type runner struct {
+	tables *gluegen.Tables
+	opts   Options
+	mach   *machine.Machine
+	world  *mpi.World
+
+	plans []*threadPlan
+
+	sourceStart []sim.Time
+	sinkDone    []sim.Time
+
+	output      *isspl.Matrix
+	outputs     map[string]*isspl.Matrix // per sink-function name
+	localQueues map[localKey]*sim.Chan[*funclib.Block]
+	iterBarrier *sim.Barrier // non-nil in Sequential mode
+	maxOverrun  sim.Duration
+
+	err error
+}
+
+// buildPlan expands the tables into per-thread plans.
+func (r *runner) buildPlan() {
+	t := r.tables
+	for fi := range t.Functions {
+		fe := &t.Functions[fi]
+		impl, err := funclib.Lookup(fe.Kind)
+		if err != nil {
+			panic(err) // tables verified
+		}
+		for th := 0; th < fe.Threads; th++ {
+			tp := &threadPlan{
+				fn: fe, thread: th, node: fe.Nodes[th], impl: impl,
+				isSource: len(fe.Ins) == 0, isSink: len(fe.Outs) == 0,
+				probe: fe.Probe || r.opts.ProbeAll,
+			}
+			for pi := range fe.Ins {
+				tp.ins = append(tp.ins, r.portPlan(&fe.Ins[pi], fe, th, true))
+			}
+			for pi := range fe.Outs {
+				tp.outs = append(tp.outs, r.portPlan(&fe.Outs[pi], fe, th, false))
+			}
+			r.plans = append(r.plans, tp)
+		}
+	}
+}
+
+func (r *runner) portPlan(pe *gluegen.PortEntry, fe *gluegen.FuncEntry, thread int, isInput bool) *portPlan {
+	region, err := model.Partition(pe.Striping, pe.Rows, pe.Cols, fe.Threads, thread)
+	if err != nil {
+		panic(err) // tables verified
+	}
+	pp := &portPlan{entry: pe, region: region}
+	for _, bufID := range pe.Buffers {
+		buf := &r.tables.Buffers[bufID]
+		for _, x := range buf.Transfers {
+			if isInput {
+				if buf.DstFn != fe.ID || buf.DstPort != pe.Name || x.DstThread != thread {
+					continue
+				}
+				src, _ := r.tables.Function(buf.SrcFn)
+				pp.xfers = append(pp.xfers, xferRef{buf: buf, x: x, peerNode: src.Nodes[x.SrcThread]})
+			} else {
+				if buf.SrcFn != fe.ID || buf.SrcPort != pe.Name || x.SrcThread != thread {
+					continue
+				}
+				dst, _ := r.tables.Function(buf.DstFn)
+				pp.xfers = append(pp.xfers, xferRef{buf: buf, x: x, peerNode: dst.Nodes[x.DstThread]})
+			}
+		}
+	}
+	return pp
+}
+
+// collectOutput prepares the sink assembly target from the sink function's
+// input port shape.
+func (r *runner) collectOutput() {
+	r.outputs = map[string]*isspl.Matrix{}
+	for fi := range r.tables.Functions {
+		fe := &r.tables.Functions[fi]
+		if fe.Kind == "sink_matrix" && len(fe.Ins) == 1 {
+			m := isspl.NewMatrix(fe.Ins[0].Rows, fe.Ins[0].Cols)
+			r.outputs[fe.Name] = m
+			if r.output == nil {
+				r.output = m // first sink, in function-table order
+			}
+		}
+	}
+}
+
+// localOptimised reports whether a transfer can use the optimised
+// node-local handoff path.
+func (r *runner) localOptimised(srcNode, dstNode int) bool {
+	return r.opts.OptimizedBuffers && srcNode == dstNode
+}
+
+// spawn launches every function thread.
+func (r *runner) spawn(k *sim.Kernel) {
+	for _, tp := range r.plans {
+		tp := tp
+		k.Spawn(fmt.Sprintf("%s.%s[%d]", r.tables.AppName, tp.fn.Name, tp.thread), func(p *sim.Proc) {
+			rank := r.world.Attach(tp.node, p)
+			r.threadMain(tp, rank)
+		})
+	}
+}
+
+func (r *runner) fail(err error) {
+	if r.err == nil {
+		r.err = err
+		r.mach.K.Stop()
+	}
+}
+
+func (r *runner) localQueue(key localKey) *sim.Chan[*funclib.Block] {
+	q, ok := r.localQueues[key]
+	if !ok {
+		q = sim.NewChan[*funclib.Block](r.mach.K, fmt.Sprintf("local b%d %d->%d", key.buf, key.srcThread, key.dstThread))
+		r.localQueues[key] = q
+	}
+	return q
+}
+
+// threadMain is the per-thread iteration loop: receive/assemble, dispatch,
+// compute, pack/send — with credit-based flow control.
+func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
+	node := r.mach.Node(tp.node)
+	credits := map[localKey]int{}
+	for _, pp := range tp.outs {
+		for _, xr := range pp.xfers {
+			credits[localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}] = r.opts.BufferSlots
+		}
+	}
+	for iter := 0; iter < r.opts.Iterations && r.err == nil; iter++ {
+		compute := iter < r.opts.ComputeIterations
+
+		if tp.isSource {
+			if r.opts.InputPeriod > 0 {
+				// Real-time pacing: data set iter arrives on schedule; if
+				// the pipeline's backpressure held us past the arrival,
+				// record the overrun.
+				scheduled := sim.Time(0).Add(sim.Duration(iter) * r.opts.InputPeriod)
+				if rank.Proc().Now() < scheduled {
+					rank.Proc().SleepUntil(scheduled)
+				} else if over := rank.Proc().Now().Sub(scheduled); over > r.maxOverrun {
+					r.maxOverrun = over
+				}
+			}
+			r.noteSourceStart(iter, rank.Proc().Now())
+		}
+
+		// --- receive phase: assemble input logical buffers -----------------
+		recvStart := rank.Proc().Now()
+		inBlocks := map[string]*funclib.Block{}
+		for _, pp := range tp.ins {
+			blk := funclib.NewBlock(pp.region)
+			if !compute {
+				blk.Data = nil // charge-only iterations carry no samples
+			}
+			for _, xr := range pp.xfers {
+				key := localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}
+				if r.localOptimised(xr.peerNode, tp.node) {
+					// Optimised local handoff: single copy, no messaging
+					// stack.
+					got := r.localQueue(key).Recv(rank.Proc())
+					node.Memcpy(rank.Proc(), xr.x.Bytes)
+					if compute {
+						copyRegion(blk, got, xr.x.Region)
+					}
+				} else {
+					payload := rank.Recv(xr.peerNode, dataTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread))
+					// Assemble into the function's private logical buffer:
+					// the extra data access §3.4 attributes overhead to. A
+					// region that lands contiguously in the buffer (full
+					// buffer width) is received in place, zero-copy; only
+					// strided regions (corner-turn tiles, column stripes)
+					// pay the copy.
+					if !contiguousIn(xr.x.Region, blk.Region) {
+						node.Memcpy(rank.Proc(), xr.x.Bytes)
+					}
+					if compute {
+						src := &funclib.Block{Region: xr.x.Region, Data: payload.Complex()}
+						copyRegion(blk, src, xr.x.Region)
+					}
+				}
+				// Return a pipelining credit to the producer.
+				rank.Send(xr.peerNode, creditTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread), mpi.Empty())
+			}
+			inBlocks[pp.entry.Name] = blk
+		}
+		if len(tp.ins) > 0 {
+			r.trace(tp, iter, "recv", recvStart, rank.Proc().Now())
+		}
+
+		// --- dispatch + compute --------------------------------------------
+		compStart := rank.Proc().Now()
+		node.ComputeTime(rank.Proc(), r.opts.DispatchOverhead)
+
+		outBlocks := map[string]*funclib.Block{}
+		for _, pp := range tp.outs {
+			blk := funclib.NewBlock(pp.region)
+			if !compute {
+				blk.Data = nil
+			}
+			outBlocks[pp.entry.Name] = blk
+		}
+		ctx := &funclib.Context{
+			FuncName: tp.fn.Name, Params: tp.fn.Params,
+			Thread: tp.thread, Threads: tp.fn.Threads, Iteration: iter,
+		}
+		if tp.isSink && compute && iter == r.opts.ComputeIterations-1 {
+			if target := r.outputs[tp.fn.Name]; target != nil {
+				ctx.Sink = func(port string, b *funclib.Block) { r.storeSink(target, b) }
+			}
+		}
+		cost := tp.impl.Cost(ctx, inBlocks, outBlocks)
+		copyBytes := cost.CopyBytes
+		if r.opts.OptimizedBuffers && !tp.isSource && !tp.isSink {
+			// In-place computation where legal: the input-to-output copy
+			// disappears.
+			inBytes := 0
+			for _, pp := range tp.ins {
+				inBytes += pp.region.Elems() * pp.entry.ElemBytes
+			}
+			copyBytes -= inBytes
+			if copyBytes < 0 {
+				copyBytes = 0
+			}
+		}
+		node.ComputeFlops(rank.Proc(), cost.Flops)
+		node.Memcpy(rank.Proc(), copyBytes)
+		if compute {
+			if err := tp.impl.Compute(ctx, inBlocks, outBlocks); err != nil {
+				r.fail(fmt.Errorf("sagert: %s thread %d iteration %d: %w", tp.fn.Name, tp.thread, iter, err))
+				return
+			}
+		}
+		r.trace(tp, iter, "compute", compStart, rank.Proc().Now())
+
+		// --- send phase ------------------------------------------------------
+		sendStart := rank.Proc().Now()
+		for _, pp := range tp.outs {
+			blk := outBlocks[pp.entry.Name]
+			for _, xr := range pp.xfers {
+				key := localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}
+				if credits[key] == 0 {
+					rank.Recv(xr.peerNode, creditTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread))
+				} else {
+					credits[key]--
+				}
+				if r.localOptimised(tp.node, xr.peerNode) {
+					var pass *funclib.Block
+					if compute {
+						pass = extractRegion(blk, xr.x.Region)
+					} else {
+						pass = &funclib.Block{Region: xr.x.Region}
+					}
+					r.localQueue(key).Send(pass)
+					continue
+				}
+				// Pack the region out of the logical buffer; a region that
+				// is contiguous in the buffer is sent in place, zero-copy.
+				if !contiguousIn(xr.x.Region, blk.Region) {
+					node.Memcpy(rank.Proc(), xr.x.Bytes)
+				}
+				var payload mpi.Payload
+				if compute {
+					payload = mpi.ComplexPayload(extractRegion(blk, xr.x.Region).Data)
+				} else {
+					payload = mpi.Payload{Bytes: xr.x.Bytes}
+				}
+				rank.Send(xr.peerNode, dataTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread), payload)
+			}
+		}
+		if len(tp.outs) > 0 {
+			r.trace(tp, iter, "send", sendStart, rank.Proc().Now())
+		}
+
+		if tp.isSink {
+			r.noteSinkDone(iter, rank.Proc().Now())
+		}
+		if r.iterBarrier != nil {
+			r.iterBarrier.Wait(rank.Proc())
+		}
+	}
+}
+
+func (r *runner) noteSourceStart(iter int, t sim.Time) {
+	if r.sourceStart[iter] == 0 || t < r.sourceStart[iter] {
+		r.sourceStart[iter] = t
+	}
+}
+
+func (r *runner) noteSinkDone(iter int, t sim.Time) {
+	if t > r.sinkDone[iter] {
+		r.sinkDone[iter] = t
+	}
+}
+
+func (r *runner) trace(tp *threadPlan, iter int, phase string, start, end sim.Time) {
+	if r.opts.Trace == nil || !tp.probe {
+		return
+	}
+	r.opts.Trace(Event{
+		Fn: tp.fn.ID, FnName: tp.fn.Name, Thread: tp.thread, Node: tp.node,
+		Iter: iter, Phase: phase, Start: start, End: end,
+	})
+}
+
+// storeSink writes a sink thread's block into the assembled output matrix.
+func (r *runner) storeSink(target *isspl.Matrix, b *funclib.Block) {
+	if b.Data == nil {
+		return
+	}
+	for i := 0; i < b.Region.Rows; i++ {
+		row := b.Region.R0 + i
+		copy(target.Data[row*target.Cols+b.Region.C0:], b.Data[i*b.Region.Cols:(i+1)*b.Region.Cols])
+	}
+}
+
+// contiguousIn reports whether region reg occupies a contiguous byte range
+// of a block covering blockReg: it must span the block's full width. Such
+// regions can be sent from or received into the logical buffer without a
+// marshalling copy.
+func contiguousIn(reg, blockReg model.Region) bool {
+	return reg.C0 == blockReg.C0 && reg.Cols == blockReg.Cols
+}
+
+// copyRegion copies region reg from src into dst; both blocks must contain
+// reg.
+func copyRegion(dst, src *funclib.Block, reg model.Region) {
+	for i := 0; i < reg.Rows; i++ {
+		row := reg.R0 + i
+		dstOff := (row-dst.Region.R0)*dst.Region.Cols + (reg.C0 - dst.Region.C0)
+		srcOff := (row-src.Region.R0)*src.Region.Cols + (reg.C0 - src.Region.C0)
+		copy(dst.Data[dstOff:dstOff+reg.Cols], src.Data[srcOff:srcOff+reg.Cols])
+	}
+}
+
+// extractRegion returns a dense copy of region reg from blk.
+func extractRegion(blk *funclib.Block, reg model.Region) *funclib.Block {
+	out := funclib.NewBlock(reg)
+	copyRegion(out, blk, reg)
+	return out
+}
+
+// result assembles the Result after the kernel drains.
+func (r *runner) result(k *sim.Kernel) *Result {
+	res := &Result{Output: r.output, Outputs: r.outputs, Elapsed: k.Now(), MaxOverrun: r.maxOverrun}
+	for i := 0; i < r.opts.Iterations; i++ {
+		res.Latencies = append(res.Latencies, r.sinkDone[i].Sub(r.sourceStart[i]))
+	}
+	if r.opts.Iterations > 1 {
+		res.Period = r.sinkDone[r.opts.Iterations-1].Sub(r.sinkDone[0]) / sim.Duration(r.opts.Iterations-1)
+	} else {
+		res.Period = res.Latencies[0]
+	}
+	for _, nd := range r.mach.Nodes() {
+		res.NodeStats = append(res.NodeStats, NodeStat{
+			Node: nd.ID, ComputeBusy: nd.ComputeBusy, CopyBusy: nd.CopyBusy,
+			CommBusy: nd.CommBusy, Utilization: nd.Utilization(k.Now()),
+		})
+	}
+	return res
+}

@@ -1,0 +1,219 @@
+// Package sagert is the SAGE run-time kernel of §2: it executes the
+// glue-code generator's runtime tables on the simulated multicomputer. The
+// kernel is "responsible for all sequencing of functions, data striping, and
+// buffer management": every thread of every function-table entry runs as a
+// simulated process on its mapped node, receives its striped input regions
+// into per-function logical buffers, dispatches the library function by its
+// table ID, and sends output regions onward according to the buffers'
+// striding schedules.
+//
+// The overhead the paper measures for auto-generated code arises here
+// mechanistically, not as a fudge factor: the kernel pays a dispatch cost
+// per function invocation, assembles inputs into private logical buffers
+// (extra copies relative to hand-coded in-place processing — §3.4: "the SAGE
+// run-time buffer management scheme assigns unique logical buffers to the
+// data per function which can cause extra data access times"), packs each
+// outgoing region separately, and moves data with generic point-to-point
+// transfers instead of the platform's tuned collectives.
+//
+// Pipelining across iterations uses per-transfer credits (double buffering
+// by default), so a source cannot run unboundedly ahead of its consumers —
+// the runtime's buffer management in action.
+package sagert
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/funclib"
+	"repro/internal/gluegen"
+	"repro/internal/isspl"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Options tunes a runtime execution.
+type Options struct {
+	// Iterations is the number of data sets to process (>= 1).
+	Iterations int
+	// ComputeIterations is how many initial iterations move and transform
+	// real samples (for verification); the rest charge identical costs
+	// without touching data. Default 1.
+	ComputeIterations int
+	// DispatchOverhead is the per-invocation cost of the function-table
+	// dispatch and thread scheduling. Zero selects the default.
+	DispatchOverhead sim.Duration
+	// BufferSlots is the per-transfer pipelining credit (default 2: double
+	// buffering).
+	BufferSlots int
+	// Sequential processes one data set at a time: every function thread
+	// synchronises at an iteration barrier, so no pipelining occurs and
+	// latency equals period. This is the like-for-like mode used when
+	// comparing against the hand-coded benchmarks, which run a sequential
+	// measurement loop (§3.3).
+	Sequential bool
+	// OptimizedBuffers enables the future-work optimisation the paper's
+	// conclusion announces ("Work is currently underway to improve the
+	// performance of the glue code generation component that will reach
+	// levels of 90% of hand coded performance"): node-local transfers pass
+	// by reference (one copy instead of pack+assemble) and the library
+	// computes in place where legal, skipping the input-to-output copy.
+	OptimizedBuffers bool
+	// NodeSpeeds applies per-node CPU speed multipliers to the simulated
+	// machine (heterogeneous architectures); missing entries default to 1.
+	NodeSpeeds []float64
+	// InputPeriod, when positive, paces the data source in real time:
+	// data set i becomes available at virtual time i*InputPeriod, the
+	// arrival pattern of a sensor front-end. Sources that cannot keep up
+	// (backpressure from the pipeline) accumulate overrun, reported in
+	// Result.MaxOverrun.
+	InputPeriod sim.Duration
+	// Trace, when non-nil, receives an event for every phase of every
+	// probed function (or every function if ProbeAll).
+	Trace func(Event)
+	// ProbeAll instruments every function, not just those whose model
+	// entry set the probe property.
+	ProbeAll bool
+}
+
+// DefaultDispatchOverhead is the table-dispatch cost used when Options does
+// not override it (calibrated to a 1999-era RTOS task activation).
+const DefaultDispatchOverhead = 25 * time.Microsecond
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Iterations < 1 {
+		out.Iterations = 1
+	}
+	if out.ComputeIterations < 1 {
+		out.ComputeIterations = 1
+	}
+	if out.ComputeIterations > out.Iterations {
+		out.ComputeIterations = out.Iterations
+	}
+	if out.DispatchOverhead <= 0 {
+		out.DispatchOverhead = DefaultDispatchOverhead
+	}
+	if out.BufferSlots < 1 {
+		out.BufferSlots = 2
+	}
+	return out
+}
+
+// Event is one traced phase of a function thread's iteration.
+type Event struct {
+	Fn     int
+	FnName string
+	Thread int
+	Node   int
+	Iter   int
+	Phase  string // "recv", "compute", "send"
+	Start  sim.Time
+	End    sim.Time
+}
+
+// Result reports an execution.
+type Result struct {
+	// Latencies[i] is data-set i's source-start to sink-complete time
+	// (§3.3: "latency corresponds to the time from when the first data
+	// leaves the data source to the time the final result is output to the
+	// data sink").
+	Latencies []sim.Duration
+	// Period is the steady-state time between completed data sets (§3.3:
+	// "a period is defined to be the time between input data sets").
+	Period sim.Duration
+	// Output is the first sink function's final data set from the last
+	// compute iteration, assembled across sink threads (nil if the app has
+	// no sink_matrix).
+	Output *isspl.Matrix
+	// Outputs holds the same per sink function name (applications may fan
+	// out to several sinks).
+	Outputs map[string]*isspl.Matrix
+	// Elapsed is the total virtual time of the run.
+	Elapsed sim.Time
+	// MaxOverrun is the largest delay between a data set's scheduled
+	// real-time arrival (Options.InputPeriod) and the moment the source
+	// could actually begin processing it; zero when unpaced or keeping up.
+	MaxOverrun sim.Duration
+	// NodeStats reports per-node busy time.
+	NodeStats []NodeStat
+}
+
+// NodeStat summarises one node's activity.
+type NodeStat struct {
+	Node        int
+	ComputeBusy sim.Duration
+	CopyBusy    sim.Duration
+	CommBusy    sim.Duration
+	Utilization float64
+}
+
+// AvgLatency returns the mean latency across iterations.
+func (r *Result) AvgLatency() sim.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, l := range r.Latencies {
+		sum += l
+	}
+	return sum / sim.Duration(len(r.Latencies))
+}
+
+// tag packing: (buffer, srcThread, dstThread) -> user tag. Limits checked at
+// runner construction.
+const tagThreadLimit = 128
+
+func dataTag(buf, srcThread, dstThread int) int {
+	return ((buf*tagThreadLimit)+srcThread)*tagThreadLimit + dstThread
+}
+
+// credit tags live in a disjoint range above data tags.
+func creditTag(buf, srcThread, dstThread int) int {
+	return mpi.TagUserLimit/2 + dataTag(buf, srcThread, dstThread)
+}
+
+// Run executes the tables on a fresh simulated machine of the given
+// platform.
+func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if err := tables.Verify(); err != nil {
+		return nil, fmt.Errorf("sagert: refusing to run unverified tables: %w", err)
+	}
+	if pl.Name != tables.Platform {
+		return nil, fmt.Errorf("sagert: tables were generated for platform %q, running on %q (regenerate the glue code)", tables.Platform, pl.Name)
+	}
+	for _, f := range tables.Functions {
+		if f.Threads > tagThreadLimit {
+			return nil, fmt.Errorf("sagert: function %q has %d threads, limit %d", f.Name, f.Threads, tagThreadLimit)
+		}
+	}
+	if len(tables.Buffers)*tagThreadLimit*tagThreadLimit >= mpi.TagUserLimit/2 {
+		return nil, fmt.Errorf("sagert: %d buffers exceed the tag space", len(tables.Buffers))
+	}
+
+	k := sim.NewKernel()
+	mach := machine.New(k, pl, tables.NumNodes)
+	mach.SetNodeSpeeds(o.NodeSpeeds)
+	world := mpi.NewWorld(mach)
+	r := &runner{
+		tables: tables, opts: o, mach: mach, world: world,
+		sourceStart: make([]sim.Time, o.Iterations),
+		sinkDone:    make([]sim.Time, o.Iterations),
+		localQueues: map[localKey]*sim.Chan[*funclib.Block]{},
+	}
+	r.buildPlan()
+	r.collectOutput()
+	if o.Sequential {
+		r.iterBarrier = sim.NewBarrier(k, "iteration", len(r.plans))
+	}
+	r.spawn(k)
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("sagert: execution failed: %w", err)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.result(k), nil
+}

@@ -1,0 +1,219 @@
+package shelf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/funclib"
+	"repro/internal/gluegen"
+	"repro/internal/isspl"
+	"repro/internal/model"
+	"repro/internal/platforms"
+	"repro/internal/sagert"
+)
+
+func TestBuiltinCatalogue(t *testing.T) {
+	s := Builtin()
+	want := []string{"corner-turn-stage", "detect-chain", "fft2d-stage"}
+	got := s.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		doc, err := s.Doc(n)
+		if err != nil || doc == "" {
+			t.Fatalf("doc for %s: %q %v", n, doc, err)
+		}
+	}
+	if _, err := s.Doc("warp"); err == nil {
+		t.Fatal("unknown doc accepted")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	s := New()
+	if err := s.Register(Entry{}); err == nil {
+		t.Fatal("empty entry accepted")
+	}
+	e := Entry{Name: "x", Builder: func(app *model.App, name string, p Params) (*model.Function, error) { return nil, nil }}
+	if err := s.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(e); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := Params{"n": 128, "w": "hann"}
+	if p.Int("n", 0) != 128 || p.Int("missing", 7) != 7 {
+		t.Fatal("Int helper")
+	}
+	if p.String("w", "") != "hann" || p.String("missing", "d") != "d" {
+		t.Fatal("String helper")
+	}
+}
+
+// TestShelfBlocksRunEndToEnd assembles an application purely from shelf
+// composites, flattens it, generates glue and executes it — proving the
+// hierarchy path works through the whole toolchain.
+func TestShelfBlocksRunEndToEnd(t *testing.T) {
+	const n, threads, nodes = 32, 4, 4
+	s := Builtin()
+	app := model.NewApp("shelfapp")
+	mt, err := app.AddType(&model.DataType{Name: "cpx32x32", Rows: n, Cols: n, Elem: model.ElemComplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := app.AddFunction(&model.Function{Name: "src", Kind: "source_matrix", Threads: 1,
+		Params: map[string]any{"seed": 13}})
+	src.AddOutput("out", mt, model.ByRows)
+
+	if _, err := s.Instantiate(app, "fft2d-stage", "xform", Params{"n": n, "threads": threads}); err != nil {
+		t.Fatal(err)
+	}
+	snk := app.AddFunction(&model.Function{Name: "snk", Kind: "sink_matrix", Threads: 1})
+	snk.AddInput("in", mt, model.ByRows)
+	if _, err := app.Connect("src", "out", "xform", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Connect("xform", "out", "snk", "in"); err != nil {
+		t.Fatal(err)
+	}
+
+	flat, err := app.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Function("xform/rows") == nil || flat.Function("xform/cols") == nil {
+		t.Fatalf("flatten lost inner stages: %v", flat.Functions)
+	}
+	if err := funclib.ValidateApp(flat); err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := model.SpreadParallel(flat, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := gluegen.Generate(gluegen.Input{App: flat, Mapping: mapping, Platform: platforms.CSPI(), NumNodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sagert.Run(out.Tables, platforms.CSPI(), sagert.Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shelf 2D FFT stage must compute a real 2D FFT.
+	want := isspl.NewMatrix(n, n)
+	b := &funclib.Block{Region: model.Region{Rows: n, Cols: n}, Data: want.Data}
+	funclib.FillSource(b, 13, 0)
+	if err := isspl.FFT2D(want.Data, n); err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Output.MaxDiff(want); d > 1e-6 {
+		t.Fatalf("shelf 2D FFT deviates by %g", d)
+	}
+}
+
+func TestDetectChainComposite(t *testing.T) {
+	const n, threads, nodes = 32, 2, 2
+	s := Builtin()
+	app := model.NewApp("detapp")
+	mt, err := app.AddType(&model.DataType{Name: "cpx32x32", Rows: n, Cols: n, Elem: model.ElemComplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := app.AddFunction(&model.Function{Name: "src", Kind: "source_matrix", Threads: 1,
+		Params: map[string]any{"seed": 14}})
+	src.AddOutput("out", mt, model.ByRows)
+	if _, err := s.Instantiate(app, "detect-chain", "chain", Params{"n": n, "threads": threads, "window": "hamming"}); err != nil {
+		t.Fatal(err)
+	}
+	snk := app.AddFunction(&model.Function{Name: "snk", Kind: "sink_matrix", Threads: 1})
+	snk.AddInput("in", mt, model.ByRows)
+	if _, err := app.Connect("src", "out", "chain", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Connect("chain", "out", "snk", "in"); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := app.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, _ := model.SpreadParallel(flat, nodes)
+	out, err := gluegen.Generate(gluegen.Input{App: flat, Mapping: mapping, Platform: platforms.CSPI(), NumNodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sagert.Run(out.Tables, platforms.CSPI(), sagert.Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection output: real, non-negative power values.
+	for i, v := range res.Output.Data[:64] {
+		if imag(v) != 0 || real(v) < 0 {
+			t.Fatalf("sample %d = %v not a power value", i, v)
+		}
+	}
+}
+
+func TestCornerTurnStageComposite(t *testing.T) {
+	const n, threads, nodes = 32, 4, 4
+	s := Builtin()
+	app := model.NewApp("ctapp")
+	mt, err := app.AddType(&model.DataType{Name: "cpx32x32", Rows: n, Cols: n, Elem: model.ElemComplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := app.AddFunction(&model.Function{Name: "src", Kind: "source_matrix", Threads: 1,
+		Params: map[string]any{"seed": 15}})
+	src.AddOutput("out", mt, model.ByRows)
+	if _, err := s.Instantiate(app, "corner-turn-stage", "ct", Params{"n": n, "threads": threads}); err != nil {
+		t.Fatal(err)
+	}
+	snk := app.AddFunction(&model.Function{Name: "snk", Kind: "sink_matrix", Threads: 1})
+	snk.AddInput("in", mt, model.ByRows)
+	if _, err := app.Connect("src", "out", "ct", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Connect("ct", "out", "snk", "in"); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := app.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping, _ := model.SpreadParallel(flat, nodes)
+	out, err := gluegen.Generate(gluegen.Input{App: flat, Mapping: mapping, Platform: platforms.CSPI(), NumNodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sagert.Run(out.Tables, platforms.CSPI(), sagert.Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := isspl.NewMatrix(n, n)
+	b := &funclib.Block{Region: model.Region{Rows: n, Cols: n}, Data: want.Data}
+	funclib.FillSource(b, 15, 0)
+	wantT := want.Transposed()
+	if d := res.Output.MaxDiff(wantT); d != 0 {
+		t.Fatalf("shelf corner turn deviates by %g", d)
+	}
+}
+
+func TestInstantiateUnknown(t *testing.T) {
+	s := Builtin()
+	app := model.NewApp("x")
+	if _, err := s.Instantiate(app, "warp-stage", "w", nil); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+	if !strings.Contains(s.Names()[0], "corner") {
+		t.Fatal("names order")
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import "fmt"
+
+// Chan is an unbounded, timestamped mailbox connecting simulated processes.
+//
+// Values may be delivered immediately (Send) or at a future virtual time
+// (SendAt), which is how the fabric models in-flight messages: the sender
+// computes an arrival time and the value only becomes visible to receivers
+// once the clock reaches it. Receivers block in virtual time until a value is
+// available. Delivery order is (arrival time, send sequence), so simultaneous
+// arrivals are received in the order they were sent.
+type Chan[T any] struct {
+	k       *Kernel
+	name    string
+	ready   []T     // values whose arrival time has passed
+	waiters []*Proc // receivers blocked on an empty mailbox, FIFO
+}
+
+// NewChan creates a mailbox owned by kernel k. The name appears in deadlock
+// reports.
+func NewChan[T any](k *Kernel, name string) *Chan[T] {
+	return &Chan[T]{k: k, name: name}
+}
+
+// Len reports the number of values currently available to receivers.
+func (c *Chan[T]) Len() int { return len(c.ready) }
+
+// Send delivers v at the current virtual time without blocking the sender.
+func (c *Chan[T]) Send(v T) { c.deliver(v) }
+
+// SendAt schedules v to arrive at virtual time at (clamped to now). The
+// sender does not block; use Resource to model the sender holding a link.
+func (c *Chan[T]) SendAt(at Time, v T) {
+	if at <= c.k.now {
+		c.deliver(v)
+		return
+	}
+	c.k.schedule(at, func() { c.deliver(v) })
+}
+
+// SendAfter schedules v to arrive after virtual duration d.
+func (c *Chan[T]) SendAfter(d Duration, v T) { c.SendAt(c.k.now.Add(d), v) }
+
+func (c *Chan[T]) deliver(v T) {
+	c.ready = append(c.ready, v)
+	if len(c.waiters) > 0 {
+		p := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		// Wake at the current instant; the receiver will take the value
+		// when dispatched.
+		c.k.wake(p, c.k.now)
+	}
+}
+
+// Recv blocks the calling process until a value is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for len(c.ready) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.yield(fmt.Sprintf("recv %s", c.name))
+	}
+	v := c.ready[0]
+	// Shift rather than reslice forever to keep memory bounded.
+	copy(c.ready, c.ready[1:])
+	c.ready = c.ready[:len(c.ready)-1]
+	return v
+}
+
+// TryRecv returns a value without blocking if one is available.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.ready) == 0 {
+		return zero, false
+	}
+	v := c.ready[0]
+	copy(c.ready, c.ready[1:])
+	c.ready = c.ready[:len(c.ready)-1]
+	return v, true
+}
+
+// Resource models a counted resource (a link, a bus, a DMA engine) that
+// processes hold for spans of virtual time. Waiters are served FIFO, which
+// models fair arbitration and keeps runs deterministic.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+	// woken guards against double-wakes: two releases at the same instant
+	// must not schedule two resumes for the same head waiter (the second
+	// would yank the process out of a later, unrelated block).
+	woken bool
+}
+
+// NewResource creates a resource with the given capacity (must be >= 1).
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks the process until n units are available, then takes them.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n < 1 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of resource %q with capacity %d", n, r.name, r.capacity))
+	}
+	// FIFO fairness: if others are already queued, go behind them even if
+	// capacity is momentarily available.
+	if r.inUse+n > r.capacity || len(r.waiters) > 0 {
+		w := &resWaiter{p: p, n: n}
+		r.waiters = append(r.waiters, w)
+		for {
+			p.yield(fmt.Sprintf("acquire %s", r.name))
+			if len(r.waiters) > 0 && r.waiters[0] == w && r.inUse+n <= r.capacity {
+				r.waiters = r.waiters[1:]
+				break
+			}
+			// Spurious wake: allow a future release to wake us again.
+			w.woken = false
+		}
+	}
+	r.inUse += n
+	// Leftover capacity may satisfy the next queued waiter.
+	r.wakeHead()
+}
+
+// Release returns n units and wakes the head waiter if it can now proceed.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic(fmt.Sprintf("sim: resource %q over-released", r.name))
+	}
+	r.wakeHead()
+}
+
+func (r *Resource) wakeHead() {
+	if len(r.waiters) > 0 && !r.waiters[0].woken && r.inUse+r.waiters[0].n <= r.capacity {
+		r.waiters[0].woken = true
+		r.k.wake(r.waiters[0].p, r.k.now)
+	}
+}
+
+// Use acquires n units, holds them for virtual duration d, then releases.
+// This is the standard idiom for modelling occupancy of a link or bus.
+func (r *Resource) Use(p *Proc, n int, d Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Barrier synchronises a fixed set of processes: each process calls Wait and
+// blocks until all n have arrived, at which point every process resumes at
+// the same virtual instant. The barrier is reusable (generation counted).
+type Barrier struct {
+	k       *Kernel
+	name    string
+	n       int
+	arrived int
+	gen     int
+	waiting []*Proc
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(k *Kernel, name string, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier size must be >= 1")
+	}
+	return &Barrier{k: k, name: name, n: n}
+}
+
+// Wait blocks until all participants of the current generation have arrived.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiting {
+			b.k.wake(w, b.k.now)
+		}
+		b.waiting = b.waiting[:0]
+		return
+	}
+	gen := b.gen
+	b.waiting = append(b.waiting, p)
+	for b.gen == gen {
+		p.yield(fmt.Sprintf("barrier %s", b.name))
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (time, sequence). The
+// sequence tiebreak guarantees deterministic ordering of simultaneous events:
+// earlier-scheduled events fire first.
+type eventHeap struct {
+	items []*event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *eventHeap) push(e *event) {
+	h.items = append(h.items, e)
+	h.up(len(h.items) - 1)
+}
+
+// pop removes and returns the earliest event, or nil if the heap is empty.
+func (h *eventHeap) pop() *event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

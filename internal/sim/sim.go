@@ -1,0 +1,243 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock and executes logical processes, each of
+// which runs as a goroutine but is cooperatively scheduled so that exactly one
+// process executes at a time. All timing reported by the SAGE reproduction
+// (experiments, benchmarks, the visualizer timeline) is virtual time produced
+// by this kernel, which makes every experiment bit-reproducible on any host.
+//
+// Processes interact with the kernel through the Proc handle passed to their
+// body: they sleep for virtual durations, exchange values over Chan mailboxes,
+// and contend for Resource capacity. Events that tie at the same virtual time
+// are ordered by scheduling sequence number, so runs are fully deterministic.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a virtual time span. It aliases time.Duration so the standard
+// unit constants (time.Microsecond etc.) can be used when building models.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the timestamp using time.Duration notation.
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback in the kernel's queue.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Kernel is a sequential discrete-event simulator.
+//
+// The zero value is not usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	park    chan struct{} // running process parked or finished
+	running *Proc
+	procs   map[*Proc]struct{}
+	nextPID int
+	stopped bool
+	tracef  func(format string, args ...any)
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		park:  make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetTrace installs a debug trace function (nil disables tracing).
+func (k *Kernel) SetTrace(f func(format string, args ...any)) { k.tracef = f }
+
+func (k *Kernel) trace(format string, args ...any) {
+	if k.tracef != nil {
+		k.tracef(format, args...)
+	}
+}
+
+// schedule enqueues fn to run at time at. It panics if at precedes the clock,
+// since the kernel can never travel backwards.
+func (k *Kernel) schedule(at Time, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	k.seq++
+	k.queue.push(&event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run after virtual duration d. It may be called from
+// process context or from event callbacks.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now.Add(d), fn)
+}
+
+// Proc is the handle through which a logical process interacts with the
+// kernel. A Proc is only valid inside the body function it was created with.
+type Proc struct {
+	k      *Kernel
+	pid    int
+	name   string
+	resume chan struct{}
+	done   bool
+	// blockedOn describes what the process is waiting for; used in the
+	// deadlock report produced by Run.
+	blockedOn string
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// PID returns the unique process id.
+func (p *Proc) PID() int { return p.pid }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process executing body, scheduled to start at the current
+// virtual time. Spawn may be called before Run or from inside a running
+// process or event callback.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{k: k, pid: k.nextPID, name: name, resume: make(chan struct{})}
+	k.nextPID++
+	k.procs[p] = struct{}{}
+	k.schedule(k.now, func() {
+		go func() {
+			<-p.resume
+			body(p)
+			p.done = true
+			delete(k.procs, p)
+			k.park <- struct{}{}
+		}()
+		k.dispatch(p)
+	})
+	return p
+}
+
+// dispatch transfers control to p and waits for it to park again.
+func (k *Kernel) dispatch(p *Proc) {
+	prev := k.running
+	k.running = p
+	p.blockedOn = ""
+	p.resume <- struct{}{}
+	<-k.park
+	k.running = prev
+}
+
+// yield parks the running process, returning control to the kernel loop. The
+// process resumes when some event calls wake.
+func (p *Proc) yield(blockedOn string) {
+	p.blockedOn = blockedOn
+	p.k.park <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules p to resume at time at. Dispatching a finished process
+// would block the kernel forever, so the event re-checks liveness at fire
+// time (a stale wake for a process that has since completed is dropped).
+func (k *Kernel) wake(p *Proc, at Time) {
+	k.schedule(at, func() {
+		if p.done {
+			return
+		}
+		k.dispatch(p)
+	})
+}
+
+// Sleep suspends the process for virtual duration d. Negative durations are
+// treated as zero (the process still yields, preserving scheduling order).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.wake(p, p.k.now.Add(d))
+	p.yield(fmt.Sprintf("sleep %v", d))
+}
+
+// SleepUntil suspends the process until virtual time t (no-op if t is in the
+// past, though the process still yields).
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.k.now {
+		t = p.k.now
+	}
+	p.k.wake(p, t)
+	p.yield(fmt.Sprintf("sleep-until %v", t))
+}
+
+// DeadlockError is returned by Run when processes remain blocked but no
+// events are pending, i.e. virtual time can no longer advance.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name(pid): reason" for each blocked process
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v with %d blocked process(es): %v", e.At, len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until the queue drains or Stop is called. It returns a
+// *DeadlockError if live processes remain blocked when the queue empties, and
+// nil otherwise. Run must not be called re-entrantly.
+func (k *Kernel) Run() error {
+	k.stopped = false
+	for !k.stopped {
+		ev := k.queue.pop()
+		if ev == nil {
+			break
+		}
+		if ev.at < k.now {
+			panic("sim: event queue returned time in the past")
+		}
+		k.now = ev.at
+		ev.fn()
+	}
+	if len(k.procs) > 0 && !k.stopped {
+		var blocked []string
+		for p := range k.procs {
+			blocked = append(blocked, fmt.Sprintf("%s(%d): %s", p.name, p.pid, p.blockedOn))
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{At: k.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Stop halts Run after the current event completes. Processes keep their
+// state; Run may not be resumed after Stop (create a fresh kernel instead).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return k.queue.len() }
+
+// LiveProcs reports the number of processes that have been spawned and have
+// not finished.
+func (k *Kernel) LiveProcs() int { return len(k.procs) }
