@@ -13,6 +13,7 @@ package sage_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -59,6 +60,41 @@ func BenchmarkTable1(b *testing.B) {
 	b.ReportMetric(tbl.FFTAvg, "fft-pct-of-hand")
 	b.ReportMetric(tbl.CTAvg, "ct-pct-of-hand")
 	b.ReportMetric(tbl.OverallAvg, "overall-pct-of-hand")
+}
+
+// BenchmarkTable1Parallel sweeps the experiment engine's worker-pool size
+// over the Table 1.0 grid. Virtual-time results are byte-identical at every
+// pool size (asserted here); host ns/op across the sub-benchmarks measures
+// the engine's wall-clock speedup — compare parallel=1 against
+// parallel=NumCPU.
+func BenchmarkTable1Parallel(b *testing.B) {
+	reference := ""
+	sizes := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		sizes = append(sizes, n)
+	}
+	for _, par := range sizes {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			proto := benchProto
+			proto.Parallelism = par
+			var tbl *experiments.Table1
+			for i := 0; i < b.N; i++ {
+				var err error
+				tbl, err = experiments.RunTable1(experiments.Table1Config{Protocol: proto})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if reference == "" {
+				reference = tbl.Format()
+			} else if tbl.Format() != reference {
+				b.Fatal("parallel run produced different results than sequential")
+			}
+			b.ReportMetric(float64(par), "pool-size")
+			b.ReportMetric(tbl.OverallAvg, "overall-pct-of-hand")
+		})
+	}
 }
 
 // BenchmarkTable1Cells runs each Table 1.0 cell as a sub-benchmark with

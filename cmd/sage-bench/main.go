@@ -5,10 +5,15 @@
 //
 //	sage-bench -experiment table1              # Table 1.0 at paper scale
 //	sage-bench -experiment table1 -quick       # reduced protocol
+//	sage-bench -experiment table1 -parallel 4  # 4-worker simulation pool
 //	sage-bench -experiment all -quick
 //
 // Experiments: table1, twonode, aggregate, crossvendor, portability,
 // genstudy, pipeline, mapping, all.
+//
+// Independent simulation runs fan out across a bounded worker pool
+// (-parallel, default GOMAXPROCS). Results are identical at any pool size —
+// all timing is virtual — so -parallel trades host wall-clock only.
 package main
 
 import (
@@ -26,15 +31,16 @@ func main() {
 	exp := flag.String("experiment", "table1", "experiment to run (table1|twonode|aggregate|crossvendor|portability|genstudy|pipeline|mapping|heterogeneous|realtime|scaling|all)")
 	quick := flag.Bool("quick", false, "reduced sizes and protocol for a fast smoke run")
 	paper := flag.Bool("paper", false, "use the literal §3.3 protocol (10 executions x 100 iterations); slow, and — the simulator being deterministic — numerically identical to the default reduced protocol")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 	flag.Parse()
 
-	if err := run(*exp, *quick, *paper); err != nil {
+	if err := run(*exp, *quick, *paper, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "sage-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, quick, paper bool) error {
+func run(exp string, quick, paper bool, parallel int) error {
 	// Default: paper sizes, reduced repetition count. Averages are exact
 	// because virtual timing is deterministic across repetitions.
 	proto := experiments.Protocol{Repetitions: 1, Iterations: 5}
@@ -53,6 +59,7 @@ func run(exp string, quick, paper bool) error {
 		vendorN = 128
 		vendorNodes = []int{4, 8}
 	}
+	proto.Parallelism = parallel
 	tblCfg := experiments.Table1Config{Sizes: sizes, Nodes: nodes, Protocol: proto}
 
 	runOne := func(name string) error {

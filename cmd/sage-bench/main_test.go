@@ -23,7 +23,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 }
 
 func TestGenStudyExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("genstudy", true, false) })
+	out, err := captureStdout(t, func() error { return run("genstudy", true, false, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestGenStudyExperiment(t *testing.T) {
 }
 
 func TestTable1QuickExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("table1", true, false) })
+	out, err := captureStdout(t, func() error { return run("table1", true, false, 0) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,8 +44,24 @@ func TestTable1QuickExperiment(t *testing.T) {
 	}
 }
 
+// TestParallelFlagOutputIdentical pins the CLI-level determinism guarantee:
+// -parallel changes wall-clock only, never a byte of the printed tables.
+func TestParallelFlagOutputIdentical(t *testing.T) {
+	seq, err := captureStdout(t, func() error { return run("twonode", true, false, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := captureStdout(t, func() error { return run("twonode", true, false, 4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("-parallel 4 output differs from -parallel 1:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("warpcore", true, false); err == nil {
+	if err := run("warpcore", true, false, 0); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

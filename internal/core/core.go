@@ -21,6 +21,15 @@ import (
 
 // Program is generated glue code bound to its target platform: the
 // executable artifact of Figure 1.0's pipeline.
+//
+// A Program is immutable after Build: the runtime tables, platform
+// descriptor and glue listings are only ever read. Run creates a fresh
+// simulated machine (its own sim.Kernel, nodes and MPI world) per call and
+// shuts it down on exit, so a single Program may be executed from many
+// goroutines concurrently — the parallel experiment engine relies on this.
+// The packages underneath hold no mutable process-wide state either: the
+// funclib and platforms registries are written only during init, and
+// isspl's twiddle cache is lock-guarded.
 type Program struct {
 	Platform  machine.Platform
 	NumNodes  int
@@ -32,7 +41,10 @@ func (p *Program) Tables() *gluegen.Tables { return p.Artifacts.Tables }
 
 // Build validates the model against the function library and the mapping
 // against the node count, then generates and verifies glue code with the
-// standard Alter script.
+// standard Alter script. Build reads the model and writes only its own
+// fresh artifacts (each call runs a private Alter interpreter), so distinct
+// Build calls may run concurrently as long as they don't share a mutable
+// *model.App.
 func Build(app *model.App, mapping *model.Mapping, pl machine.Platform, nodes int) (*Program, error) {
 	return BuildWithScript(app, mapping, pl, nodes, gluegen.StandardScript)
 }

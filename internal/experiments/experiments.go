@@ -15,6 +15,12 @@
 // internal/handcoded and internal/sagert). Period and latency follow the
 // paper's definitions: period is the time between completed data sets,
 // latency is source-to-sink time for one data set.
+//
+// Sweeps execute their independent simulation runs on a bounded worker pool
+// (Protocol.Parallelism, default GOMAXPROCS) and aggregate results in input
+// order. Each run owns a private sim.Kernel, machine and RNG seed, so
+// parallel output is byte-identical to sequential output; only the host
+// wall-clock changes.
 package experiments
 
 import (
@@ -35,6 +41,13 @@ import (
 type Protocol struct {
 	Repetitions int // paper: 10
 	Iterations  int // paper: 100 per repetition
+	// Parallelism bounds the worker pool that fans independent simulation
+	// runs across host cores (each run owns its own sim.Kernel and
+	// machine). 0 selects runtime.GOMAXPROCS; 1 forces sequential
+	// execution. Results are aggregated in input order, so every value of
+	// Parallelism produces byte-identical output — virtual time never
+	// depends on host concurrency.
+	Parallelism int
 }
 
 // Paper is the full §3.3 protocol.
@@ -179,33 +192,51 @@ func (c Table1Config) withDefaults() Table1Config {
 	return c
 }
 
-// RunTable1 executes the Table 1.0 grid.
+// RunTable1 executes the Table 1.0 grid. The grid's cells are independent
+// simulations, so they fan out across the Protocol.Parallelism worker pool;
+// rows and averages are aggregated in grid order regardless of which cell
+// finishes first.
 func RunTable1(cfg Table1Config) (*Table1, error) {
 	c := cfg.withDefaults()
 	out := &Table1{Platform: c.Platform.Name, Protocol: c.Protocol}
-	var fftSum, ctSum float64
-	var fftN, ctN int
+	type cell struct {
+		kind     AppKind
+		n, nodes int
+	}
+	var cells []cell
 	for _, kind := range []AppKind{AppFFT2D, AppCornerTurn} {
 		for _, n := range c.Sizes {
 			for _, nodes := range c.Nodes {
-				hand, err := runHand(kind, c.Platform, nodes, n, c.Protocol)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s n=%d nodes=%d hand: %w", kind, n, nodes, err)
-				}
-				sage, err := runSage(kind, c.Platform, nodes, n, c.Protocol, c.Options)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s n=%d nodes=%d sage: %w", kind, n, nodes, err)
-				}
-				pct := 100 * float64(hand) / float64(sage)
-				out.Rows = append(out.Rows, Row{App: kind, N: n, Nodes: nodes, Hand: hand, Sage: sage, PctOfHand: pct})
-				if kind == AppFFT2D {
-					fftSum += pct
-					fftN++
-				} else {
-					ctSum += pct
-					ctN++
-				}
+				cells = append(cells, cell{kind, n, nodes})
 			}
+		}
+	}
+	rows, err := runPool(c.Protocol.Parallelism, len(cells), func(i int) (Row, error) {
+		cl := cells[i]
+		hand, err := runHand(cl.kind, c.Platform, cl.nodes, cl.n, c.Protocol)
+		if err != nil {
+			return Row{}, fmt.Errorf("experiments: %s n=%d nodes=%d hand: %w", cl.kind, cl.n, cl.nodes, err)
+		}
+		sage, err := runSage(cl.kind, c.Platform, cl.nodes, cl.n, c.Protocol, c.Options)
+		if err != nil {
+			return Row{}, fmt.Errorf("experiments: %s n=%d nodes=%d sage: %w", cl.kind, cl.n, cl.nodes, err)
+		}
+		return Row{App: cl.kind, N: cl.n, Nodes: cl.nodes, Hand: hand, Sage: sage,
+			PctOfHand: 100 * float64(hand) / float64(sage)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fftSum, ctSum float64
+	var fftN, ctN int
+	for _, r := range rows {
+		out.Rows = append(out.Rows, r)
+		if r.App == AppFFT2D {
+			fftSum += r.PctOfHand
+			fftN++
+		} else {
+			ctSum += r.PctOfHand
+			ctN++
 		}
 	}
 	if fftN > 0 {

@@ -26,23 +26,28 @@ type TwoNode struct {
 	Rows []Row // corner turn at 2, 4, 8 nodes
 }
 
-// RunTwoNode measures the corner turn across node counts.
+// RunTwoNode measures the corner turn across node counts, one pooled run per
+// node count.
 func RunTwoNode(pl machine.Platform, n int, proto Protocol) (*TwoNode, error) {
 	proto = proto.withDefaults()
-	out := &TwoNode{N: n}
-	for _, nodes := range []int{2, 4, 8} {
+	nodeCounts := []int{2, 4, 8}
+	rows, err := runPool(proto.Parallelism, len(nodeCounts), func(i int) (Row, error) {
+		nodes := nodeCounts[i]
 		hand, err := runHand(AppCornerTurn, pl, nodes, n, proto)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		sage, err := runSage(AppCornerTurn, pl, nodes, n, proto, sagert.Options{})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		out.Rows = append(out.Rows, Row{App: AppCornerTurn, N: n, Nodes: nodes,
-			Hand: hand, Sage: sage, PctOfHand: 100 * float64(hand) / float64(sage)})
+		return Row{App: AppCornerTurn, N: n, Nodes: nodes,
+			Hand: hand, Sage: sage, PctOfHand: 100 * float64(hand) / float64(sage)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &TwoNode{N: n, Rows: rows}, nil
 }
 
 // Format renders the anomaly table.
@@ -138,19 +143,31 @@ func RunCrossVendor(n int, nodes []int, proto Protocol) (*CrossVendor, error) {
 	if len(nodes) == 0 {
 		nodes = []int{2, 4, 8, 16}
 	}
-	out := &CrossVendor{N: n}
+	type cell struct {
+		pl   machine.Platform
+		kind AppKind
+		nn   int
+	}
+	var cells []cell
 	for _, pl := range platforms.Vendors() {
 		for _, kind := range []AppKind{AppFFT2D, AppCornerTurn} {
 			for _, nn := range nodes {
-				lat, err := runHand(kind, pl, nn, n, proto)
-				if err != nil {
-					return nil, err
-				}
-				out.Rows = append(out.Rows, VendorRow{Platform: pl.Name, App: kind, Nodes: nn, Latency: lat})
+				cells = append(cells, cell{pl, kind, nn})
 			}
 		}
 	}
-	return out, nil
+	rows, err := runPool(proto.Parallelism, len(cells), func(i int) (VendorRow, error) {
+		cl := cells[i]
+		lat, err := runHand(cl.kind, cl.pl, cl.nn, n, proto)
+		if err != nil {
+			return VendorRow{}, err
+		}
+		return VendorRow{Platform: cl.pl.Name, App: cl.kind, Nodes: cl.nn, Latency: lat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CrossVendor{N: n, Rows: rows}, nil
 }
 
 // Format renders the sweep grouped by application.
@@ -224,19 +241,24 @@ type Portability struct {
 func RunPortability(kind AppKind, n, nodes int, proto Protocol) (*Portability, error) {
 	proto = proto.withDefaults()
 	out := &Portability{App: kind, N: n, Nodes: nodes}
-	var reference *sagert.Result
-	for _, pl := range platforms.Vendors() {
+	vendors := platforms.Vendors()
+	results, err := runPool(proto.Parallelism, len(vendors), func(i int) (*sagert.Result, error) {
+		pl := vendors[i]
 		tbl, err := GenerateTables(kind, pl, nodes, n)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: proto.Iterations})
-		if err != nil {
-			return nil, err
-		}
-		row := PortabilityRow{Platform: pl.Name, Latency: res.AvgLatency()}
-		if reference == nil {
-			reference = res
+		return sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: proto.Iterations})
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Verification order matches the sequential protocol: the first vendor's
+	// output is the reference every other platform must reproduce exactly.
+	reference := results[0]
+	for i, res := range results {
+		row := PortabilityRow{Platform: vendors[i].Name, Latency: res.AvgLatency()}
+		if i == 0 {
 			row.Verified = true
 		} else {
 			row.Verified = res.Output != nil && reference.Output != nil &&
@@ -325,31 +347,45 @@ type Pipeline struct {
 	SagePipelineLat    sim.Duration // SAGE per-data-set latency inside the full pipeline
 }
 
-// RunPipeline measures the three modes.
+// RunPipeline measures the three modes, pooled (they are independent runs on
+// separate simulated machines).
 func RunPipeline(kind AppKind, pl machine.Platform, n, nodes, iterations int) (*Pipeline, error) {
 	if iterations < 4 {
 		iterations = 4
 	}
 	out := &Pipeline{App: kind, N: n, Nodes: nodes}
-	var err error
-	if out.Hand, err = runHand(kind, pl, nodes, n, Protocol{Repetitions: 1, Iterations: iterations}); err != nil {
-		return nil, err
-	}
 	tbl, err := GenerateTables(kind, pl, nodes, n)
 	if err != nil {
 		return nil, err
 	}
-	seq, err := sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: iterations, Sequential: true})
-	if err != nil {
+	modes := []func() error{
+		func() (err error) {
+			out.Hand, err = runHand(kind, pl, nodes, n, Protocol{Repetitions: 1, Iterations: iterations})
+			return err
+		},
+		func() error {
+			seq, err := sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: iterations, Sequential: true})
+			if err != nil {
+				return err
+			}
+			out.SageSequential = seq.AvgLatency()
+			return nil
+		},
+		func() error {
+			pip, err := sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: iterations})
+			if err != nil {
+				return err
+			}
+			out.SagePipelinePeriod = pip.Period
+			out.SagePipelineLat = pip.AvgLatency()
+			return nil
+		},
+	}
+	if _, err := runPool(0, len(modes), func(i int) (struct{}, error) {
+		return struct{}{}, modes[i]()
+	}); err != nil {
 		return nil, err
 	}
-	out.SageSequential = seq.AvgLatency()
-	pip, err := sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: iterations})
-	if err != nil {
-		return nil, err
-	}
-	out.SagePipelinePeriod = pip.Period
-	out.SagePipelineLat = pip.AvgLatency()
 	return out, nil
 }
 
@@ -392,23 +428,32 @@ func RunScaling(kind AppKind, pl machine.Platform, n int, nodeCounts []int, prot
 		nodeCounts = []int{1, 2, 4, 8, 16}
 	}
 	out := &Scaling{App: kind, N: n}
+	type point struct{ hand, sage sim.Duration }
+	points, err := runPool(proto.Parallelism, len(nodeCounts), func(i int) (point, error) {
+		hand, err := runHand(kind, pl, nodeCounts[i], n, proto)
+		if err != nil {
+			return point{}, err
+		}
+		sage, err := runSage(kind, pl, nodeCounts[i], n, proto, sagert.Options{})
+		if err != nil {
+			return point{}, err
+		}
+		return point{hand, sage}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Speedups are relative to the first configuration, derivable only once
+	// every pooled measurement is in.
 	var handBase, sageBase sim.Duration
-	for _, nodes := range nodeCounts {
-		hand, err := runHand(kind, pl, nodes, n, proto)
-		if err != nil {
-			return nil, err
-		}
-		sage, err := runSage(kind, pl, nodes, n, proto, sagert.Options{})
-		if err != nil {
-			return nil, err
-		}
+	for i, pt := range points {
 		if handBase == 0 {
-			handBase, sageBase = hand, sage
+			handBase, sageBase = pt.hand, pt.sage
 		}
 		out.Rows = append(out.Rows, ScalingRow{
-			Nodes: nodes, Hand: hand, Sage: sage,
-			HandSpeedup: float64(handBase) / float64(hand),
-			SageSpeedup: float64(sageBase) / float64(sage),
+			Nodes: nodeCounts[i], Hand: pt.hand, Sage: pt.sage,
+			HandSpeedup: float64(handBase) / float64(pt.hand),
+			SageSpeedup: float64(sageBase) / float64(pt.sage),
 		})
 	}
 	return out, nil
@@ -574,12 +619,14 @@ func RunHeterogeneous(app *model.App, pl machine.Platform, speeds []float64, ga 
 		}
 		return res.AvgLatency(), nil
 	}
-	if out.MeasuredGA, err = measure(gaMap); err != nil {
+	mappings := []*model.Mapping{gaMap, model.RoundRobin(app, nodes)}
+	measured, err := runPool(0, len(mappings), func(i int) (sim.Duration, error) {
+		return measure(mappings[i])
+	})
+	if err != nil {
 		return nil, err
 	}
-	if out.MeasuredRR, err = measure(model.RoundRobin(app, nodes)); err != nil {
-		return nil, err
-	}
+	out.MeasuredGA, out.MeasuredRR = measured[0], measured[1]
 	return out, nil
 }
 
@@ -629,19 +676,25 @@ func RunRealTime(kind AppKind, pl machine.Platform, n, nodes, iterations int, fa
 		return nil, err
 	}
 	out := &RealTime{App: kind, N: n, Nodes: nodes, Capacity: free.Period}
-	for _, f := range factors {
-		period := sim.Duration(float64(free.Period) * f)
+	// Every paced run depends on the free-running period above, but the runs
+	// are independent of each other: one pooled job per input rate.
+	rows, err := runPool(0, len(factors), func(i int) (RealTimeRow, error) {
+		period := sim.Duration(float64(free.Period) * factors[i])
 		res, err := sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: iterations, InputPeriod: period})
 		if err != nil {
-			return nil, err
+			return RealTimeRow{}, err
 		}
-		out.Rows = append(out.Rows, RealTimeRow{
+		return RealTimeRow{
 			InputPeriod: period,
 			MaxOverrun:  res.MaxOverrun,
 			AvgLatency:  res.AvgLatency(),
 			Sustained:   float64(res.MaxOverrun) < 0.05*float64(period),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -713,12 +766,14 @@ func RunMappingStudy(app *model.App, pl machine.Platform, nodes int, ga atot.GAC
 		}
 		return res.AvgLatency(), nil
 	}
-	if study.MeasuredGA, err = measure(gaMap); err != nil {
+	mappings := []*model.Mapping{gaMap, rr}
+	measured, err := runPool(0, len(mappings), func(i int) (sim.Duration, error) {
+		return measure(mappings[i])
+	})
+	if err != nil {
 		return nil, err
 	}
-	if study.MeasuredRR, err = measure(rr); err != nil {
-		return nil, err
-	}
+	study.MeasuredGA, study.MeasuredRR = measured[0], measured[1]
 	return study, nil
 }
 

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPoolPreservesInputOrder(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 7, 64} {
+		got, err := runPool(par, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunPoolReturnsLowestIndexError(t *testing.T) {
+	boom := func(i int) (int, error) {
+		if i == 3 || i == 11 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	}
+	for _, par := range []int{1, 4} {
+		_, err := runPool(par, 16, boom)
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("parallelism %d: err = %v, want job 3's error", par, err)
+		}
+	}
+}
+
+func TestRunPoolRunsEveryJobExactlyOnce(t *testing.T) {
+	var calls [50]int32
+	if _, err := runPool(8, len(calls), func(i int) (struct{}, error) {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunPoolZeroJobs(t *testing.T) {
+	got, err := runPool(4, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestTable1ParallelMatchesSequential is the engine's determinism contract:
+// the same grid swept with an 8-worker pool must be deep-equal — and render
+// byte-identical — to the sequential sweep. Virtual time must never depend
+// on host concurrency.
+func TestTable1ParallelMatchesSequential(t *testing.T) {
+	run := func(parallelism int) *Table1 {
+		t.Helper()
+		proto := Quick()
+		proto.Parallelism = parallelism
+		tbl, err := RunTable1(Table1Config{
+			Sizes:    []int{64, 128},
+			Nodes:    []int{2, 4, 8},
+			Protocol: proto,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	seq := run(1)
+	par := run(8)
+	// Protocol (carrying the differing Parallelism) is part of the struct;
+	// the measured content must match exactly.
+	par.Protocol = seq.Protocol
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel sweep diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.Format(), par.Format())
+	}
+	if seq.Format() != par.Format() {
+		t.Fatal("formatted tables differ byte-wise")
+	}
+}
+
+// TestCrossVendorParallelMatchesSequential covers the larger sweep shape
+// (platform x app x nodes) through the same pool.
+func TestCrossVendorParallelMatchesSequential(t *testing.T) {
+	run := func(parallelism int) *CrossVendor {
+		t.Helper()
+		proto := Quick()
+		proto.Parallelism = parallelism
+		cv, err := RunCrossVendor(128, []int{2, 4}, proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cv
+	}
+	if seq, par := run(1), run(8); !reflect.DeepEqual(seq, par) {
+		t.Fatalf("cross-vendor sweep diverged:\n%s\nvs\n%s", seq.Format(), par.Format())
+	}
+}

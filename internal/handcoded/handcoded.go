@@ -86,6 +86,7 @@ func run(cfg Config, body func(r *mpi.Rank, iter int, compute bool, out *isspl.M
 		return nil, err
 	}
 	k := sim.NewKernel()
+	defer k.Shutdown() // release parked rank goroutines on error paths
 	m := machine.New(k, cfg.Platform, cfg.Nodes)
 	w := mpi.NewWorld(m)
 	res := &Result{Output: isspl.NewMatrix(cfg.N, cfg.N)}

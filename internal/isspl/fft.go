@@ -15,33 +15,47 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
-// twiddle tables are cached per size; the library is used single-threaded
-// per simulated node, and Go benchmarks call it from one goroutine, so a
-// plain map suffices. (The cache is an implementation detail; Clear with
+// twiddle tables are cached per size. The parallel experiment engine runs
+// independent simulations — each calling into this library — concurrently,
+// so the cache is guarded by a lock; the tables themselves are immutable
+// once published. (The cache is an implementation detail; clear with
 // ResetTwiddleCache in memory-sensitive tests.)
-var twiddleCache = map[int][]complex128{}
+var (
+	twiddleMu    sync.RWMutex
+	twiddleCache = map[int][]complex128{}
+)
 
 // twiddles returns the first n/2 forward twiddle factors e^{-2πik/n}.
 func twiddles(n int) []complex128 {
-	if w, ok := twiddleCache[n]; ok {
+	twiddleMu.RLock()
+	w, ok := twiddleCache[n]
+	twiddleMu.RUnlock()
+	if ok {
 		return w
 	}
-	w := make([]complex128, n/2)
+	w = make([]complex128, n/2)
 	for k := range w {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		w[k] = complex(math.Cos(ang), math.Sin(ang))
 	}
+	twiddleMu.Lock()
 	twiddleCache[n] = w
+	twiddleMu.Unlock()
 	return w
 }
 
 // ResetTwiddleCache drops all cached twiddle tables.
-func ResetTwiddleCache() { twiddleCache = map[int][]complex128{} }
+func ResetTwiddleCache() {
+	twiddleMu.Lock()
+	twiddleCache = map[int][]complex128{}
+	twiddleMu.Unlock()
+}
 
 // FFT computes the in-place forward discrete Fourier transform of x using an
 // iterative radix-2 decimation-in-time algorithm. len(x) must be a power of

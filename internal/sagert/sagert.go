@@ -194,6 +194,10 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 	}
 
 	k := sim.NewKernel()
+	// Release any process goroutines left parked by a failed or stopped run
+	// (runner errors call Stop mid-execution); without this every failed run
+	// leaks one goroutine per function thread.
+	defer k.Shutdown()
 	mach := machine.New(k, pl, tables.NumNodes)
 	mach.SetNodeSpeeds(o.NodeSpeeds)
 	world := mpi.NewWorld(mach)

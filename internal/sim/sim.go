@@ -46,12 +46,18 @@ type event struct {
 
 // Kernel is a sequential discrete-event simulator.
 //
+// A kernel and everything attached to it (processes, channels, resources)
+// belong to one goroutine: the one that calls Run. Distinct kernels share no
+// state, so independent simulations may run concurrently, one kernel per
+// goroutine — this is what the parallel experiment engine does.
+//
 // The zero value is not usable; create kernels with NewKernel.
 type Kernel struct {
 	now     Time
 	queue   eventHeap
 	seq     uint64
 	park    chan struct{} // running process parked or finished
+	dead    chan struct{} // closed by Shutdown: kernel will never dispatch again
 	running *Proc
 	procs   map[*Proc]struct{}
 	nextPID int
@@ -63,6 +69,7 @@ type Kernel struct {
 func NewKernel() *Kernel {
 	return &Kernel{
 		park:  make(chan struct{}),
+		dead:  make(chan struct{}),
 		procs: make(map[*Proc]struct{}),
 	}
 }
@@ -101,15 +108,21 @@ func (k *Kernel) After(d Duration, fn func()) {
 // Proc is the handle through which a logical process interacts with the
 // kernel. A Proc is only valid inside the body function it was created with.
 type Proc struct {
-	k      *Kernel
-	pid    int
-	name   string
-	resume chan struct{}
-	done   bool
+	k       *Kernel
+	pid     int
+	name    string
+	resume  chan struct{}
+	started bool // the start event fired: a goroutine exists for this proc
+	killed  bool // Shutdown marked this proc for termination
+	done    bool
 	// blockedOn describes what the process is waiting for; used in the
 	// deadlock report produced by Run.
 	blockedOn string
 }
+
+// killSentinel is the panic value Shutdown uses to unwind a parked process
+// goroutine through its yield points; the spawn wrapper recovers it.
+type killSentinel struct{}
 
 // Name returns the process name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
@@ -131,12 +144,23 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	k.nextPID++
 	k.procs[p] = struct{}{}
 	k.schedule(k.now, func() {
+		p.started = true
 		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killSentinel); !ok {
+						panic(r)
+					}
+				}
+				p.done = true
+				delete(k.procs, p)
+				k.parkOrDie()
+			}()
 			<-p.resume
+			if p.killed {
+				panic(killSentinel{})
+			}
 			body(p)
-			p.done = true
-			delete(k.procs, p)
-			k.park <- struct{}{}
 		}()
 		k.dispatch(p)
 	})
@@ -153,20 +177,41 @@ func (k *Kernel) dispatch(p *Proc) {
 	k.running = prev
 }
 
-// yield parks the running process, returning control to the kernel loop. The
-// process resumes when some event calls wake.
-func (p *Proc) yield(blockedOn string) {
-	p.blockedOn = blockedOn
-	p.k.park <- struct{}{}
-	<-p.resume
+// parkOrDie signals the kernel that the running process has parked or
+// finished. After Shutdown, nothing will ever receive on park again, so a
+// completion racing the teardown becomes a no-op instead of a wedged
+// goroutine.
+func (k *Kernel) parkOrDie() {
+	select {
+	case k.park <- struct{}{}:
+	case <-k.dead:
+	}
 }
 
-// wake schedules p to resume at time at. Dispatching a finished process
-// would block the kernel forever, so the event re-checks liveness at fire
-// time (a stale wake for a process that has since completed is dropped).
+// yield parks the running process, returning control to the kernel loop. The
+// process resumes when some event calls wake, or terminates (by sentinel
+// panic, recovered in the spawn wrapper) when Shutdown tears the kernel
+// down.
+func (p *Proc) yield(blockedOn string) {
+	p.blockedOn = blockedOn
+	p.k.parkOrDie()
+	select {
+	case <-p.resume:
+	case <-p.k.dead:
+		panic(killSentinel{})
+	}
+	if p.killed {
+		panic(killSentinel{})
+	}
+}
+
+// wake schedules p to resume at time at. Dispatching a finished or killed
+// process would block the kernel forever, so the event re-checks liveness at
+// fire time (a stale wake for a process that has since completed — or that a
+// Shutdown tore down — is dropped).
 func (k *Kernel) wake(p *Proc, at Time) {
 	k.schedule(at, func() {
-		if p.done {
+		if p.done || p.killed {
 			return
 		}
 		k.dispatch(p)
@@ -206,8 +251,11 @@ func (e *DeadlockError) Error() string {
 
 // Run executes events until the queue drains or Stop is called. It returns a
 // *DeadlockError if live processes remain blocked when the queue empties, and
-// nil otherwise. Run must not be called re-entrantly.
+// nil otherwise. Run must not be called re-entrantly, and not after Shutdown.
 func (k *Kernel) Run() error {
+	if k.isDead() {
+		return fmt.Errorf("sim: Run on a kernel that has been shut down")
+	}
 	k.stopped = false
 	for !k.stopped {
 		ev := k.queue.pop()
@@ -234,6 +282,55 @@ func (k *Kernel) Run() error {
 // Stop halts Run after the current event completes. Processes keep their
 // state; Run may not be resumed after Stop (create a fresh kernel instead).
 func (k *Kernel) Stop() { k.stopped = true }
+
+// isDead reports whether Shutdown has completed.
+func (k *Kernel) isDead() bool {
+	select {
+	case <-k.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown releases every process goroutine still parked in the kernel and
+// marks the kernel dead. Run leaves blocked processes parked when it returns
+// a DeadlockError or is halted by Stop; without Shutdown each of those
+// processes is a leaked goroutine, which matters when thousands of kernels
+// are created over a program's lifetime (the experiment engine runs one per
+// simulation). Shutdown wakes each live process with a terminal signal — a
+// sentinel panic raised at its current yield point and recovered in the
+// spawn wrapper — in PID order, so teardown is deterministic.
+//
+// Call Shutdown from the goroutine that called Run, after Run has returned.
+// It is idempotent, safe on a kernel that ran to completion (no live
+// processes), and safe on a kernel that never ran. After Shutdown the
+// kernel is dead: Run returns an error and no process will ever be
+// dispatched again.
+func (k *Kernel) Shutdown() {
+	if k.isDead() {
+		return
+	}
+	k.stopped = true
+	live := make([]*Proc, 0, len(k.procs))
+	for p := range k.procs {
+		if p.started {
+			live = append(live, p)
+		} else {
+			// The start event never fired, so no goroutine exists; the
+			// process just vanishes from the books.
+			p.done = true
+			delete(k.procs, p)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].pid < live[j].pid })
+	for _, p := range live {
+		p.killed = true
+		p.resume <- struct{}{} // proc panics with the sentinel and unwinds
+		<-k.park               // its spawn wrapper confirms the exit
+	}
+	close(k.dead)
+}
 
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return k.queue.len() }

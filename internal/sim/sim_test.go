@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
@@ -518,6 +519,163 @@ func TestManyProcessesStress(t *testing.T) {
 	}
 	if k.Now() != Time((n-1)*int(time.Microsecond)) {
 		t.Fatalf("final time %v", k.Now())
+	}
+}
+
+// goroutinesSettleTo polls until the live goroutine count drops to at most
+// want (teardown goroutines need a few scheduler rounds to exit).
+func goroutinesSettleTo(t *testing.T, want int) int {
+	t.Helper()
+	var n int
+	for i := 0; i < 200; i++ {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return n
+}
+
+// TestShutdownReleasesLeakedGoroutines is the leak regression test: before
+// Kernel.Shutdown existed, every process left blocked by a DeadlockError or
+// a Stop stayed parked in its yield forever — one leaked goroutine per
+// process per kernel, accumulating across the thousands of kernels an
+// experiment sweep creates.
+func TestShutdownReleasesLeakedGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const kernels = 100
+	for i := 0; i < kernels; i++ {
+		k := NewKernel()
+		c := NewChan[int](k, "never")
+		for j := 0; j < 3; j++ {
+			k.Spawn(fmt.Sprintf("stuck%d", j), func(p *Proc) { c.Recv(p) })
+		}
+		// Odd kernels deadlock; even kernels are halted by Stop mid-run.
+		if i%2 == 0 {
+			k.Spawn("stopper", func(p *Proc) {
+				p.Sleep(time.Millisecond)
+				k.Stop()
+			})
+		}
+		if err := k.Run(); err == nil && i%2 == 1 {
+			t.Fatal("expected a DeadlockError")
+		}
+		k.Shutdown()
+		if k.LiveProcs() != 0 {
+			t.Fatalf("kernel %d: %d live procs after Shutdown", i, k.LiveProcs())
+		}
+	}
+	// 3 blocked procs per kernel would leak ~300 goroutines without the fix;
+	// allow a little slack for the test runner's own machinery.
+	if n := goroutinesSettleTo(t, base+10); n > base+10 {
+		t.Fatalf("goroutines grew from %d to %d across %d shut-down kernels", base, n, kernels)
+	}
+}
+
+func TestShutdownIdempotentAndSafeWhenClean(t *testing.T) {
+	// Never ran.
+	k := NewKernel()
+	k.Shutdown()
+	k.Shutdown()
+	// Ran to completion: nothing to tear down.
+	k = NewKernel()
+	k.Spawn("p", func(p *Proc) { p.Sleep(time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d", k.LiveProcs())
+	}
+}
+
+func TestRunAfterShutdownErrors(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) { p.Sleep(time.Millisecond) })
+	k.Shutdown()
+	if err := k.Run(); err == nil {
+		t.Fatal("Run after Shutdown did not error")
+	}
+}
+
+// TestShutdownReleasesNeverStartedProcs covers processes spawned after Stop
+// whose start event never fires: they have no goroutine, but must still be
+// cleared from the books.
+func TestShutdownReleasesNeverStartedProcs(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("early", func(p *Proc) {
+		k.Stop()
+		k.Spawn("orphan", func(p *Proc) { p.Sleep(time.Second) })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.LiveProcs() != 1 {
+		t.Fatalf("live procs before Shutdown = %d, want the orphan", k.LiveProcs())
+	}
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs after Shutdown = %d", k.LiveProcs())
+	}
+}
+
+// TestShutdownTerminatesMidBody verifies the terminal signal unwinds a
+// process out of an arbitrary yield point mid-body and that statements after
+// the yield never execute.
+func TestShutdownTerminatesMidBody(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "never")
+	reached := false
+	k.Spawn("worker", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c.Recv(p) // blocks forever
+		reached = true
+	})
+	if _, ok := k.Run().(*DeadlockError); !ok {
+		t.Fatal("expected DeadlockError")
+	}
+	k.Shutdown()
+	if reached {
+		t.Fatal("statement after the terminal yield executed")
+	}
+}
+
+// TestStaleWakeAfterShutdownIsDropped pins the stop-aware dispatch: a wake
+// event for a process that Shutdown tore down must be dropped, not dispatch
+// into a dead kernel.
+func TestStaleWakeAfterShutdownIsDropped(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(time.Hour) // wake event stays queued when Stop fires
+	})
+	k.Spawn("stopper", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() == 0 {
+		t.Fatal("expected the sleeper's wake event to still be queued")
+	}
+	k.Shutdown()
+	// The queued wake references a killed proc; firing it must be a no-op.
+	// Run refuses to restart a dead kernel, so pop the check directly.
+	ev := k.queue.pop()
+	if ev == nil {
+		t.Fatal("no queued event")
+	}
+	done := make(chan struct{})
+	go func() {
+		ev.fn()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stale wake dispatched into a dead kernel and hung")
 	}
 }
 
