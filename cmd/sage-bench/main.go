@@ -14,6 +14,11 @@
 // Independent simulation runs fan out across a bounded worker pool
 // (-parallel, default GOMAXPROCS). Results are identical at any pool size —
 // all timing is virtual — so -parallel trades host wall-clock only.
+//
+// -trace out.json records a Chrome trace (open in chrome://tracing or
+// Perfetto) covering every simulation run the experiment performs;
+// -trace-summary prints per-node utilisation, link traffic and wait
+// statistics derived from the same trace. Tracing never changes results.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"repro/internal/atot"
 	"repro/internal/experiments"
 	"repro/internal/platforms"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -32,15 +38,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes and protocol for a fast smoke run")
 	paper := flag.Bool("paper", false, "use the literal §3.3 protocol (10 executions x 100 iterations); slow, and — the simulator being deterministic — numerically identical to the default reduced protocol")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every simulation run to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print a per-node/per-link trace summary (requires or implies tracing)")
 	flag.Parse()
 
-	if err := run(*exp, *quick, *paper, *parallel); err != nil {
+	if err := run(*exp, *quick, *paper, *parallel, *tracePath, *traceSummary); err != nil {
 		fmt.Fprintln(os.Stderr, "sage-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, quick, paper bool, parallel int) error {
+func run(exp string, quick, paper bool, parallel int, tracePath string, traceSummary bool) error {
 	// Default: paper sizes, reduced repetition count. Averages are exact
 	// because virtual timing is deterministic across repetitions.
 	proto := experiments.Protocol{Repetitions: 1, Iterations: 5}
@@ -60,6 +68,11 @@ func run(exp string, quick, paper bool, parallel int) error {
 		vendorNodes = []int{4, 8}
 	}
 	proto.Parallelism = parallel
+	var tr *trace.Trace
+	if tracePath != "" || traceSummary {
+		tr = trace.NewTrace()
+		proto.Trace = tr
+	}
 	tblCfg := experiments.Table1Config{Sizes: sizes, Nodes: nodes, Protocol: proto}
 
 	runOne := func(name string) error {
@@ -174,9 +187,45 @@ func run(exp string, quick, paper bool, parallel int) error {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
+		return writeTrace(tr, tracePath, traceSummary)
+	}
+	if err := runOne(exp); err != nil {
+		return err
+	}
+	return writeTrace(tr, tracePath, traceSummary)
+}
+
+// writeTrace emits the collected trace as Chrome trace-event JSON and/or a
+// text summary after the experiments finish.
+func writeTrace(tr *trace.Trace, path string, summary bool) error {
+	if tr == nil {
 		return nil
 	}
-	return runOne(exp)
+	if len(tr.Runs()) == 0 {
+		fmt.Fprintln(os.Stderr, "sage-bench: note: the selected experiment produced no traced runs")
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		// Status goes to stderr so traced stdout stays byte-identical to an
+		// untraced run of the same experiment.
+		fmt.Fprintf(os.Stderr, "trace: %d runs written to %s (open in chrome://tracing or Perfetto)\n", len(tr.Runs()), path)
+	}
+	if summary {
+		if err := tr.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -23,7 +23,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 }
 
 func TestGenStudyExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("genstudy", true, false, 0) })
+	out, err := captureStdout(t, func() error { return run("genstudy", true, false, 0, "", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestGenStudyExperiment(t *testing.T) {
 }
 
 func TestTable1QuickExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("table1", true, false, 0) })
+	out, err := captureStdout(t, func() error { return run("table1", true, false, 0, "", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +47,11 @@ func TestTable1QuickExperiment(t *testing.T) {
 // TestParallelFlagOutputIdentical pins the CLI-level determinism guarantee:
 // -parallel changes wall-clock only, never a byte of the printed tables.
 func TestParallelFlagOutputIdentical(t *testing.T) {
-	seq, err := captureStdout(t, func() error { return run("twonode", true, false, 1) })
+	seq, err := captureStdout(t, func() error { return run("twonode", true, false, 1, "", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := captureStdout(t, func() error { return run("twonode", true, false, 4) })
+	par, err := captureStdout(t, func() error { return run("twonode", true, false, 4, "", false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestParallelFlagOutputIdentical(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("warpcore", true, false, 0); err == nil {
+	if err := run("warpcore", true, false, 0, "", false); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -3,7 +3,8 @@
 // tables (or loads pre-generated table source), runs the configured number
 // of iterations, and reports period and latency per §3.3. With -viz it
 // prints the Visualizer report; with -trace-csv / -svg it exports the probe
-// events.
+// events; with -trace it writes a Chrome trace-event JSON of the whole run
+// (kernel, runtime and MPI layers) for chrome://tracing or Perfetto.
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/platforms"
 	"repro/internal/sagert"
+	"repro/internal/trace"
 	"repro/internal/viz"
 )
 
@@ -31,7 +33,7 @@ type options struct {
 	modelFile, mappingFile, platformName, hwFile, tablesFile string
 	nodes, iterations                                        int
 	sequential, optimized, vizReport                         bool
-	traceCSV, svgOut                                         string
+	traceCSV, svgOut, traceOut                               string
 	latencyBound                                             time.Duration
 }
 
@@ -48,6 +50,7 @@ func main() {
 	flag.BoolVar(&o.optimized, "optimized-buffers", false, "enable the future-work buffer optimisation")
 	flag.BoolVar(&o.vizReport, "viz", false, "print the Visualizer report")
 	flag.StringVar(&o.traceCSV, "trace-csv", "", "export probe events as CSV")
+	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
 	flag.StringVar(&o.svgOut, "svg", "", "export the execution timeline as SVG")
 	flag.DurationVar(&o.latencyBound, "latency-threshold", 0, "flag iterations over this latency")
 	flag.Parse()
@@ -149,12 +152,15 @@ func run(o options) error {
 		}
 	}
 	opts := sagert.Options{Iterations: o.iterations, Sequential: o.sequential, OptimizedBuffers: o.optimized}
-	var trace *viz.Trace
+	var vtrace *viz.Trace
 	if o.vizReport || o.traceCSV != "" || o.svgOut != "" {
 		var hook func(sagert.Event)
-		trace, hook = viz.Collector()
+		vtrace, hook = viz.Collector()
 		opts.ProbeAll = true
 		opts.Trace = hook
+	}
+	if o.traceOut != "" {
+		opts.Collector = trace.New(appName + " on " + pl.Name)
 	}
 	res, err := sagert.Run(tables, pl, opts)
 	if err != nil {
@@ -175,7 +181,7 @@ func run(o options) error {
 	}
 	if o.vizReport {
 		fmt.Println()
-		if err := trace.Report(os.Stdout, 100); err != nil {
+		if err := vtrace.Report(os.Stdout, 100); err != nil {
 			return err
 		}
 	}
@@ -184,7 +190,7 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		if err := trace.WriteCSV(f); err != nil {
+		if err := vtrace.WriteCSV(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -192,12 +198,28 @@ func run(o options) error {
 			return err
 		}
 	}
+	if o.traceOut != "" {
+		t := trace.NewTrace()
+		t.Add(opts.Collector)
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  trace:       %s\n", o.traceOut)
+	}
 	if o.svgOut != "" {
 		f, err := os.Create(o.svgOut)
 		if err != nil {
 			return err
 		}
-		if err := trace.WriteSVG(f, 1200); err != nil {
+		if err := vtrace.WriteSVG(f, 1200); err != nil {
 			f.Close()
 			return err
 		}

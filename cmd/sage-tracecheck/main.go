@@ -1,0 +1,57 @@
+// sage-tracecheck validates a Chrome trace-event JSON file produced by
+// sage-bench -trace or sage-run -trace: every event must carry the required
+// fields, timestamps must be non-negative and non-decreasing per track, and
+// (optionally) spans from specific layers must be present. Exit status is
+// non-zero on any violation, so CI can gate on it.
+//
+// Usage:
+//
+//	sage-tracecheck trace.json
+//	sage-tracecheck -require sim,sagert,mpi trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated trace categories (layers) that must appear, e.g. sim,sagert,mpi")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sage-tracecheck [-require layers] trace.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *require); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, require string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	stats, err := trace.ValidateChrome(data)
+	if err != nil {
+		return err
+	}
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		if stats.Cats[want] == 0 {
+			return fmt.Errorf("%s: no spans from required layer %q (present: %s)",
+				path, want, strings.Join(stats.Layers(), ", "))
+		}
+	}
+	fmt.Printf("%s: ok — %d events, %d spans, layers: %s\n",
+		path, stats.Events, stats.Spans, strings.Join(stats.Layers(), ", "))
+	return nil
+}

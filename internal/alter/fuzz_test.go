@@ -1,0 +1,58 @@
+package alter
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadAll feeds arbitrary bytes to the s-expression reader: it must
+// either parse or return an error, never panic or overflow the stack, and
+// anything it accepts must survive a Format -> ReadAll round trip.
+func FuzzReadAll(f *testing.F) {
+	seeds := []string{
+		"",
+		"(app \"fft2d\" (function \"fft\" 8))",
+		"'(quote (1 2 3)) #t #f nil sym -12 3.5",
+		"\"str with \\n escape\" ; comment\n(a (b (c)))",
+		"(((((((((((((((((((()))))))))))))))))))",
+		"(unterminated",
+		"\"unterminated",
+		")",
+		"'",
+		strings.Repeat("(", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		forms, err := ReadAll(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must format to text the reader accepts again.
+		for _, form := range forms {
+			if _, err := ReadAll(Format(form)); err != nil {
+				t.Fatalf("Format output rejected: %v\ninput: %q\nformatted: %q", err, src, Format(form))
+			}
+		}
+	})
+}
+
+// TestReadAllDepthLimit pins the recursion bound: pathological nesting must
+// fail cleanly rather than exhaust the stack.
+func TestReadAllDepthLimit(t *testing.T) {
+	deep := strings.Repeat("(", maxReadDepth+10) + strings.Repeat(")", maxReadDepth+10)
+	if _, err := ReadAll(deep); err == nil {
+		t.Fatal("expected a depth error for pathological nesting")
+	}
+	// Quote shorthand recurses through read as well.
+	quoted := strings.Repeat("'", maxReadDepth+10) + "x"
+	if _, err := ReadAll(quoted); err == nil {
+		t.Fatal("expected a depth error for pathological quoting")
+	}
+	// Reasonable nesting still parses.
+	ok := strings.Repeat("(", 50) + "x" + strings.Repeat(")", 50)
+	if _, err := ReadAll(ok); err != nil {
+		t.Fatalf("moderate nesting rejected: %v", err)
+	}
+}

@@ -12,10 +12,16 @@ import (
 // floats, #t/#f booleans, nil, and symbols.
 
 type reader struct {
-	src  []rune
-	pos  int
-	line int
+	src   []rune
+	pos   int
+	line  int
+	depth int
 }
+
+// maxReadDepth bounds list/quote nesting so hostile input (e.g. a few
+// kilobytes of '(' characters) fails with a parse error instead of
+// overflowing the goroutine stack through read's recursion.
+const maxReadDepth = 1000
 
 // ReadAll parses every top-level form in src.
 func ReadAll(src string) (List, error) {
@@ -88,6 +94,11 @@ func (r *reader) read() (Value, error) {
 	if r.eof() {
 		return nil, r.errf("unexpected end of input")
 	}
+	if r.depth >= maxReadDepth {
+		return nil, r.errf("nesting deeper than %d", maxReadDepth)
+	}
+	r.depth++
+	defer func() { r.depth-- }()
 	switch c := r.peek(); {
 	case c == '(':
 		r.next()
@@ -145,10 +156,47 @@ func (r *reader) readString() (Value, error) {
 				b.WriteByte('\n')
 			case 't':
 				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'a':
+				b.WriteByte('\a')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'v':
+				b.WriteByte('\v')
 			case '\\':
 				b.WriteByte('\\')
 			case '"':
 				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case 'x', 'u', 'U':
+				// Hex escapes, so Format (which quotes with the full Go
+				// escape set) always round-trips through the reader.
+				digits := 2
+				if e == 'u' {
+					digits = 4
+				} else if e == 'U' {
+					digits = 8
+				}
+				var code rune
+				for i := 0; i < digits; i++ {
+					if r.eof() {
+						return nil, fmt.Errorf("alter: line %d: unterminated escape", start)
+					}
+					d, ok := hexVal(r.next())
+					if !ok {
+						return nil, fmt.Errorf("alter: line %d: bad hex digit in \\%c escape", start, e)
+					}
+					code = code<<4 | d
+				}
+				if e == 'x' {
+					b.WriteByte(byte(code))
+				} else {
+					b.WriteRune(code)
+				}
 			default:
 				return nil, fmt.Errorf("alter: line %d: unknown escape \\%c", start, e)
 			}
@@ -156,6 +204,18 @@ func (r *reader) readString() (Value, error) {
 		}
 		b.WriteRune(c)
 	}
+}
+
+func hexVal(c rune) (rune, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
 }
 
 func (r *reader) readAtom() (Value, error) {

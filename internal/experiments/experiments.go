@@ -35,6 +35,7 @@ import (
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Protocol fixes the measurement parameters of §3.3.
@@ -48,6 +49,13 @@ type Protocol struct {
 	// Parallelism produces byte-identical output — virtual time never
 	// depends on host concurrency.
 	Parallelism int
+	// Trace, when non-nil, collects structured traces of every simulation
+	// run the experiment performs: each repetition of each sweep cell gets
+	// its own trace.Collector (one collector per sim.Kernel, so pooled runs
+	// never share mutable state), and the collectors are merged into Trace
+	// in sweep order after the worker pool drains. Tracing therefore never
+	// perturbs results and produces identical output at any Parallelism.
+	Trace *trace.Trace
 }
 
 // Paper is the full §3.3 protocol.
@@ -89,10 +97,15 @@ func buildApp(kind AppKind, n, threads int) (*model.App, error) {
 // runHand executes the hand-coded baseline under the protocol and returns
 // the average per-data-set time. The hand-coded benchmarks process data
 // sets in a sequential loop, so their period equals their latency.
-func runHand(kind AppKind, pl machine.Platform, nodes, n int, proto Protocol) (sim.Duration, error) {
+func runHand(kind AppKind, pl machine.Platform, nodes, n int, proto Protocol) (sim.Duration, []*trace.Collector, error) {
 	var total sim.Duration
+	var cols []*trace.Collector
 	for rep := 0; rep < proto.Repetitions; rep++ {
 		cfg := handcoded.Config{Platform: pl, Nodes: nodes, N: n, Iterations: proto.Iterations, Seed: 1}
+		if proto.Trace != nil {
+			cfg.Trace = trace.New(fmt.Sprintf("hand %s %s n=%d nodes=%d rep%d", kind, pl.Name, n, nodes, rep))
+			cols = append(cols, cfg.Trace)
+		}
 		var res *handcoded.Result
 		var err error
 		switch kind {
@@ -101,14 +114,14 @@ func runHand(kind AppKind, pl machine.Platform, nodes, n int, proto Protocol) (s
 		case AppCornerTurn:
 			res, err = handcoded.CornerTurn(cfg)
 		default:
-			return 0, fmt.Errorf("experiments: unknown app %q", kind)
+			return 0, nil, fmt.Errorf("experiments: unknown app %q", kind)
 		}
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		total += res.AvgLatency()
 	}
-	return total / sim.Duration(proto.Repetitions), nil
+	return total / sim.Duration(proto.Repetitions), cols, nil
 }
 
 // GenerateTables builds the model, maps it (one worker thread per node,
@@ -131,23 +144,28 @@ func GenerateTables(kind AppKind, pl machine.Platform, nodes, n int) (*gluegen.O
 // runs in Sequential mode (one data set at a time, like the hand-coded
 // measurement loop); the runtime's pipelined throughput is studied
 // separately by RunPipeline.
-func runSage(kind AppKind, pl machine.Platform, nodes, n int, proto Protocol, opts sagert.Options) (sim.Duration, error) {
+func runSage(kind AppKind, pl machine.Platform, nodes, n int, proto Protocol, opts sagert.Options) (sim.Duration, []*trace.Collector, error) {
 	out, err := GenerateTables(kind, pl, nodes, n)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	var total sim.Duration
+	var cols []*trace.Collector
 	for rep := 0; rep < proto.Repetitions; rep++ {
 		o := opts
 		o.Iterations = proto.Iterations
 		o.Sequential = true
+		if proto.Trace != nil {
+			o.Collector = trace.New(fmt.Sprintf("sage %s %s n=%d nodes=%d rep%d", kind, pl.Name, n, nodes, rep))
+			cols = append(cols, o.Collector)
+		}
 		res, err := sagert.Run(out.Tables, pl, o)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		total += res.AvgLatency()
 	}
-	return total / sim.Duration(proto.Repetitions), nil
+	return total / sim.Duration(proto.Repetitions), cols, nil
 }
 
 // Row is one line of a hand-vs-SAGE comparison table.
@@ -211,25 +229,37 @@ func RunTable1(cfg Table1Config) (*Table1, error) {
 			}
 		}
 	}
-	rows, err := runPool(c.Protocol.Parallelism, len(cells), func(i int) (Row, error) {
+	type cellOut struct {
+		row  Row
+		cols []*trace.Collector
+	}
+	outs, err := runPool(c.Protocol.Parallelism, len(cells), func(i int) (cellOut, error) {
 		cl := cells[i]
-		hand, err := runHand(cl.kind, c.Platform, cl.nodes, cl.n, c.Protocol)
+		hand, hcols, err := runHand(cl.kind, c.Platform, cl.nodes, cl.n, c.Protocol)
 		if err != nil {
-			return Row{}, fmt.Errorf("experiments: %s n=%d nodes=%d hand: %w", cl.kind, cl.n, cl.nodes, err)
+			return cellOut{}, fmt.Errorf("experiments: %s n=%d nodes=%d hand: %w", cl.kind, cl.n, cl.nodes, err)
 		}
-		sage, err := runSage(cl.kind, c.Platform, cl.nodes, cl.n, c.Protocol, c.Options)
+		sage, scols, err := runSage(cl.kind, c.Platform, cl.nodes, cl.n, c.Protocol, c.Options)
 		if err != nil {
-			return Row{}, fmt.Errorf("experiments: %s n=%d nodes=%d sage: %w", cl.kind, cl.n, cl.nodes, err)
+			return cellOut{}, fmt.Errorf("experiments: %s n=%d nodes=%d sage: %w", cl.kind, cl.n, cl.nodes, err)
 		}
-		return Row{App: cl.kind, N: cl.n, Nodes: cl.nodes, Hand: hand, Sage: sage,
-			PctOfHand: 100 * float64(hand) / float64(sage)}, nil
+		return cellOut{
+			row: Row{App: cl.kind, N: cl.n, Nodes: cl.nodes, Hand: hand, Sage: sage,
+				PctOfHand: 100 * float64(hand) / float64(sage)},
+			cols: append(hcols, scols...),
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	mergeTrace(c.Protocol.Trace, outs, func(co cellOut) []*trace.Collector { return co.cols })
+	// The Trace pointer is an output channel, not a protocol parameter:
+	// keep it out of the result so traced and untraced tables compare equal.
+	out.Protocol.Trace = nil
 	var fftSum, ctSum float64
 	var fftN, ctN int
-	for _, r := range rows {
+	for _, co := range outs {
+		r := co.row
 		out.Rows = append(out.Rows, r)
 		if r.App == AppFFT2D {
 			fftSum += r.PctOfHand

@@ -341,7 +341,7 @@ func TestBuildAppUnknownKind(t *testing.T) {
 	if _, err := buildApp("bogus", 64, 4); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
-	if _, err := runHand("bogus", platforms.CSPI(), 4, 64, Quick()); err == nil {
+	if _, _, err := runHand("bogus", platforms.CSPI(), 4, 64, Quick()); err == nil {
 		t.Fatal("unknown kind accepted by runHand")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -31,23 +32,35 @@ type TwoNode struct {
 func RunTwoNode(pl machine.Platform, n int, proto Protocol) (*TwoNode, error) {
 	proto = proto.withDefaults()
 	nodeCounts := []int{2, 4, 8}
-	rows, err := runPool(proto.Parallelism, len(nodeCounts), func(i int) (Row, error) {
+	type cellOut struct {
+		row  Row
+		cols []*trace.Collector
+	}
+	outs, err := runPool(proto.Parallelism, len(nodeCounts), func(i int) (cellOut, error) {
 		nodes := nodeCounts[i]
-		hand, err := runHand(AppCornerTurn, pl, nodes, n, proto)
+		hand, hcols, err := runHand(AppCornerTurn, pl, nodes, n, proto)
 		if err != nil {
-			return Row{}, err
+			return cellOut{}, err
 		}
-		sage, err := runSage(AppCornerTurn, pl, nodes, n, proto, sagert.Options{})
+		sage, scols, err := runSage(AppCornerTurn, pl, nodes, n, proto, sagert.Options{})
 		if err != nil {
-			return Row{}, err
+			return cellOut{}, err
 		}
-		return Row{App: AppCornerTurn, N: n, Nodes: nodes,
-			Hand: hand, Sage: sage, PctOfHand: 100 * float64(hand) / float64(sage)}, nil
+		return cellOut{
+			row: Row{App: AppCornerTurn, N: n, Nodes: nodes,
+				Hand: hand, Sage: sage, PctOfHand: 100 * float64(hand) / float64(sage)},
+			cols: append(hcols, scols...),
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &TwoNode{N: n, Rows: rows}, nil
+	mergeTrace(proto.Trace, outs, func(co cellOut) []*trace.Collector { return co.cols })
+	out := &TwoNode{N: n}
+	for _, co := range outs {
+		out.Rows = append(out.Rows, co.row)
+	}
+	return out, nil
 }
 
 // Format renders the anomaly table.
@@ -156,18 +169,27 @@ func RunCrossVendor(n int, nodes []int, proto Protocol) (*CrossVendor, error) {
 			}
 		}
 	}
-	rows, err := runPool(proto.Parallelism, len(cells), func(i int) (VendorRow, error) {
+	type cellOut struct {
+		row  VendorRow
+		cols []*trace.Collector
+	}
+	outs, err := runPool(proto.Parallelism, len(cells), func(i int) (cellOut, error) {
 		cl := cells[i]
-		lat, err := runHand(cl.kind, cl.pl, cl.nn, n, proto)
+		lat, cols, err := runHand(cl.kind, cl.pl, cl.nn, n, proto)
 		if err != nil {
-			return VendorRow{}, err
+			return cellOut{}, err
 		}
-		return VendorRow{Platform: cl.pl.Name, App: cl.kind, Nodes: cl.nn, Latency: lat}, nil
+		return cellOut{row: VendorRow{Platform: cl.pl.Name, App: cl.kind, Nodes: cl.nn, Latency: lat}, cols: cols}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &CrossVendor{N: n, Rows: rows}, nil
+	mergeTrace(proto.Trace, outs, func(co cellOut) []*trace.Collector { return co.cols })
+	out := &CrossVendor{N: n}
+	for _, co := range outs {
+		out.Rows = append(out.Rows, co.row)
+	}
+	return out, nil
 }
 
 // Format renders the sweep grouped by application.
@@ -360,7 +382,7 @@ func RunPipeline(kind AppKind, pl machine.Platform, n, nodes, iterations int) (*
 	}
 	modes := []func() error{
 		func() (err error) {
-			out.Hand, err = runHand(kind, pl, nodes, n, Protocol{Repetitions: 1, Iterations: iterations})
+			out.Hand, _, err = runHand(kind, pl, nodes, n, Protocol{Repetitions: 1, Iterations: iterations})
 			return err
 		},
 		func() error {
@@ -428,21 +450,25 @@ func RunScaling(kind AppKind, pl machine.Platform, n int, nodeCounts []int, prot
 		nodeCounts = []int{1, 2, 4, 8, 16}
 	}
 	out := &Scaling{App: kind, N: n}
-	type point struct{ hand, sage sim.Duration }
+	type point struct {
+		hand, sage sim.Duration
+		cols       []*trace.Collector
+	}
 	points, err := runPool(proto.Parallelism, len(nodeCounts), func(i int) (point, error) {
-		hand, err := runHand(kind, pl, nodeCounts[i], n, proto)
+		hand, hcols, err := runHand(kind, pl, nodeCounts[i], n, proto)
 		if err != nil {
 			return point{}, err
 		}
-		sage, err := runSage(kind, pl, nodeCounts[i], n, proto, sagert.Options{})
+		sage, scols, err := runSage(kind, pl, nodeCounts[i], n, proto, sagert.Options{})
 		if err != nil {
 			return point{}, err
 		}
-		return point{hand, sage}, nil
+		return point{hand, sage, append(hcols, scols...)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	mergeTrace(proto.Trace, points, func(pt point) []*trace.Collector { return pt.cols })
 	// Speedups are relative to the first configuration, derivable only once
 	// every pooled measurement is in.
 	var handBase, sageBase sim.Duration

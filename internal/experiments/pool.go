@@ -3,6 +3,8 @@ package experiments
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // runPool is the parallel experiment engine: it executes n independent jobs
@@ -60,4 +62,20 @@ func runPool[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error)
 		}
 	}
 	return results, nil
+}
+
+// mergeTrace folds the per-run collectors produced by pooled jobs into the
+// protocol's Trace in input (sweep) order, after the pool has drained. Each
+// collector was filled by exactly one kernel's goroutine, so this single
+// post-pool pass is the only cross-run touch point — no locking, and the
+// merged trace is identical at any parallelism. No-op when tracing is off.
+func mergeTrace[T any](t *trace.Trace, results []T, cols func(T) []*trace.Collector) {
+	if t == nil {
+		return
+	}
+	for _, r := range results {
+		for _, c := range cols(r) {
+			t.Add(c)
+		}
+	}
 }

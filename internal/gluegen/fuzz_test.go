@@ -1,0 +1,44 @@
+package gluegen
+
+import "testing"
+
+// FuzzParseTableSource feeds arbitrary bytes to the runtime-table parser:
+// parse and verification must reject bad input with errors, never panic.
+func FuzzParseTableSource(f *testing.F) {
+	seeds := []string{
+		"",
+		"(app \"tiny\" \"CSPI\" 2)",
+		`(app "tiny" "CSPI" 2)
+(function 0 "src" "source_matrix" 1 (0) (("seed" 9)) #f)
+(outport 0 "out" 4 4 8 "rows" (0))
+(function 1 "work" "fft_rows" 2 (0 1) () #f)
+(inport 1 "in" 4 4 8 "rows" (0))
+(outport 1 "out" 4 4 8 "rows" (1))
+(function 2 "snk" "sink_matrix" 1 (1) () #f)
+(inport 2 "in" 4 4 8 "rows" (1))
+(buffer 0 0 "out" 1 "in" 4 4 8)
+(xfer 0 0 0 (0 0 2 4))
+(xfer 0 0 1 (2 0 2 4))
+(buffer 1 1 "out" 2 "in" 4 4 8)
+(xfer 1 0 0 (0 0 2 4))
+(xfer 1 1 0 (2 0 2 4))
+(order (0 1 2))`,
+		"(buffer 0 0 \"out\" 1 \"in\" 4 4 8)",
+		"(xfer 0 0 0 (0 0 2 4))",
+		"(function -1 \"x\" \"y\" 999999 () () #t)",
+		"(app \"a\" \"b\" -5)(order (9 9 9))",
+		"(((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tables, err := ParseTableSource(src)
+		if err != nil {
+			return
+		}
+		// Verify must classify any parsed tables without panicking; its
+		// verdict (valid or not) is unconstrained for arbitrary input.
+		_ = tables.Verify()
+	})
+}

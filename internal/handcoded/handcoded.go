@@ -23,6 +23,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config parameterises a baseline run.
@@ -32,6 +33,10 @@ type Config struct {
 	N          int   // matrix edge (power of two)
 	Iterations int   // total iterations (>= 1); iteration 0 computes real data
 	Seed       int64 // source data seed
+	// Trace, when non-nil, collects structured spans for the run: per-rank
+	// benchmark stages, MPI collective spans, and the sim kernel's
+	// process/wait events. One collector serves one run.
+	Trace *trace.Collector
 }
 
 func (c *Config) validate() error {
@@ -74,6 +79,21 @@ func (r *Result) AvgLatency() sim.Duration {
 // rowRange returns the row block of rank r among p ranks.
 func rowRange(n, p, r int) (lo, hi int) { return r * n / p, (r + 1) * n / p }
 
+// phase runs one stage of a benchmark under a trace span on the calling
+// rank's track when the machine is traced; otherwise it just calls f.
+func phase(r *mpi.Rank, name string, iter int, f func()) {
+	tr := r.Trace()
+	if !tr.Enabled() {
+		f()
+		return
+	}
+	start := r.Proc().Now()
+	f()
+	tr.Phase(trace.LayerHand, r.Node().ID,
+		trace.ProcTrack(r.Proc().Name(), r.Proc().PID()),
+		name, iter, start, r.Proc().Now())
+}
+
 const (
 	tagScatterRows = 100
 	tagGatherRows  = 101
@@ -88,6 +108,7 @@ func run(cfg Config, body func(r *mpi.Rank, iter int, compute bool, out *isspl.M
 	k := sim.NewKernel()
 	defer k.Shutdown() // release parked rank goroutines on error paths
 	m := machine.New(k, cfg.Platform, cfg.Nodes)
+	m.SetTrace(cfg.Trace)
 	w := mpi.NewWorld(m)
 	res := &Result{Output: isspl.NewMatrix(cfg.N, cfg.N)}
 	var firstDone, lastDone sim.Time
@@ -108,6 +129,7 @@ func run(cfg Config, body func(r *mpi.Rank, iter int, compute bool, out *isspl.M
 	if err := k.Run(); err != nil {
 		return nil, err
 	}
+	m.TraceNodeTotals()
 	if cfg.Iterations > 1 {
 		res.Period = lastDone.Sub(firstDone) / sim.Duration(cfg.Iterations-1)
 	} else {
@@ -227,22 +249,33 @@ func FFT2D(cfg Config) (*Result, error) {
 		n, p := cfg.N, r.Size()
 		lo, hi := rowRange(n, p, r.ID())
 		myRows := hi - lo
-		local := scatterRows(r, n, cfg.Seed, iter, compute)
+		var local []complex128
+		phase(r, "scatter", iter, func() {
+			local = scatterRows(r, n, cfg.Seed, iter, compute)
+		})
 
 		// Row FFTs, in place (no extra buffer: the hand-coded advantage).
-		r.Node().ComputeFlops(r.Proc(), isspl.FFTRowsFlops(myRows, n))
-		if compute {
-			mustFFTRows(local, myRows, n)
-		}
+		phase(r, "fft-rows", iter, func() {
+			r.Node().ComputeFlops(r.Proc(), isspl.FFTRowsFlops(myRows, n))
+			if compute {
+				mustFFTRows(local, myRows, n)
+			}
+		})
 
-		local = cornerTurnExchangeAlg(r, local, n, compute, mpi.AlgorithmFor(cfg.Platform.AllToAll))
+		phase(r, "corner-turn", iter, func() {
+			local = cornerTurnExchangeAlg(r, local, n, compute, mpi.AlgorithmFor(cfg.Platform.AllToAll))
+		})
 
-		r.Node().ComputeFlops(r.Proc(), isspl.FFTRowsFlops(myRows, n))
-		if compute {
-			mustFFTRows(local, myRows, n)
-		}
+		phase(r, "fft-rows", iter, func() {
+			r.Node().ComputeFlops(r.Proc(), isspl.FFTRowsFlops(myRows, n))
+			if compute {
+				mustFFTRows(local, myRows, n)
+			}
+		})
 
-		gatherRows(r, local, n, compute, out)
+		phase(r, "gather", iter, func() {
+			gatherRows(r, local, n, compute, out)
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -256,9 +289,16 @@ func FFT2D(cfg Config) (*Result, error) {
 // exchange + local transpose, gather. Output is X^T.
 func CornerTurn(cfg Config) (*Result, error) {
 	return run(cfg, func(r *mpi.Rank, iter int, compute bool, out *isspl.Matrix) {
-		local := scatterRows(r, cfg.N, cfg.Seed, iter, compute)
-		local = cornerTurnExchangeAlg(r, local, cfg.N, compute, mpi.AlgorithmFor(cfg.Platform.AllToAll))
-		gatherRows(r, local, cfg.N, compute, out)
+		var local []complex128
+		phase(r, "scatter", iter, func() {
+			local = scatterRows(r, cfg.N, cfg.Seed, iter, compute)
+		})
+		phase(r, "exchange", iter, func() {
+			local = cornerTurnExchangeAlg(r, local, cfg.N, compute, mpi.AlgorithmFor(cfg.Platform.AllToAll))
+		})
+		phase(r, "gather", iter, func() {
+			gatherRows(r, local, cfg.N, compute, out)
+		})
 	})
 }
 

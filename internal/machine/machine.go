@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Machine is a Platform instantiated at a specific node count on a simulation
@@ -14,6 +15,39 @@ type Machine struct {
 	Plat   Platform
 	nodes  []*Node
 	fabric *sim.Resource // nil when FabricConcurrency == 0 (crossbar)
+	tr     *trace.Collector
+}
+
+// SetTrace attaches a trace collector to the machine and installs it as the
+// kernel's structured tracer. A nil collector disables tracing (the
+// default). Call before the simulation runs; one collector serves one
+// kernel.
+func (m *Machine) SetTrace(c *trace.Collector) {
+	m.tr = c
+	if c.Enabled() {
+		m.K.SetTracer(c)
+	}
+}
+
+// Trace returns the attached collector (nil — the disabled collector — when
+// tracing is off). Layers above the machine (mpi, sagert, handcoded) emit
+// their spans through it.
+func (m *Machine) Trace() *trace.Collector { return m.tr }
+
+// TraceNodeTotals records every node's accumulated counters into the
+// attached collector and stamps the final virtual time; call after the
+// kernel has drained. No-op when tracing is off.
+func (m *Machine) TraceNodeTotals() {
+	if !m.tr.Enabled() {
+		return
+	}
+	for _, nd := range m.nodes {
+		m.tr.AddNodeTotals(trace.NodeTotals{
+			Node: nd.ID, ComputeBusy: nd.ComputeBusy, CopyBusy: nd.CopyBusy,
+			CommBusy: nd.CommBusy, MsgsSent: nd.MsgsSent, BytesSent: nd.BytesSent,
+		})
+	}
+	m.tr.Finish(m.K)
 }
 
 // Node is one processor of the machine. Per-node accounting (busy time split
@@ -156,6 +190,7 @@ func (nd *Node) Transfer(p *sim.Proc, dst int, n int) sim.Time {
 	pl := &m.Plat
 	nd.MsgsSent++
 	nd.BytesSent += int64(n)
+	m.tr.LinkTransfer(nd.ID, dst, n)
 	if dst == nd.ID {
 		nd.Memcpy(p, n)
 		return p.Now()

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Reserved tag bases keep collective traffic out of the user tag space.
 // User code must use tags below TagUserLimit.
@@ -303,42 +307,71 @@ func (r *Rank) collective() *collCtx {
 	}
 }
 
+// collSpan runs one collective under a trace span when the machine is
+// traced: the span covers this rank's participation, on the calling
+// process's track, named after the collective (and, for all-to-all, its
+// algorithm).
+func (r *Rank) collSpan(name string, f func()) {
+	tr := r.w.Mach.Trace()
+	if !tr.Enabled() {
+		f()
+		return
+	}
+	start := r.proc.Now()
+	f()
+	tr.Collective(r.node.ID, trace.ProcTrack(r.proc.Name(), r.proc.PID()), name, start, r.proc.Now())
+}
+
 // Barrier synchronises all ranks (dissemination barrier).
-func (r *Rank) Barrier() { barrierOn(r.collective()) }
+func (r *Rank) Barrier() {
+	r.collSpan("barrier", func() { barrierOn(r.collective()) })
+}
 
 // Bcast distributes root's payload to all ranks and returns it everywhere.
 // Non-root callers pass anything (ignored).
 func (r *Rank) Bcast(root int, body Payload) Payload {
-	return bcastOn(r.collective(), root, body)
+	var out Payload
+	r.collSpan("bcast", func() { out = bcastOn(r.collective(), root, body) })
+	return out
 }
 
 // Gather collects one payload from every rank at root. The root's return
 // value is indexed by source rank; other ranks get nil.
 func (r *Rank) Gather(root int, body Payload) []Payload {
-	return gatherOn(r.collective(), root, body)
+	var out []Payload
+	r.collSpan("gather", func() { out = gatherOn(r.collective(), root, body) })
+	return out
 }
 
 // Scatter distributes parts[i] from root to rank i and returns this rank's
 // part. Only the root's parts argument is consulted.
 func (r *Rank) Scatter(root int, parts []Payload) Payload {
-	return scatterOn(r.collective(), root, parts)
+	var out Payload
+	r.collSpan("scatter", func() { out = scatterOn(r.collective(), root, parts) })
+	return out
 }
 
 // Alltoall performs a personalised all-to-all exchange: parts[i] is sent to
 // rank i; the result is indexed by source rank. The self block is a local
 // memory copy. parts must have exactly Size() entries.
 func (r *Rank) Alltoall(parts []Payload, alg AlltoallAlgorithm) []Payload {
-	return alltoallOn(r.collective(), parts, alg)
+	var out []Payload
+	r.collSpan("alltoall["+string(alg)+"]", func() { out = alltoallOn(r.collective(), parts, alg) })
+	return out
 }
 
 // Reduce combines every rank's payload at root (op must be associative and
 // commutative); non-roots get their partial, which they should ignore.
 func (r *Rank) Reduce(root int, body Payload, op ReduceOp) Payload {
-	return reduceOn(r.collective(), root, body, op)
+	var out Payload
+	r.collSpan("reduce", func() { out = reduceOn(r.collective(), root, body, op) })
+	return out
 }
 
 // Allreduce combines every rank's payload and returns the result on all
 // ranks.
 func (r *Rank) Allreduce(body Payload, op ReduceOp) Payload {
-	return allreduceOn(r.collective(), body, op)
+	var out Payload
+	r.collSpan("allreduce", func() { out = allreduceOn(r.collective(), body, op) })
+	return out
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // EnvelopeBytes is the wire-size overhead charged per message.
@@ -178,6 +179,11 @@ func (r *Rank) Proc() *sim.Proc { return r.proc }
 
 // Node exposes the node this rank runs on.
 func (r *Rank) Node() *machine.Node { return r.node }
+
+// Trace exposes the machine's trace collector (nil — the disabled
+// collector — when tracing is off), so code layered on MPI can emit its
+// own spans.
+func (r *Rank) Trace() *trace.Collector { return r.w.Mach.Trace() }
 
 // Send transmits body to rank dst with the given tag. The caller is blocked
 // for the send-side costs (software overhead plus wire serialisation under

@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // xferRef is one planned transfer seen from one side.
@@ -172,6 +173,13 @@ func (r *runner) localQueue(key localKey) *sim.Chan[*funclib.Block] {
 // compute, pack/send — with credit-based flow control.
 func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 	node := r.mach.Node(tp.node)
+	// Structured tracing: the collector is nil-safe, but the track name and
+	// per-transfer span labels are only built when tracing is on.
+	tr := r.mach.Trace()
+	var track string
+	if tr.Enabled() {
+		track = trace.ProcTrack(rank.Proc().Name(), rank.Proc().PID())
+	}
 	credits := map[localKey]int{}
 	for _, pp := range tp.outs {
 		for _, xr := range pp.xfers {
@@ -206,6 +214,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 			}
 			for _, xr := range pp.xfers {
 				key := localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}
+				xferStart := rank.Proc().Now()
 				if r.localOptimised(xr.peerNode, tp.node) {
 					// Optimised local handoff: single copy, no messaging
 					// stack.
@@ -230,6 +239,11 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 						copyRegion(blk, src, xr.x.Region)
 					}
 				}
+				if tr.Enabled() {
+					tr.Xfer(trace.LayerSage, tp.node, track,
+						fmt.Sprintf("recv b%d t%d", xr.buf.ID, xr.x.SrcThread),
+						xr.x.Bytes, iter, xferStart, rank.Proc().Now())
+				}
 				// Return a pipelining credit to the producer.
 				rank.Send(xr.peerNode, creditTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread), mpi.Empty())
 			}
@@ -237,6 +251,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 		}
 		if len(tp.ins) > 0 {
 			r.trace(tp, iter, "recv", recvStart, rank.Proc().Now())
+			tr.Phase(trace.LayerSage, tp.node, track, "recv", iter, recvStart, rank.Proc().Now())
 		}
 
 		// --- dispatch + compute --------------------------------------------
@@ -283,6 +298,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 			}
 		}
 		r.trace(tp, iter, "compute", compStart, rank.Proc().Now())
+		tr.Phase(trace.LayerSage, tp.node, track, "compute", iter, compStart, rank.Proc().Now())
 
 		// --- send phase ------------------------------------------------------
 		sendStart := rank.Proc().Now()
@@ -291,10 +307,17 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 			for _, xr := range pp.xfers {
 				key := localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}
 				if credits[key] == 0 {
+					creditStart := rank.Proc().Now()
 					rank.Recv(xr.peerNode, creditTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread))
+					if tr.Enabled() && rank.Proc().Now() > creditStart {
+						tr.Phase(trace.LayerSage, tp.node, track,
+							fmt.Sprintf("credit b%d", xr.buf.ID),
+							iter, creditStart, rank.Proc().Now())
+					}
 				} else {
 					credits[key]--
 				}
+				xferStart := rank.Proc().Now()
 				if r.localOptimised(tp.node, xr.peerNode) {
 					var pass *funclib.Block
 					if compute {
@@ -317,10 +340,16 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 					payload = mpi.Payload{Bytes: xr.x.Bytes}
 				}
 				rank.Send(xr.peerNode, dataTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread), payload)
+				if tr.Enabled() {
+					tr.Xfer(trace.LayerSage, tp.node, track,
+						fmt.Sprintf("send b%d t%d", xr.buf.ID, xr.x.DstThread),
+						xr.x.Bytes, iter, xferStart, rank.Proc().Now())
+				}
 			}
 		}
 		if len(tp.outs) > 0 {
 			r.trace(tp, iter, "send", sendStart, rank.Proc().Now())
+			tr.Phase(trace.LayerSage, tp.node, track, "send", iter, sendStart, rank.Proc().Now())
 		}
 
 		if tp.isSink {

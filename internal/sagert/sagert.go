@@ -31,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Options tunes a runtime execution.
@@ -72,6 +73,12 @@ type Options struct {
 	// Trace, when non-nil, receives an event for every phase of every
 	// probed function (or every function if ProbeAll).
 	Trace func(Event)
+	// Collector, when non-nil, receives structured trace spans for the
+	// whole run: per-thread function phases (recv/compute/send), per-port
+	// transfer activity with byte counts, buffer-credit stalls, MPI
+	// collective spans, and the sim kernel's process/wait events. One
+	// collector serves one run. See package repro/internal/trace.
+	Collector *trace.Collector
 	// ProbeAll instruments every function, not just those whose model
 	// entry set the probe property.
 	ProbeAll bool
@@ -200,6 +207,7 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 	defer k.Shutdown()
 	mach := machine.New(k, pl, tables.NumNodes)
 	mach.SetNodeSpeeds(o.NodeSpeeds)
+	mach.SetTrace(o.Collector)
 	world := mpi.NewWorld(mach)
 	r := &runner{
 		tables: tables, opts: o, mach: mach, world: world,
@@ -219,5 +227,6 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 	if r.err != nil {
 		return nil, r.err
 	}
+	mach.TraceNodeTotals()
 	return r.result(k), nil
 }

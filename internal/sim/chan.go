@@ -26,6 +26,10 @@ func NewChan[T any](k *Kernel, name string) *Chan[T] {
 // Len reports the number of values currently available to receivers.
 func (c *Chan[T]) Len() int { return len(c.ready) }
 
+// Name returns the mailbox name given at creation (used by deadlock reports
+// and trace collectors).
+func (c *Chan[T]) Name() string { return c.name }
+
 // Send delivers v at the current virtual time without blocking the sender.
 func (c *Chan[T]) Send(v T) { c.deliver(v) }
 
@@ -44,6 +48,9 @@ func (c *Chan[T]) SendAfter(d Duration, v T) { c.SendAt(c.k.now.Add(d), v) }
 
 func (c *Chan[T]) deliver(v T) {
 	c.ready = append(c.ready, v)
+	if tr := c.k.tracer; tr != nil {
+		tr.ChanOp("send", c.name, len(c.ready), c.k.now)
+	}
 	if len(c.waiters) > 0 {
 		p := c.waiters[0]
 		c.waiters = c.waiters[1:]
@@ -55,14 +62,23 @@ func (c *Chan[T]) deliver(v T) {
 
 // Recv blocks the calling process until a value is available and returns it.
 func (c *Chan[T]) Recv(p *Proc) T {
-	for len(c.ready) == 0 {
-		c.waiters = append(c.waiters, p)
-		p.yield(fmt.Sprintf("recv %s", c.name))
+	if len(c.ready) == 0 {
+		start := c.k.now
+		for len(c.ready) == 0 {
+			c.waiters = append(c.waiters, p)
+			p.yield(fmt.Sprintf("recv %s", c.name))
+		}
+		if tr := c.k.tracer; tr != nil && c.k.now > start {
+			tr.Wait(p.pid, p.name, "recv", c.name, start, c.k.now, 0)
+		}
 	}
 	v := c.ready[0]
 	// Shift rather than reslice forever to keep memory bounded.
 	copy(c.ready, c.ready[1:])
 	c.ready = c.ready[:len(c.ready)-1]
+	if tr := c.k.tracer; tr != nil {
+		tr.ChanOp("recv", c.name, len(c.ready), c.k.now)
+	}
 	return v
 }
 
@@ -112,6 +128,12 @@ func (r *Resource) Capacity() int { return r.capacity }
 // InUse returns the currently held units.
 func (r *Resource) InUse() int { return r.inUse }
 
+// Name returns the resource name given at creation.
+func (r *Resource) Name() string { return r.name }
+
+// QueueDepth reports the number of processes waiting to acquire.
+func (r *Resource) QueueDepth() int { return len(r.waiters) }
+
 // Acquire blocks the process until n units are available, then takes them.
 func (r *Resource) Acquire(p *Proc, n int) {
 	if n < 1 || n > r.capacity {
@@ -120,6 +142,8 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	// FIFO fairness: if others are already queued, go behind them even if
 	// capacity is momentarily available.
 	if r.inUse+n > r.capacity || len(r.waiters) > 0 {
+		depth := len(r.waiters)
+		start := r.k.now
 		w := &resWaiter{p: p, n: n}
 		r.waiters = append(r.waiters, w)
 		for {
@@ -131,8 +155,14 @@ func (r *Resource) Acquire(p *Proc, n int) {
 			// Spurious wake: allow a future release to wake us again.
 			w.woken = false
 		}
+		if tr := r.k.tracer; tr != nil && r.k.now > start {
+			tr.Wait(p.pid, p.name, "acquire", r.name, start, r.k.now, depth)
+		}
 	}
 	r.inUse += n
+	if tr := r.k.tracer; tr != nil {
+		tr.ResourceOp("acquire", r.name, r.inUse, r.capacity, len(r.waiters), r.k.now)
+	}
 	// Leftover capacity may satisfy the next queued waiter.
 	r.wakeHead()
 }
@@ -142,6 +172,9 @@ func (r *Resource) Release(n int) {
 	r.inUse -= n
 	if r.inUse < 0 {
 		panic(fmt.Sprintf("sim: resource %q over-released", r.name))
+	}
+	if tr := r.k.tracer; tr != nil {
+		tr.ResourceOp("release", r.name, r.inUse, r.capacity, len(r.waiters), r.k.now)
 	}
 	r.wakeHead()
 }
@@ -194,8 +227,13 @@ func (b *Barrier) Wait(p *Proc) {
 		return
 	}
 	gen := b.gen
+	depth := len(b.waiting)
+	start := b.k.now
 	b.waiting = append(b.waiting, p)
 	for b.gen == gen {
 		p.yield(fmt.Sprintf("barrier %s", b.name))
+	}
+	if tr := b.k.tracer; tr != nil && b.k.now > start {
+		tr.Wait(p.pid, p.name, "barrier", b.name, start, b.k.now, depth)
 	}
 }

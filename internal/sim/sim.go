@@ -10,6 +10,29 @@
 // body: they sleep for virtual durations, exchange values over Chan mailboxes,
 // and contend for Resource capacity. Events that tie at the same virtual time
 // are ordered by scheduling sequence number, so runs are fully deterministic.
+//
+// # Trace hook contract
+//
+// A Tracer installed with Kernel.SetTracer observes the kernel without
+// perturbing it. The contract its implementations can rely on — and must
+// honour — is:
+//
+//   - Hooks are invoked synchronously while exactly one goroutine of the
+//     simulation is executing (the kernel loop or the currently dispatched
+//     process), so implementations need no locking as long as each Tracer
+//     serves a single kernel.
+//   - Virtual time is frozen for the duration of a hook; the timestamps
+//     passed in equal Kernel.Now() at the instant of the call, and hooks may
+//     call the kernel's read-only accessors (Now, Pending, LiveProcs,
+//     Dispatched) freely. Instrumentation must use these accessors rather
+//     than reach into kernel internals.
+//   - Hooks must not call back into scheduling operations: no Spawn, After,
+//     Stop, Shutdown, channel or resource operations. Tracing observes; it
+//     never advances the simulation, so enabling it cannot change any
+//     simulated result.
+//   - Waits are reported on completion (when the blocked process resumes),
+//     with both endpoints of the blocked interval. Sleeps are not reported:
+//     they are scheduled work, not contention.
 package sim
 
 import (
@@ -37,6 +60,30 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // String formats the timestamp using time.Duration notation.
 func (t Time) String() string { return Duration(t).String() }
 
+// Tracer receives kernel-level trace callbacks. See the package
+// documentation ("Trace hook contract") for the rules hooks run under.
+// internal/trace.Collector is the standard implementation.
+type Tracer interface {
+	// ProcStart fires when a process's body is about to begin executing.
+	ProcStart(pid int, name string, at Time)
+	// ProcEnd fires when a process finishes (or is torn down by Shutdown).
+	ProcEnd(pid int, name string, at Time)
+	// Wait fires when a process resumes after blocking for a non-zero
+	// virtual duration. kind is "recv" (channel), "acquire" (resource) or
+	// "barrier"; object is the blocking primitive's name; queueDepth is the
+	// number of parties already queued when the wait began (0 where not
+	// applicable).
+	Wait(pid int, proc, kind, object string, from, to Time, queueDepth int)
+	// ChanOp fires on every mailbox delivery ("send") and receipt ("recv")
+	// with the post-operation queue length. High frequency; collectors
+	// typically ignore it unless verbose.
+	ChanOp(op, name string, qlen int, at Time)
+	// ResourceOp fires on every resource "acquire" and "release" with the
+	// post-operation units in use and waiter-queue depth. High frequency;
+	// collectors typically ignore it unless verbose.
+	ResourceOp(op, name string, inUse, capacity, queued int, at Time)
+}
+
 // event is a scheduled callback in the kernel's queue.
 type event struct {
 	at  Time
@@ -63,6 +110,10 @@ type Kernel struct {
 	nextPID int
 	stopped bool
 	tracef  func(format string, args ...any)
+	tracer  Tracer
+	// dispatched counts events executed by Run across the kernel's
+	// lifetime; exposed through Dispatched for trace collectors.
+	dispatched uint64
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -79,6 +130,16 @@ func (k *Kernel) Now() Time { return k.now }
 
 // SetTrace installs a debug trace function (nil disables tracing).
 func (k *Kernel) SetTrace(f func(format string, args ...any)) { k.tracef = f }
+
+// SetTracer installs a structured trace hook (nil disables structured
+// tracing). See the package documentation for the hook contract. Install the
+// tracer before Run; one tracer serves one kernel.
+func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
+// Dispatched reports the number of events the kernel has executed. It is one
+// of the read-only accessors trace hooks may call (see the trace hook
+// contract).
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
 func (k *Kernel) trace(format string, args ...any) {
 	if k.tracef != nil {
@@ -154,6 +215,9 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 				}
 				p.done = true
 				delete(k.procs, p)
+				if k.tracer != nil {
+					k.tracer.ProcEnd(p.pid, p.name, k.now)
+				}
 				k.parkOrDie()
 			}()
 			<-p.resume
@@ -162,6 +226,9 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 			}
 			body(p)
 		}()
+		if k.tracer != nil {
+			k.tracer.ProcStart(p.pid, p.name, k.now)
+		}
 		k.dispatch(p)
 	})
 	return p
@@ -266,6 +333,7 @@ func (k *Kernel) Run() error {
 			panic("sim: event queue returned time in the past")
 		}
 		k.now = ev.at
+		k.dispatched++
 		ev.fn()
 	}
 	if len(k.procs) > 0 && !k.stopped {

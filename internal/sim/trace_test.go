@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingTracer captures every hook invocation so tests can pin the
+// trace hook contract documented in the package comment.
+type recordingTracer struct {
+	starts []string // "name/pid@t"
+	ends   []string
+	waits  []waitRec
+	chans  []string // "op object@t"
+	ress   []string
+}
+
+type waitRec struct {
+	kind, object string
+	from, to     Time
+	depth        int
+}
+
+func (r *recordingTracer) ProcStart(pid int, name string, at Time) {
+	r.starts = append(r.starts, name)
+}
+
+func (r *recordingTracer) ProcEnd(pid int, name string, at Time) {
+	r.ends = append(r.ends, name)
+}
+
+func (r *recordingTracer) Wait(pid int, proc, kind, object string, from, to Time, queueDepth int) {
+	r.waits = append(r.waits, waitRec{kind, object, from, to, queueDepth})
+}
+
+func (r *recordingTracer) ChanOp(op, object string, pid int, at Time) {
+	r.chans = append(r.chans, op+" "+object)
+}
+
+func (r *recordingTracer) ResourceOp(op, object string, pid, n, inUse int, at Time) {
+	r.ress = append(r.ress, op+" "+object)
+}
+
+func (r *recordingTracer) wait(kind string) *waitRec {
+	for i := range r.waits {
+		if r.waits[i].kind == kind {
+			return &r.waits[i]
+		}
+	}
+	return nil
+}
+
+const msec = Duration(time.Millisecond)
+
+// TestTracerProcLifecycle checks that every spawned proc produces exactly
+// one ProcStart and one ProcEnd, in that order, including procs that are
+// still parked at shutdown.
+func TestTracerProcLifecycle(t *testing.T) {
+	k := NewKernel()
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	k.Spawn("a", func(p *Proc) { p.Sleep(msec) })
+	k.Spawn("b", func(p *Proc) { p.Sleep(2 * msec) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if len(tr.starts) != 2 || len(tr.ends) != 2 {
+		t.Fatalf("starts=%v ends=%v, want 2 of each", tr.starts, tr.ends)
+	}
+}
+
+// TestTracerBlockedRecv checks the Wait hook fires for a recv that blocks,
+// with the blocked interval bounded by the send time, and that it does NOT
+// fire for a recv satisfied immediately.
+func TestTracerBlockedRecv(t *testing.T) {
+	k := NewKernel()
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	ch := NewChan[int](k, "pipe")
+	ch.SendAfter(5*msec, 1) // received after a 5ms block
+	ch.SendAfter(5*msec, 2) // already queued at second recv: no block
+	k.Spawn("rx", func(p *Proc) {
+		ch.Recv(p)
+		ch.Recv(p)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w := tr.wait("recv")
+	if w == nil {
+		t.Fatalf("no recv wait recorded: %+v", tr.waits)
+	}
+	if w.object != "pipe" || w.from != 0 || w.to != Time(5*msec) {
+		t.Fatalf("recv wait = %+v, want pipe blocked [0, 5ms]", *w)
+	}
+	if n := len(tr.waits); n != 1 {
+		t.Fatalf("got %d waits, want 1 (non-blocking recv must not report): %+v", n, tr.waits)
+	}
+}
+
+// TestTracerResourceContention checks acquire waits carry the queue depth
+// observed at block time and that ResourceOp fires for acquire/release.
+func TestTracerResourceContention(t *testing.T) {
+	k := NewKernel()
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	res := NewResource(k, "cpu", 1)
+	for i := 0; i < 3; i++ {
+		k.Spawn("u", func(p *Proc) {
+			res.Use(p, 1, msec)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var depths []int
+	for _, w := range tr.waits {
+		if w.kind != "acquire" || w.object != "cpu" {
+			t.Fatalf("unexpected wait %+v", w)
+		}
+		if w.to <= w.from {
+			t.Fatalf("acquire wait has empty interval: %+v", w)
+		}
+		depths = append(depths, w.depth)
+	}
+	// First proc acquires instantly (no wait); the second blocks behind 0
+	// queued waiters, the third behind 1.
+	if len(depths) != 2 || depths[0] != 0 || depths[1] != 1 {
+		t.Fatalf("acquire queue depths = %v, want [0 1]", depths)
+	}
+	var acq, rel int
+	for _, s := range tr.ress {
+		switch s {
+		case "acquire cpu":
+			acq++
+		case "release cpu":
+			rel++
+		}
+	}
+	if acq != 3 || rel != 3 {
+		t.Fatalf("resource ops acquire=%d release=%d, want 3/3 (%v)", acq, rel, tr.ress)
+	}
+}
+
+// TestTracerBarrier checks barrier waits are reported for the procs that
+// arrive early, spanning arrival to release.
+func TestTracerBarrier(t *testing.T) {
+	k := NewKernel()
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	b := NewBarrier(k, "sync", 3)
+	for i := 0; i < 3; i++ {
+		d := Duration(i) * msec
+		k.Spawn("w", func(p *Proc) {
+			p.Sleep(d)
+			b.Wait(p)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, w := range tr.waits {
+		if w.kind != "barrier" || w.object != "sync" {
+			continue
+		}
+		n++
+		if w.to != Time(2*msec) {
+			t.Fatalf("barrier wait released at %v, want 2ms: %+v", w.to, w)
+		}
+	}
+	// The last arrival never blocks; the two early arrivals do.
+	if n != 2 {
+		t.Fatalf("got %d barrier waits, want 2: %+v", n, tr.waits)
+	}
+}
+
+// TestTracerChanOps checks send/recv instants fire with the channel name.
+func TestTracerChanOps(t *testing.T) {
+	k := NewKernel()
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	ch := NewChan[int](k, "data")
+	ch.Send(7)
+	k.Spawn("rx", func(p *Proc) { ch.Recv(p) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var send, recv int
+	for _, s := range tr.chans {
+		switch s {
+		case "send data":
+			send++
+		case "recv data":
+			recv++
+		}
+	}
+	if send != 1 || recv != 1 {
+		t.Fatalf("chan ops = %v, want one send and one recv on data", tr.chans)
+	}
+}
+
+// TestDispatchedCounts checks the kernel counts every proc dispatch, and
+// that installing a tracer does not change the count (tracing must only
+// observe).
+func TestDispatchedCounts(t *testing.T) {
+	runOnce := func(tr Tracer) uint64 {
+		k := NewKernel()
+		if tr != nil {
+			k.SetTracer(tr)
+		}
+		ch := NewChan[int](k, "c")
+		k.Spawn("tx", func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				p.Sleep(msec)
+				ch.Send(i)
+			}
+		})
+		k.Spawn("rx", func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				ch.Recv(p)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Dispatched()
+	}
+	plain := runOnce(nil)
+	if plain == 0 {
+		t.Fatal("Dispatched() == 0 after a run with two procs")
+	}
+	if traced := runOnce(&recordingTracer{}); traced != plain {
+		t.Fatalf("tracer changed dispatch count: %d vs %d", traced, plain)
+	}
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Field names
+// follow the trace-event format specification: ph is the phase (X complete,
+// i instant, C counter, M metadata), ts/dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usec converts virtual nanoseconds to trace-event microseconds.
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// chromeWriter assigns stable pid/tid numbers and streams events.
+type chromeWriter struct {
+	w    *bufio.Writer
+	pids map[string]int // process key -> pid
+	tids map[[2]any]int // (pid, track) -> tid
+	n    int            // events written
+	err  error
+}
+
+func (cw *chromeWriter) emit(ev chromeEvent) {
+	if cw.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		cw.err = err
+		return
+	}
+	if cw.n > 0 {
+		cw.w.WriteString(",\n")
+	}
+	cw.w.Write(b)
+	cw.n++
+}
+
+// pid returns (allocating if needed) the pid for a process key, emitting the
+// process_name metadata on first use.
+func (cw *chromeWriter) pid(key, displayName string) int {
+	if id, ok := cw.pids[key]; ok {
+		return id
+	}
+	id := len(cw.pids) + 1
+	cw.pids[key] = id
+	cw.emit(chromeEvent{Name: "process_name", Ph: "M", Pid: id, Tid: 0,
+		Args: map[string]any{"name": displayName}})
+	cw.emit(chromeEvent{Name: "process_sort_index", Ph: "M", Pid: id, Tid: 0,
+		Args: map[string]any{"sort_index": id}})
+	return id
+}
+
+// tid returns (allocating if needed) the tid for a track within a pid,
+// emitting the thread_name metadata on first use.
+func (cw *chromeWriter) tid(pid int, track string) int {
+	key := [2]any{pid, track}
+	if id, ok := cw.tids[key]; ok {
+		return id
+	}
+	id := 0
+	for k := range cw.tids {
+		if k[0] == pid {
+			id++
+		}
+	}
+	id++ // tids are 1-based within the process
+	cw.tids[key] = id
+	cw.emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+		Args: map[string]any{"name": track}})
+	return id
+}
+
+// processKey groups a run's events into Chrome processes: one per machine
+// node plus one for the kernel.
+func processKey(runIdx, node int) string { return fmt.Sprintf("r%d/n%d", runIdx, node) }
+
+func processName(label string, node int) string {
+	if node == NodeKernel {
+		return label + " · kernel"
+	}
+	return fmt.Sprintf("%s · node %d", label, node)
+}
+
+// WriteChrome emits the merged trace as Chrome trace-event JSON (object
+// form, with displayTimeUnit ns). Each run becomes its own group of
+// processes — one per machine node plus a kernel process — so the
+// per-run virtual clocks (which all start at zero) never interleave on a
+// track. Within every track, spans are emitted sorted by start time, so
+// timestamps are monotonic per track (ValidateChrome checks this).
+func (t *Trace) WriteChrome(w io.Writer) error {
+	cw := &chromeWriter{w: bufio.NewWriter(w), pids: map[string]int{}, tids: map[[2]any]int{}}
+	cw.w.WriteString("{\"traceEvents\":[\n")
+	for runIdx, c := range t.Runs() {
+		label := c.Label
+		if label == "" {
+			label = fmt.Sprintf("run %d", runIdx)
+		}
+		// Group spans by (node, track), preserving determinism via sorted
+		// iteration.
+		type trackKey struct {
+			node  int
+			track string
+		}
+		tracks := map[trackKey][]Span{}
+		for _, s := range c.spans {
+			k := trackKey{s.Node, s.Track}
+			tracks[k] = append(tracks[k], s)
+		}
+		keys := make([]trackKey, 0, len(tracks))
+		for k := range tracks {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].node != keys[j].node {
+				return keys[i].node < keys[j].node
+			}
+			return keys[i].track < keys[j].track
+		})
+		for _, k := range keys {
+			pid := cw.pid(processKey(runIdx, k.node), processName(label, k.node))
+			tid := cw.tid(pid, k.track)
+			spans := tracks[k]
+			sort.SliceStable(spans, func(i, j int) bool {
+				if spans[i].Start != spans[j].Start {
+					return spans[i].Start < spans[j].Start
+				}
+				return spans[i].End > spans[j].End // outer span first at equal start
+			})
+			for _, s := range spans {
+				args := map[string]any{}
+				if s.Bytes >= 0 {
+					args["bytes"] = s.Bytes
+				}
+				if s.Iter >= 0 {
+					args["iter"] = s.Iter
+				}
+				if s.Depth >= 0 {
+					args["queue_depth"] = s.Depth
+				}
+				if len(args) == 0 {
+					args = nil
+				}
+				cw.emit(chromeEvent{Name: s.Name, Cat: string(s.Layer), Ph: "X",
+					Ts: usec(s.Start), Dur: float64(s.End.Sub(s.Start)) / 1e3, Pid: pid, Tid: tid, Args: args})
+			}
+		}
+		// Verbose instants, grouped the same way.
+		insts := map[trackKey][]Instant{}
+		for _, in := range c.instants {
+			k := trackKey{in.Node, in.Track}
+			insts[k] = append(insts[k], in)
+		}
+		ikeys := make([]trackKey, 0, len(insts))
+		for k := range insts {
+			ikeys = append(ikeys, k)
+		}
+		sort.Slice(ikeys, func(i, j int) bool {
+			if ikeys[i].node != ikeys[j].node {
+				return ikeys[i].node < ikeys[j].node
+			}
+			return ikeys[i].track < ikeys[j].track
+		})
+		for _, k := range ikeys {
+			pid := cw.pid(processKey(runIdx, k.node), processName(label, k.node))
+			tid := cw.tid(pid, k.track)
+			for _, in := range insts[k] {
+				cw.emit(chromeEvent{Name: in.Name, Cat: string(in.Layer), Ph: "i",
+					Ts: usec(in.At), Pid: pid, Tid: tid, S: "t",
+					Args: map[string]any{"value": in.Value}})
+			}
+		}
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	cw.w.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return cw.w.Flush()
+}
