@@ -9,11 +9,16 @@
 //	sage-bench -experiment all -quick
 //
 // Experiments: table1, twonode, aggregate, crossvendor, portability,
-// genstudy, pipeline, mapping, all.
+// genstudy, pipeline, mapping, faultsweep, all.
 //
 // Independent simulation runs fan out across a bounded worker pool
 // (-parallel, default GOMAXPROCS). Results are identical at any pool size —
 // all timing is virtual — so -parallel trades host wall-clock only.
+//
+// -faults plan.txt injects a deterministic fault plan (drops, degraded
+// links, node stalls — see DESIGN.md §6 and sage-faultcheck) into every
+// simulated run of the selected experiment; the faultsweep experiment
+// instead sweeps drop rates itself and takes no -faults file.
 //
 // -trace out.json records a Chrome trace (open in chrome://tracing or
 // Perfetto) covering every simulation run the experiment performs;
@@ -29,26 +34,28 @@ import (
 	"repro/internal/apps"
 	"repro/internal/atot"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/platforms"
 	"repro/internal/trace"
 )
 
 func main() {
-	exp := flag.String("experiment", "table1", "experiment to run (table1|twonode|aggregate|crossvendor|portability|genstudy|pipeline|mapping|heterogeneous|realtime|scaling|all)")
+	exp := flag.String("experiment", "table1", "experiment to run (table1|twonode|aggregate|crossvendor|portability|genstudy|pipeline|mapping|heterogeneous|realtime|scaling|faultsweep|all)")
 	quick := flag.Bool("quick", false, "reduced sizes and protocol for a fast smoke run")
 	paper := flag.Bool("paper", false, "use the literal §3.3 protocol (10 executions x 100 iterations); slow, and — the simulator being deterministic — numerically identical to the default reduced protocol")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every simulation run to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print a per-node/per-link trace summary (requires or implies tracing)")
+	faultsPath := flag.String("faults", "", "fault-plan file injected into every simulated run (validate with sage-faultcheck)")
 	flag.Parse()
 
-	if err := run(*exp, *quick, *paper, *parallel, *tracePath, *traceSummary); err != nil {
+	if err := run(*exp, *quick, *paper, *parallel, *tracePath, *traceSummary, *faultsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "sage-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, quick, paper bool, parallel int, tracePath string, traceSummary bool) error {
+func run(exp string, quick, paper bool, parallel int, tracePath string, traceSummary bool, faultsPath string) error {
 	// Default: paper sizes, reduced repetition count. Averages are exact
 	// because virtual timing is deterministic across repetitions.
 	proto := experiments.Protocol{Repetitions: 1, Iterations: 5}
@@ -68,6 +75,17 @@ func run(exp string, quick, paper bool, parallel int, tracePath string, traceSum
 		vendorNodes = []int{4, 8}
 	}
 	proto.Parallelism = parallel
+	if faultsPath != "" {
+		src, err := os.ReadFile(faultsPath)
+		if err != nil {
+			return err
+		}
+		plan, err := fault.ParsePlan(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", faultsPath, err)
+		}
+		proto.Faults = plan
+	}
 	var tr *trace.Trace
 	if tracePath != "" || traceSummary {
 		tr = trace.NewTrace()
@@ -167,6 +185,16 @@ func run(exp string, quick, paper bool, parallel int, tracePath string, traceSum
 				return err
 			}
 			fmt.Println(sc2.Format())
+		case "faultsweep":
+			fc := experiments.FaultSweepConfig{N: min(256, vendorN), Protocol: proto}
+			if quick {
+				fc.Rates = []float64{0, 0.1, 0.3}
+			}
+			fs, err := experiments.RunFaultSweep(fc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fs.Format())
 		case "realtime":
 			rt, err := experiments.RunRealTime(experiments.AppCornerTurn, platforms.CSPI(),
 				min(512, vendorN), 8, 8, nil)
@@ -181,7 +209,7 @@ func run(exp string, quick, paper bool, parallel int, tracePath string, traceSum
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table1", "twonode", "aggregate", "crossvendor", "portability", "genstudy", "pipeline", "mapping", "heterogeneous", "realtime", "scaling"} {
+		for _, name := range []string{"table1", "twonode", "aggregate", "crossvendor", "portability", "genstudy", "pipeline", "mapping", "heterogeneous", "realtime", "scaling", "faultsweep"} {
 			fmt.Printf("=== %s ===\n", name)
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

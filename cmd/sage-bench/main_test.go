@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,7 +24,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 }
 
 func TestGenStudyExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("genstudy", true, false, 0, "", false) })
+	out, err := captureStdout(t, func() error { return run("genstudy", true, false, 0, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestGenStudyExperiment(t *testing.T) {
 }
 
 func TestTable1QuickExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("table1", true, false, 0, "", false) })
+	out, err := captureStdout(t, func() error { return run("table1", true, false, 0, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +48,11 @@ func TestTable1QuickExperiment(t *testing.T) {
 // TestParallelFlagOutputIdentical pins the CLI-level determinism guarantee:
 // -parallel changes wall-clock only, never a byte of the printed tables.
 func TestParallelFlagOutputIdentical(t *testing.T) {
-	seq, err := captureStdout(t, func() error { return run("twonode", true, false, 1, "", false) })
+	seq, err := captureStdout(t, func() error { return run("twonode", true, false, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := captureStdout(t, func() error { return run("twonode", true, false, 4, "", false) })
+	par, err := captureStdout(t, func() error { return run("twonode", true, false, 4, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,58 @@ func TestParallelFlagOutputIdentical(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("warpcore", true, false, 0, "", false); err == nil {
+	if err := run("warpcore", true, false, 0, "", false, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestFaultSweepExperiment smoke-tests the faultsweep table end to end,
+// including its -parallel invariance.
+func TestFaultSweepExperiment(t *testing.T) {
+	seq, err := captureStdout(t, func() error { return run("faultsweep", true, false, 1, "", false, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fault sweep", "% of Hand", "x fault0", "30.0%"} {
+		if !strings.Contains(seq, want) {
+			t.Fatalf("output missing %q:\n%s", want, seq)
+		}
+	}
+	par, err := captureStdout(t, func() error { return run("faultsweep", true, false, 4, "", false, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("faultsweep output differs at -parallel 4:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+}
+
+// TestFaultsFlag injects a plan file into a regular experiment: the run must
+// still verify, finish slower than fault-free, and reject malformed plans.
+func TestFaultsFlag(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.txt")
+	if err := os.WriteFile(plan, []byte("seed 9\ndrop link=* rate=0.2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := captureStdout(t, func() error { return run("twonode", true, false, 0, "", false, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := captureStdout(t, func() error { return run("twonode", true, false, 0, "", false, plan) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted == clean {
+		t.Fatal("-faults plan did not change the experiment's timings")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("drop rate=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("twonode", true, false, 0, "", false, bad); err == nil {
+		t.Fatal("malformed plan file accepted")
+	}
+	if err := run("twonode", true, false, 0, "", false, filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing plan file accepted")
 	}
 }

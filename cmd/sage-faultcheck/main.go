@@ -1,0 +1,61 @@
+// sage-faultcheck validates a fault-plan file before it is handed to
+// sage-bench -faults or a sagert.Options.Faults field: the plan must parse,
+// pass semantic validation (rates in range, finite stall windows, non-empty
+// windows) and — when -nodes is given — only reference nodes that exist on
+// the target machine. On success it prints the normalised plan (the parser's
+// canonical form, suitable for checking in) and a one-line summary. Exit
+// status is non-zero on any violation, so CI can gate on it.
+//
+// Usage:
+//
+//	sage-faultcheck plan.txt
+//	sage-faultcheck -nodes 8 plan.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 0, "machine size to check node/link references against (0 = skip)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sage-faultcheck [-nodes N] plan.txt")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-faultcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, path string, nodes int) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	plan, err := fault.ParsePlan(string(src))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := plan.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if nodes > 0 {
+		if err := plan.CheckNodes(nodes); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if plan.Empty() {
+		fmt.Fprintf(w, "%s: ok — empty plan (no faults)\n", path)
+		return nil
+	}
+	fmt.Fprint(w, plan.String())
+	fmt.Fprintf(w, "%s: ok — seed %d, %d drop / %d degrade / %d stall rules\n",
+		path, plan.Seed, len(plan.Drops), len(plan.Degrades), len(plan.Stalls))
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/fault"
 	"repro/internal/gluegen"
 	"repro/internal/handcoded"
 	"repro/internal/machine"
@@ -56,6 +57,13 @@ type Protocol struct {
 	// in sweep order after the worker pool drains. Tracing therefore never
 	// perturbs results and produces identical output at any Parallelism.
 	Trace *trace.Trace
+	// Faults, when non-nil and non-empty, applies a deterministic fault plan
+	// to every simulation run of the experiment: the shared immutable plan
+	// is instantiated as a fresh injector per run (per kernel), so pooled
+	// runs share no mutable state and results stay byte-identical at any
+	// Parallelism. Hand-coded baselines get the MPI retry protocol; SAGE
+	// runs additionally get the resilient runtime mode.
+	Faults *fault.Plan
 }
 
 // Paper is the full §3.3 protocol.
@@ -101,7 +109,8 @@ func runHand(kind AppKind, pl machine.Platform, nodes, n int, proto Protocol) (s
 	var total sim.Duration
 	var cols []*trace.Collector
 	for rep := 0; rep < proto.Repetitions; rep++ {
-		cfg := handcoded.Config{Platform: pl, Nodes: nodes, N: n, Iterations: proto.Iterations, Seed: 1}
+		cfg := handcoded.Config{Platform: pl, Nodes: nodes, N: n, Iterations: proto.Iterations, Seed: 1,
+			Faults: proto.Faults}
 		if proto.Trace != nil {
 			cfg.Trace = trace.New(fmt.Sprintf("hand %s %s n=%d nodes=%d rep%d", kind, pl.Name, n, nodes, rep))
 			cols = append(cols, cfg.Trace)
@@ -155,6 +164,11 @@ func runSage(kind AppKind, pl machine.Platform, nodes, n int, proto Protocol, op
 		o := opts
 		o.Iterations = proto.Iterations
 		o.Sequential = true
+		o.Faults = proto.Faults
+		if proto.Faults.HasStalls() {
+			// Stall plans engage the degraded-mode transfer re-sequencing.
+			o.Resilience.Degraded = true
+		}
 		if proto.Trace != nil {
 			o.Collector = trace.New(fmt.Sprintf("sage %s %s n=%d nodes=%d rep%d", kind, pl.Name, n, nodes, rep))
 			cols = append(cols, o.Collector)

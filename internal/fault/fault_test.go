@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func ms(n int64) sim.Time { return sim.Time(0).Add(time.Duration(n) * time.Millisecond) }
+
+func TestValidate(t *testing.T) {
+	good := &Plan{
+		Seed:     1,
+		Drops:    []DropRule{{Link: LinkSel{AllLinks, AllLinks}, Rate: 0.5, Win: Window{0, Forever}}},
+		Degrades: []DegradeRule{{Link: LinkSel{0, 1}, BWFactor: 0, Win: Window{ms(1), ms(2)}}},
+		Stalls:   []StallRule{{Node: 2, Win: Window{ms(1), ms(2)}}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		p    Plan
+		want string
+	}{
+		{"rate above 1", Plan{Drops: []DropRule{{Rate: 1.5, Win: Window{0, Forever}}}}, "rate"},
+		{"negative rate", Plan{Drops: []DropRule{{Rate: -0.1, Win: Window{0, Forever}}}}, "rate"},
+		{"bw above 1", Plan{Degrades: []DegradeRule{{BWFactor: 2, Win: Window{0, Forever}}}}, "bandwidth"},
+		{"negative latency", Plan{Degrades: []DegradeRule{{BWFactor: 1, ExtraLatency: -1, Win: Window{0, Forever}}}}, "latency"},
+		{"empty window", Plan{Drops: []DropRule{{Rate: 0.1, Win: Window{ms(2), ms(1)}}}}, "empty window"},
+		{"negative window start", Plan{Drops: []DropRule{{Rate: 0.1, Win: Window{-1, Forever}}}}, "window start"},
+		{"unbounded stall", Plan{Stalls: []StallRule{{Node: 0, Win: Window{0, Forever}}}}, "finite"},
+		{"negative link", Plan{Drops: []DropRule{{Rate: 0.1, Link: LinkSel{-2, 0}, Win: Window{0, Forever}}}}, "link endpoint"},
+		{"negative stall node", Plan{Stalls: []StallRule{{Node: -2, Win: Window{0, ms(1)}}}}, "negative node"},
+	}
+	for _, tc := range bad {
+		err := tc.p.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid plan accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Fatalf("nil plan should validate: %v", err)
+	}
+}
+
+func TestCheckNodes(t *testing.T) {
+	p := &Plan{
+		Drops:  []DropRule{{Link: LinkSel{0, 3}, Rate: 0.1, Win: Window{0, Forever}}},
+		Stalls: []StallRule{{Node: 2, Win: Window{0, ms(1)}}},
+	}
+	if err := p.CheckNodes(4); err != nil {
+		t.Fatalf("plan fits 4 nodes: %v", err)
+	}
+	if err := p.CheckNodes(3); err == nil {
+		t.Fatal("link 0->3 accepted on a 3-node machine")
+	}
+	if err := p.CheckNodes(2); err == nil {
+		t.Fatal("stall on node 2 accepted on a 2-node machine")
+	}
+	wild := DropAll(1, 0.5)
+	if err := wild.CheckNodes(1); err != nil {
+		t.Fatalf("wildcard plan must fit any machine: %v", err)
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	if p := DropAll(3, 0); !p.Empty() {
+		t.Fatal("rate-0 DropAll should inject nothing")
+	}
+	p := DropAll(3, 0.25)
+	if p.Empty() || len(p.Drops) != 1 || p.Seed != 3 {
+		t.Fatalf("unexpected plan: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Drops[0]
+	if !r.Link.Matches(0, 7) || !r.Win.Contains(ms(1000)) {
+		t.Fatalf("DropAll rule not universal: %+v", r)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	rp := DefaultRetry()
+	if got := rp.BackoffFor(1); got != 50*time.Microsecond {
+		t.Fatalf("first backoff %v", got)
+	}
+	if got := rp.BackoffFor(2); got != 100*time.Microsecond {
+		t.Fatalf("second backoff %v", got)
+	}
+	if got := rp.BackoffFor(100); got != rp.MaxBackoff {
+		t.Fatalf("backoff not capped: %v", got)
+	}
+	if got := (RetryPolicy{}).WithDefaults(); got != DefaultRetry() {
+		t.Fatalf("zero policy should default: %+v", got)
+	}
+	custom := RetryPolicy{MaxAttempts: 3}.WithDefaults()
+	if custom.MaxAttempts != 3 || custom.Backoff != DefaultRetry().Backoff {
+		t.Fatalf("partial defaults wrong: %+v", custom)
+	}
+}
+
+func TestResilienceDefaults(t *testing.T) {
+	r := Resilience{}.WithDefaults()
+	if r.RecvTimeout <= 0 || r.CreditTimeout <= 0 || r.MaxCreditOvercommit <= 0 {
+		t.Fatalf("defaults not filled: %+v", r)
+	}
+	if r.Degraded {
+		t.Fatal("Degraded must stay opt-in")
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	if out := in.LinkAttempt(0, 1, ms(1)); out.Down || out.Drop || out.BWFactor != 1 || out.ExtraLatency != 0 {
+		t.Fatalf("nil injector injected: %+v", out)
+	}
+	if _, ok := in.StalledUntil(0, ms(1)); ok {
+		t.Fatal("nil injector stalled a node")
+	}
+	if in.NodeStalled(0, ms(1)) {
+		t.Fatal("nil injector reported a stall")
+	}
+	in.SetTrace(nil) // must not panic
+	if in.Counts() != nil {
+		t.Fatal("nil injector has counts")
+	}
+}
+
+// TestInjectorDeterminism pins the core reproducibility contract: two
+// injectors built from the same plan return identical verdicts for an
+// identical attempt sequence.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := &Plan{
+		Seed:  42,
+		Drops: []DropRule{{Link: LinkSel{AllLinks, AllLinks}, Rate: 0.3, Win: Window{0, Forever}}},
+		Degrades: []DegradeRule{
+			{Link: LinkSel{0, 1}, BWFactor: 0.5, ExtraLatency: 10 * time.Microsecond, Win: Window{ms(1), ms(3)}},
+		},
+	}
+	a, b := plan.NewInjector(), plan.NewInjector()
+	for i := 0; i < 500; i++ {
+		src, dst := i%3, (i+1)%3
+		now := sim.Time(0).Add(time.Duration(i) * 17 * time.Microsecond)
+		oa, ob := a.LinkAttempt(src, dst, now), b.LinkAttempt(src, dst, now)
+		if oa != ob {
+			t.Fatalf("attempt %d: verdicts diverge: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+// TestAttemptCounterVariesDraws checks that two attempts at the same virtual
+// instant on the same link can differ — otherwise a retry at the same time
+// would be dropped forever and the retry loop would always exhaust its
+// budget.
+func TestAttemptCounterVariesDraws(t *testing.T) {
+	in := DropAll(1, 0.5).NewInjector()
+	var dropped, passed int
+	for i := 0; i < 200; i++ {
+		if in.LinkAttempt(0, 1, ms(1)).Drop {
+			dropped++
+		} else {
+			passed++
+		}
+	}
+	if dropped == 0 || passed == 0 {
+		t.Fatalf("same-instant attempts all agree (dropped=%d passed=%d): counter not keyed in", dropped, passed)
+	}
+}
+
+func TestDropRateDistribution(t *testing.T) {
+	const rate, n = 0.3, 20000
+	in := DropAll(9, rate).NewInjector()
+	drops := 0
+	for i := 0; i < n; i++ {
+		now := sim.Time(0).Add(time.Duration(i) * time.Microsecond)
+		if in.LinkAttempt(i%4, (i+1)%4, now).Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if got < rate-0.02 || got > rate+0.02 {
+		t.Fatalf("empirical drop rate %.4f far from %.2f", got, rate)
+	}
+	if in.Counts()["drop"] != drops {
+		t.Fatalf("counts[drop]=%d, want %d", in.Counts()["drop"], drops)
+	}
+}
+
+func TestDegradeCompose(t *testing.T) {
+	plan := &Plan{
+		Seed: 1,
+		Degrades: []DegradeRule{
+			{Link: LinkSel{0, 1}, BWFactor: 0.5, ExtraLatency: 10 * time.Microsecond, Win: Window{0, ms(10)}},
+			{Link: LinkSel{AllLinks, 1}, BWFactor: 0.5, ExtraLatency: 5 * time.Microsecond, Win: Window{0, ms(10)}},
+		},
+	}
+	in := plan.NewInjector()
+	out := in.LinkAttempt(0, 1, ms(1))
+	if out.BWFactor != 0.25 || out.ExtraLatency != 15*time.Microsecond {
+		t.Fatalf("rules did not compose: %+v", out)
+	}
+	// Outside the window and on unmatched links the link is clean.
+	if out := in.LinkAttempt(0, 1, ms(20)); out.BWFactor != 1 || out.ExtraLatency != 0 {
+		t.Fatalf("degradation leaked outside its window: %+v", out)
+	}
+	if out := in.LinkAttempt(1, 0, ms(1)); out.BWFactor != 1 {
+		t.Fatalf("degradation leaked to reverse link: %+v", out)
+	}
+}
+
+func TestZeroBandwidthIsDown(t *testing.T) {
+	plan := &Plan{
+		Seed:     1,
+		Degrades: []DegradeRule{{Link: LinkSel{0, 1}, BWFactor: 0, Win: Window{0, ms(5)}}},
+	}
+	in := plan.NewInjector()
+	out := in.LinkAttempt(0, 1, ms(1))
+	if !out.Down || out.BWFactor != 0 {
+		t.Fatalf("zero-bandwidth link not down: %+v", out)
+	}
+	if in.Counts()["down"] != 1 {
+		t.Fatalf("down not counted: %v", in.Counts())
+	}
+	if out := in.LinkAttempt(0, 1, ms(6)); out.Down {
+		t.Fatal("link still down after the window")
+	}
+}
+
+func TestStalledUntilChainsWindows(t *testing.T) {
+	plan := &Plan{
+		Seed: 1,
+		Stalls: []StallRule{
+			{Node: 2, Win: Window{ms(1), ms(2)}},
+			{Node: 2, Win: Window{From: ms(1) + sim.Time(500*time.Microsecond), To: ms(3)}},
+		},
+	}
+	in := plan.NewInjector()
+	end, ok := in.StalledUntil(2, ms(1))
+	if !ok || end != ms(3) {
+		t.Fatalf("overlapping stalls did not chain: end=%v ok=%v", end, ok)
+	}
+	if in.Counts()["stall"] != 2 {
+		t.Fatalf("stall windows counted %d times, want 2", in.Counts()["stall"])
+	}
+	// Re-entering the same windows must not double-count.
+	in.StalledUntil(2, ms(1))
+	if in.Counts()["stall"] != 2 {
+		t.Fatalf("stall windows recounted: %v", in.Counts())
+	}
+	if _, ok := in.StalledUntil(2, ms(4)); ok {
+		t.Fatal("node stalled after every window closed")
+	}
+	if _, ok := in.StalledUntil(0, ms(1)); ok {
+		t.Fatal("wrong node stalled")
+	}
+	if !in.NodeStalled(2, ms(1)) || in.NodeStalled(2, ms(4)) {
+		t.Fatal("NodeStalled disagrees with the windows")
+	}
+}

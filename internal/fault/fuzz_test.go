@@ -1,0 +1,49 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan feeds arbitrary text to the fault-plan parser: bad input must
+// be rejected with an error, never a panic, and any accepted plan must be
+// valid and survive a normalise/re-parse round trip (String is the parser's
+// inverse on the plans it accepts).
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed 42",
+		"drop link=* rate=0.05",
+		"drop link=0->1 rate=0.5 from=1ms to=3ms",
+		"degrade link=2->3 bw=0.25 lat=+40us from=0 to=2ms",
+		"degrade link=1->0 bw=0 from=500us to=800us",
+		"stall node=2 at=2ms for=500us",
+		"stall node=* at=10ms for=1ms",
+		"# comment only\n\nseed 7\ndrop rate=0.1 # trailing",
+		"seed 42\ndrop link=* rate=0.05\ndegrade link=0->1 bw=0.5\nstall node=0 at=1ms for=1ms",
+		"drop rate=1.5",
+		"drop rate=0.5 rate=0.5",
+		"degrade link=0->1",
+		"stall node=0 at=1ms",
+		"drop link=0>1 rate=0.5",
+		"seed 99999999999999999999",
+		"drop rate=0.5 from=3ms to=1ms",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePlan(src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan accepted an invalid plan: %v\ninput: %q", verr, src)
+		}
+		text := p.String()
+		p2, err := ParsePlan(text)
+		if err != nil {
+			t.Fatalf("normalised plan does not re-parse: %v\nnormalised: %q\ninput: %q", err, text, src)
+		}
+		if p2.String() != text {
+			t.Fatalf("normalisation not a fixed point:\nfirst:  %q\nsecond: %q\ninput: %q", text, p2.String(), src)
+		}
+	})
+}

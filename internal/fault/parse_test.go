@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const examplePlan = `
+# transient fabric trouble around t=1ms
+seed 42
+drop link=* rate=0.05
+drop link=0->1 rate=0.5 from=1ms to=3ms
+degrade link=2->3 bw=0.25 lat=+40us from=0 to=2ms
+degrade link=1->0 bw=0 from=500us to=800us   # full outage
+stall node=2 at=2ms for=500us
+stall node=* at=10ms for=1ms
+`
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan(examplePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Drops) != 2 || len(p.Degrades) != 2 || len(p.Stalls) != 2 {
+		t.Fatalf("unexpected plan shape: %+v", p)
+	}
+	if p.Drops[0].Link != (LinkSel{AllLinks, AllLinks}) || p.Drops[0].Win != (Window{0, Forever}) {
+		t.Fatalf("wildcard drop defaults wrong: %+v", p.Drops[0])
+	}
+	d := p.Drops[1]
+	if d.Link != (LinkSel{0, 1}) || d.Rate != 0.5 ||
+		d.Win.From != ms(1) || d.Win.To != ms(3) {
+		t.Fatalf("windowed drop wrong: %+v", d)
+	}
+	g := p.Degrades[0]
+	if g.Link != (LinkSel{2, 3}) || g.BWFactor != 0.25 || g.ExtraLatency != 40*time.Microsecond {
+		t.Fatalf("degrade wrong: %+v", g)
+	}
+	if p.Degrades[1].BWFactor != 0 {
+		t.Fatalf("outage not parsed: %+v", p.Degrades[1])
+	}
+	s := p.Stalls[0]
+	if s.Node != 2 || s.Win.From != ms(2) || s.Win.To.Sub(s.Win.From) != 500*time.Microsecond {
+		t.Fatalf("stall wrong: %+v", s)
+	}
+	if p.Stalls[1].Node != AllNodes {
+		t.Fatalf("wildcard stall wrong: %+v", p.Stalls[1])
+	}
+}
+
+// TestParseRoundTrip pins String as the normalised, re-parseable form.
+func TestParseRoundTrip(t *testing.T) {
+	p, err := ParsePlan(examplePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.String()
+	p2, err := ParsePlan(text)
+	if err != nil {
+		t.Fatalf("normalised plan does not re-parse: %v\n%s", err, text)
+	}
+	if p2.String() != text {
+		t.Fatalf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", text, p2.String())
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := ParsePlan("# only comments\n\n   \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatalf("comment-only plan not empty: %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown directive", "boom rate=1", "unknown directive"},
+		{"drop without rate", "drop link=*", "requires rate"},
+		{"bad rate", "drop rate=lots", "bad rate"},
+		{"rate out of range", "drop rate=1.5", "outside [0, 1]"},
+		{"unknown key", "drop rate=0.5 color=red", "unknown key"},
+		{"duplicate key", "drop rate=0.5 rate=0.2", "duplicate key"},
+		{"malformed field", "drop rate", "malformed field"},
+		{"bad link", "drop link=0>1 rate=0.5", "bad link"},
+		{"negative link", "drop link=-1->0 rate=0.5", "bad link source"},
+		{"degrade needs bw or lat", "degrade link=0->1", "bw= and/or lat="},
+		{"bad bw", "degrade bw=half", "bad bw"},
+		{"bad lat", "degrade lat=fast", "bad lat"},
+		{"stall without at", "stall node=0 for=1ms", "requires at"},
+		{"stall without for", "stall node=0 at=1ms", "requires for"},
+		{"bad stall node", "stall node=x at=1ms for=1ms", "bad node"},
+		{"bad window", "drop rate=0.5 from=3ms to=1ms", "empty window"},
+		{"bad seed", "seed abc", "bad seed"},
+		{"seed arity", "seed 1 2", "exactly one"},
+		{"negative offset", "drop rate=0.5 from=-1ms", "negative offset"},
+	}
+	for _, tc := range cases {
+		_, err := ParsePlan(tc.src)
+		if err == nil {
+			t.Errorf("%s: %q accepted", tc.name, tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseLineLimit(t *testing.T) {
+	src := strings.Repeat("\n", maxPlanLines+1)
+	if _, err := ParsePlan(src); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized plan accepted (err=%v)", err)
+	}
+}

@@ -17,6 +17,7 @@ package handcoded
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/funclib"
 	"repro/internal/isspl"
 	"repro/internal/machine"
@@ -37,6 +38,12 @@ type Config struct {
 	// benchmark stages, MPI collective spans, and the sim kernel's
 	// process/wait events. One collector serves one run.
 	Trace *trace.Collector
+	// Faults, when non-nil and non-empty, installs a deterministic fault
+	// injector on the simulated machine. The baseline's resilience is the
+	// minimal, fair equivalent of the SAGE runtime's: the shared MPI
+	// retry-with-backoff protocol on every send (what a vendor's reliable
+	// link layer provides), nothing runtime-level on top.
+	Faults *fault.Plan
 }
 
 func (c *Config) validate() error {
@@ -51,6 +58,14 @@ func (c *Config) validate() error {
 	}
 	if c.Nodes > c.N {
 		return fmt.Errorf("handcoded: %d nodes for %d rows", c.Nodes, c.N)
+	}
+	if !c.Faults.Empty() {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("handcoded: invalid fault plan: %w", err)
+		}
+		if err := c.Faults.CheckNodes(c.Nodes); err != nil {
+			return fmt.Errorf("handcoded: fault plan does not fit the machine: %w", err)
+		}
 	}
 	return nil
 }
@@ -109,6 +124,7 @@ func run(cfg Config, body func(r *mpi.Rank, iter int, compute bool, out *isspl.M
 	defer k.Shutdown() // release parked rank goroutines on error paths
 	m := machine.New(k, cfg.Platform, cfg.Nodes)
 	m.SetTrace(cfg.Trace)
+	m.SetFaults(cfg.Faults.NewInjector())
 	w := mpi.NewWorld(m)
 	res := &Result{Output: isspl.NewMatrix(cfg.N, cfg.N)}
 	var firstDone, lastDone sim.Time

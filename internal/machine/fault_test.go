@@ -1,0 +1,185 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// faultMachine builds a 4-node test machine with the given plan installed.
+func faultMachine(t *testing.T, plan *fault.Plan) (*sim.Kernel, *Machine) {
+	t.Helper()
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	m := New(k, testPlatform(), 4)
+	m.SetFaults(plan.NewInjector())
+	return k, m
+}
+
+func forever() fault.Window { return fault.Window{From: 0, To: fault.Forever} }
+
+// TestTryTransferDownLink is the zero-bandwidth edge case: a bw=0 degraded
+// link must refuse the attempt after the software overhead — no division by
+// zero, no infinite serialisation, and the wire is never occupied.
+func TestTryTransferDownLink(t *testing.T) {
+	k, m := faultMachine(t, &fault.Plan{
+		Degrades: []fault.DegradeRule{{Link: fault.LinkSel{Src: 0, Dst: 1}, BWFactor: 0, Win: forever()}},
+	})
+	var at sim.Time
+	var ok bool
+	var elapsed sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		at, ok = m.Node(0).TryTransfer(p, 1, 100_000)
+		elapsed = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok || at != 0 {
+		t.Fatalf("downed link delivered: at=%v ok=%v", at, ok)
+	}
+	// The refused attempt costs exactly the send overhead (10us), not the
+	// 1ms serialisation a healthy attempt would pay.
+	if elapsed != sim.Time(10*time.Microsecond) {
+		t.Fatalf("refused attempt took %v, want the 10us overhead only", elapsed)
+	}
+	if m.Faults().Counts()["down"] != 1 {
+		t.Fatalf("down not counted: %v", m.Faults().Counts())
+	}
+}
+
+// TestTransferBypassesFaults is the starvation guard: the fault-oblivious
+// maintenance path must deliver even on a link that is down and dropping
+// everything, so a capped retry loop can always force progress.
+func TestTransferBypassesFaults(t *testing.T) {
+	k, m := faultMachine(t, &fault.Plan{
+		Drops:    []fault.DropRule{{Link: fault.LinkSel{Src: fault.AllLinks, Dst: fault.AllLinks}, Rate: 1, Win: forever()}},
+		Degrades: []fault.DegradeRule{{Link: fault.LinkSel{Src: 0, Dst: 1}, BWFactor: 0, Win: forever()}},
+	})
+	var at sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		at = m.Node(0).Transfer(p, 1, 100_000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Base cost: 10us overhead + 1ms serialisation + 1us latency.
+	want := sim.Time(10*time.Microsecond + time.Millisecond + time.Microsecond)
+	if at != want {
+		t.Fatalf("maintenance transfer arrival %v, want %v", at, want)
+	}
+}
+
+// TestTryTransferDropPaysFullCost: a dropped message wastes the entire send
+// cost (overhead + serialisation) but never arrives.
+func TestTryTransferDropPaysFullCost(t *testing.T) {
+	k, m := faultMachine(t, &fault.Plan{
+		Drops: []fault.DropRule{{Link: fault.LinkSel{Src: fault.AllLinks, Dst: fault.AllLinks}, Rate: 1, Win: forever()}},
+	})
+	var ok bool
+	var elapsed sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		_, ok = m.Node(0).TryTransfer(p, 1, 100_000)
+		elapsed = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("rate-1 drop delivered")
+	}
+	if elapsed != sim.Time(10*time.Microsecond+time.Millisecond) {
+		t.Fatalf("dropped attempt took %v, want full send cost", elapsed)
+	}
+}
+
+// TestTryTransferDegradedBandwidth: bandwidth scaling stretches serialisation
+// and extra latency shifts arrival, including on a zero-latency platform (the
+// zero-latency edge case — nothing underflows or divides by zero).
+func TestTryTransferDegradedBandwidth(t *testing.T) {
+	pl := testPlatform()
+	pl.IntraLatency = 0
+	pl.InterLatency = 0
+	plan := &fault.Plan{
+		Degrades: []fault.DegradeRule{{
+			Link: fault.LinkSel{Src: 0, Dst: 1}, BWFactor: 0.5,
+			ExtraLatency: 7 * time.Microsecond, Win: forever(),
+		}},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	m := New(k, pl, 4)
+	m.SetFaults(plan.NewInjector())
+	var at sim.Time
+	var ok bool
+	k.Spawn("s", func(p *sim.Proc) {
+		at, ok = m.Node(0).TryTransfer(p, 1, 100_000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("degraded (but up) link refused delivery")
+	}
+	// 10us overhead + 2ms serialisation (half bandwidth) + 0 base latency
+	// + 7us extra latency.
+	want := sim.Time(10*time.Microsecond + 2*time.Millisecond + 7*time.Microsecond)
+	if at != want {
+		t.Fatalf("degraded arrival %v, want %v", at, want)
+	}
+}
+
+// TestSelfTransferSkipsInjector: a node talking to itself is a memcpy, not a
+// link, and must be immune to even a drop-everything plan.
+func TestSelfTransferSkipsInjector(t *testing.T) {
+	k, m := faultMachine(t, &fault.Plan{
+		Drops: []fault.DropRule{{Link: fault.LinkSel{Src: fault.AllLinks, Dst: fault.AllLinks}, Rate: 1, Win: forever()}},
+	})
+	var ok bool
+	k.Spawn("s", func(p *sim.Proc) {
+		_, ok = m.Node(0).TryTransfer(p, 0, 1000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("self transfer was dropped")
+	}
+}
+
+// TestStallWindowPausesCPU: a stalled node's CPU freezes for the window and
+// in-progress work resumes afterwards (crash-restart, nothing lost).
+func TestStallWindowPausesCPU(t *testing.T) {
+	k, m := faultMachine(t, &fault.Plan{
+		Stalls: []fault.StallRule{{Node: 0, Win: fault.Window{
+			From: 0, To: sim.Time(time.Millisecond),
+		}}},
+	})
+	var done0, done1 sim.Time
+	k.Spawn("stalled", func(p *sim.Proc) {
+		m.Node(0).ComputeTime(p, 500*time.Microsecond)
+		done0 = p.Now()
+	})
+	k.Spawn("healthy", func(p *sim.Proc) {
+		m.Node(1).ComputeTime(p, 500*time.Microsecond)
+		done1 = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done1 != sim.Time(500*time.Microsecond) {
+		t.Fatalf("healthy node finished at %v, want 500us", done1)
+	}
+	if done0 != sim.Time(time.Millisecond+500*time.Microsecond) {
+		t.Fatalf("stalled node finished at %v, want 1.5ms (1ms stall + 500us work)", done0)
+	}
+	if m.Faults().Counts()["stall"] != 1 {
+		t.Fatalf("stall not counted once: %v", m.Faults().Counts())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -16,6 +17,7 @@ type Machine struct {
 	nodes  []*Node
 	fabric *sim.Resource // nil when FabricConcurrency == 0 (crossbar)
 	tr     *trace.Collector
+	faults *fault.Injector
 }
 
 // SetTrace attaches a trace collector to the machine and installs it as the
@@ -27,7 +29,22 @@ func (m *Machine) SetTrace(c *trace.Collector) {
 	if c.Enabled() {
 		m.K.SetTracer(c)
 	}
+	m.faults.SetTrace(c)
 }
+
+// SetFaults installs a fault injector on the machine's links and node CPUs.
+// A nil injector disables injection (the default). The injector belongs to
+// this machine's kernel — never share one across machines. Call before the
+// simulation runs, in any order relative to SetTrace.
+func (m *Machine) SetFaults(inj *fault.Injector) {
+	m.faults = inj
+	inj.SetTrace(m.tr)
+}
+
+// Faults returns the installed injector (nil — the disabled injector — when
+// fault injection is off). The MPI substrate consults it to decide whether
+// sends need the retry protocol.
+func (m *Machine) Faults() *fault.Injector { return m.faults }
 
 // Trace returns the attached collector (nil — the disabled collector — when
 // tracing is off). Layers above the machine (mpi, sagert, handcoded) emit
@@ -81,9 +98,15 @@ type Node struct {
 const cpuQuantum = 250 * time.Microsecond
 
 // busy occupies the node's CPU for duration d: co-located simulated threads
-// time-share the processor rather than overlapping for free.
+// time-share the processor rather than overlapping for free. When the fault
+// injector has the node inside a stall window, the CPU is unavailable until
+// the restart time — crash-restart semantics at quantum granularity:
+// in-progress work pauses and resumes, it is not lost.
 func (nd *Node) busy(p *sim.Proc, d sim.Duration) {
 	for d > 0 {
+		if end, ok := nd.mach.faults.StalledUntil(nd.ID, p.Now()); ok {
+			p.SleepUntil(end)
+		}
 		q := d
 		if q > cpuQuantum {
 			q = cpuQuantum
@@ -185,7 +208,35 @@ func (nd *Node) Memcpy(p *sim.Proc, n int) {
 // not occupy the sender.
 //
 // A self-transfer (dst == this node) is priced as a local memory copy.
+//
+// Transfer bypasses the fault injector entirely: it is the base link
+// behaviour, and also the maintenance path a retry protocol escalates to
+// after exhausting its attempt budget (which is what guarantees progress
+// under any fault plan). Fault-aware senders use TryTransfer.
 func (nd *Node) Transfer(p *sim.Proc, dst int, n int) sim.Time {
+	at, _ := nd.transfer(p, dst, n, fault.Outcome{BWFactor: 1})
+	return at
+}
+
+// TryTransfer is Transfer under the machine's fault injector: link
+// degradation scales bandwidth and adds latency, a downed (zero-bandwidth)
+// link refuses the attempt after the software overhead without occupying
+// the wire, and a drop loses the message after the full send cost. ok
+// reports whether the payload will arrive; on ok the arrival time is
+// returned exactly as from Transfer. Without an installed injector
+// TryTransfer is identical to Transfer.
+func (nd *Node) TryTransfer(p *sim.Proc, dst int, n int) (arrival sim.Time, ok bool) {
+	var out fault.Outcome
+	if dst == nd.ID {
+		out = fault.Outcome{BWFactor: 1} // self-transfers never touch a link
+	} else {
+		out = nd.mach.faults.LinkAttempt(nd.ID, dst, p.Now())
+	}
+	return nd.transfer(p, dst, n, out)
+}
+
+// transfer is the shared core of Transfer and TryTransfer.
+func (nd *Node) transfer(p *sim.Proc, dst int, n int, out fault.Outcome) (sim.Time, bool) {
 	m := nd.mach
 	pl := &m.Plat
 	nd.MsgsSent++
@@ -193,21 +244,30 @@ func (nd *Node) Transfer(p *sim.Proc, dst int, n int) sim.Time {
 	m.tr.LinkTransfer(nd.ID, dst, n)
 	if dst == nd.ID {
 		nd.Memcpy(p, n)
-		return p.Now()
+		return p.Now(), true
 	}
 	// Software overhead on the sending CPU.
 	nd.busy(p, pl.SendOverhead)
+
+	if out.Down {
+		// The link refused the attempt before anything serialised: the
+		// software overhead is the whole (wasted) cost. Guards the
+		// zero-bandwidth degradation case — nothing divides by the zero.
+		nd.CommBusy += pl.SendOverhead
+		return 0, false
+	}
 
 	intra := pl.SameBoard(nd.ID, dst)
 	var lat sim.Duration
 	var ser sim.Duration
 	if intra {
 		lat = pl.IntraLatency
-		ser = serialTime(n, pl.IntraBW)
+		ser = serialTime(n, pl.IntraBW*out.BWFactor)
 	} else {
 		lat = pl.InterLatency
-		ser = serialTime(n, pl.InterBW)
+		ser = serialTime(n, pl.InterBW*out.BWFactor)
 	}
+	lat += out.ExtraLatency
 
 	useFabric := !intra && m.fabric != nil
 	if useFabric {
@@ -222,7 +282,11 @@ func (nd *Node) Transfer(p *sim.Proc, dst int, n int) sim.Time {
 	// Account occupancy only (overhead + wire serialisation), not time
 	// spent queueing for the fabric, so utilisation stays meaningful.
 	nd.CommBusy += pl.SendOverhead + ser
-	return p.Now().Add(lat)
+	if out.Drop {
+		// Lost on the wire: the full send cost was paid for nothing.
+		return 0, false
+	}
+	return p.Now().Add(lat), true
 }
 
 // RecvOverhead blocks the calling process for the software cost of receiving

@@ -19,6 +19,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -70,10 +71,12 @@ type message struct {
 }
 
 // waiter is a blocked receiver: a match key plus a private one-shot channel
-// the matching message is handed over on.
+// the matching message is handed over on. matched marks hand-over, so a
+// pending receive timeout knows it lost the race.
 type waiter struct {
 	src, tag int
 	ch       *sim.Chan[message]
+	matched  bool
 }
 
 // endpoint is the per-rank receive engine: an unordered pending set matched
@@ -95,6 +98,7 @@ func (e *endpoint) deliver(m message) {
 	for i, w := range e.waiters {
 		if matches(&m, w.src, w.tag) {
 			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			w.matched = true
 			w.ch.Send(m)
 			return
 		}
@@ -120,10 +124,50 @@ func (e *endpoint) recv(p *sim.Proc, src, tag int) message {
 	return w.ch.Recv(p)
 }
 
+// recvTimeout is recv with a deadline: if no matching message arrives within
+// d of the call, the waiter is withdrawn and ok is false. A message and the
+// timer firing at the same virtual instant are ordered by the kernel's event
+// queue; whichever fires first wins, deterministically.
+func (e *endpoint) recvTimeout(p *sim.Proc, src, tag int, d sim.Duration) (message, bool) {
+	for i := range e.pending {
+		if matches(&e.pending[i], src, tag) {
+			m := e.pending[i]
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return m, true
+		}
+	}
+	w := &waiter{
+		src: src, tag: tag,
+		ch: sim.NewChan[message](e.k, fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag)),
+	}
+	e.waiters = append(e.waiters, w)
+	timedOut := false
+	e.k.After(d, func() {
+		if w.matched {
+			return
+		}
+		for i, x := range e.waiters {
+			if x == w {
+				e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+				break
+			}
+		}
+		timedOut = true
+		w.ch.Send(message{})
+	})
+	m := w.ch.Recv(p)
+	if timedOut {
+		return message{}, false
+	}
+	return m, true
+}
+
 // World is an MPI job: one rank per machine node.
 type World struct {
 	Mach      *machine.Machine
 	endpoints []*endpoint
+	retry     fault.RetryPolicy
+	retrySet  bool
 }
 
 // NewWorld creates a world spanning every node of the machine.
@@ -137,6 +181,21 @@ func NewWorld(m *machine.Machine) *World {
 
 // Size reports the number of ranks.
 func (w *World) Size() int { return len(w.endpoints) }
+
+// SetRetry configures the link-level retry protocol Send uses when the
+// machine has a fault injector installed (zero fields take defaults). Without
+// an injector the policy is irrelevant: Send takes the plain path.
+func (w *World) SetRetry(p fault.RetryPolicy) {
+	w.retry = p.WithDefaults()
+	w.retrySet = true
+}
+
+func (w *World) retryPolicy() fault.RetryPolicy {
+	if !w.retrySet {
+		return fault.DefaultRetry()
+	}
+	return w.retry
+}
 
 // Rank is the handle a simulated thread uses to communicate as world rank id.
 // Multiple threads on the same rank may share the id; tags must disambiguate.
@@ -190,11 +249,22 @@ func (r *Rank) Trace() *trace.Collector { return r.w.Mach.Trace() }
 // contention); delivery to dst happens asynchronously after the fabric
 // latency. Send never blocks on the receiver, so exchange patterns in which
 // every rank sends before receiving are deadlock-free.
+// Under an installed fault injector, Send runs a bounded retry protocol: a
+// refused or dropped attempt is retried after geometric backoff, and once the
+// attempt budget is exhausted the message is forced through the fault-
+// oblivious maintenance path (Node.Transfer), so every Send terminates and
+// every message is eventually delivered under any valid fault plan.
 func (r *Rank) Send(dst, tag int, body Payload) {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mpi: send to rank %d of world size %d", dst, r.Size()))
 	}
-	arrival := r.node.Transfer(r.proc, dst, body.Bytes+EnvelopeBytes)
+	bytes := body.Bytes + EnvelopeBytes
+	var arrival sim.Time
+	if !r.w.Mach.Faults().Enabled() {
+		arrival = r.node.Transfer(r.proc, dst, bytes)
+	} else {
+		arrival = r.sendResilient(dst, bytes)
+	}
 	ep := r.w.endpoints[dst]
 	m := message{src: r.id, tag: tag, body: body}
 	if arrival <= r.proc.Now() {
@@ -202,6 +272,30 @@ func (r *Rank) Send(dst, tag int, body Payload) {
 		return
 	}
 	r.w.Mach.K.After(arrival.Sub(r.proc.Now()), func() { ep.deliver(m) })
+}
+
+// sendResilient pushes bytes to dst through the fault injector, retrying
+// failed attempts with backoff and escalating to the maintenance path after
+// the attempt budget. Returns the arrival time of the attempt that succeeded.
+func (r *Rank) sendResilient(dst, bytes int) sim.Time {
+	pol := r.w.retryPolicy()
+	start := r.proc.Now()
+	for attempt := 1; ; attempt++ {
+		arrival, ok := r.node.TryTransfer(r.proc, dst, bytes)
+		if ok {
+			if attempt > 1 {
+				r.Trace().FaultSpan(r.id, fmt.Sprintf("retry %d->%d x%d", r.id, dst, attempt-1),
+					start, r.proc.Now())
+			}
+			return arrival
+		}
+		if attempt >= pol.MaxAttempts {
+			arrival := r.node.Transfer(r.proc, dst, bytes)
+			r.Trace().FaultSpan(r.id, fmt.Sprintf("giveup %d->%d", r.id, dst), start, r.proc.Now())
+			return arrival
+		}
+		r.proc.Sleep(pol.BackoffFor(attempt))
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives, charges
@@ -213,6 +307,24 @@ func (r *Rank) Recv(src, tag int) Payload {
 	m := r.w.endpoints[r.id].recv(r.proc, src, tag)
 	r.node.RecvOverhead(r.proc)
 	return m.body
+}
+
+// RecvTimeout is Recv with a deadline: it blocks until a message from src
+// with the given tag arrives or duration d of virtual time elapses. On
+// timeout it returns ok == false without charging the receive overhead (no
+// message was processed). Resilient runtimes use it to re-arm receives and
+// interleave recovery work instead of blocking indefinitely on a degraded
+// peer.
+func (r *Rank) RecvTimeout(src, tag int, d sim.Duration) (body Payload, ok bool) {
+	if src < 0 || src >= r.Size() {
+		panic(fmt.Sprintf("mpi: recv from rank %d of world size %d", src, r.Size()))
+	}
+	m, ok := r.w.endpoints[r.id].recvTimeout(r.proc, src, tag, d)
+	if !ok {
+		return Payload{}, false
+	}
+	r.node.RecvOverhead(r.proc)
+	return m.body, true
 }
 
 // Sendrecv sends to dst and then receives from src (safe because Send does

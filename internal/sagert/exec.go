@@ -186,6 +186,11 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 			credits[localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}] = r.opts.BufferSlots
 		}
 	}
+	inj := r.mach.Faults()
+	// overcommit tracks emergency credit borrowing per transfer (resilient
+	// mode only): a bounded per-run budget, so the pipeline depth can never
+	// exceed BufferSlots + MaxCreditOvercommit.
+	overcommit := map[localKey]int{}
 	for iter := 0; iter < r.opts.Iterations && r.err == nil; iter++ {
 		compute := iter < r.opts.ComputeIterations
 
@@ -212,7 +217,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 			if !compute {
 				blk.Data = nil // charge-only iterations carry no samples
 			}
-			for _, xr := range pp.xfers {
+			for _, xr := range r.orderXfers(pp.xfers, rank.Proc().Now()) {
 				key := localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}
 				xferStart := rank.Proc().Now()
 				if r.localOptimised(xr.peerNode, tp.node) {
@@ -224,7 +229,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 						copyRegion(blk, got, xr.x.Region)
 					}
 				} else {
-					payload := rank.Recv(xr.peerNode, dataTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread))
+					payload := r.recvData(rank, tp, track, xr)
 					// Assemble into the function's private logical buffer:
 					// the extra data access §3.4 attributes overhead to. A
 					// region that lands contiguously in the buffer (full
@@ -304,11 +309,15 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 		sendStart := rank.Proc().Now()
 		for _, pp := range tp.outs {
 			blk := outBlocks[pp.entry.Name]
-			for _, xr := range pp.xfers {
+			for _, xr := range r.orderXfers(pp.xfers, rank.Proc().Now()) {
 				key := localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}
 				if credits[key] == 0 {
 					creditStart := rank.Proc().Now()
-					rank.Recv(xr.peerNode, creditTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread))
+					if inj.Enabled() {
+						r.awaitCredit(rank, tp, track, xr, overcommit)
+					} else {
+						rank.Recv(xr.peerNode, creditTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread))
+					}
 					if tr.Enabled() && rank.Proc().Now() > creditStart {
 						tr.Phase(trace.LayerSage, tp.node, track,
 							fmt.Sprintf("credit b%d", xr.buf.ID),
@@ -359,6 +368,89 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 			r.iterBarrier.Wait(rank.Proc())
 		}
 	}
+}
+
+// recvData receives one striped region. Without a fault injector it is a
+// plain blocking Recv. In resilient mode it re-arms a timed receive until the
+// data arrives: the message is guaranteed to come eventually (the MPI retry
+// protocol forces delivery after its attempt budget), so the loop terminates;
+// each expiry is recorded as a recv-timeout fault span on the thread's track.
+func (r *runner) recvData(rank *mpi.Rank, tp *threadPlan, track string, xr xferRef) mpi.Payload {
+	tag := dataTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread)
+	if !r.mach.Faults().Enabled() {
+		return rank.Recv(xr.peerNode, tag)
+	}
+	tr := r.mach.Trace()
+	for {
+		start := rank.Proc().Now()
+		payload, ok := rank.RecvTimeout(xr.peerNode, tag, r.opts.Resilience.RecvTimeout)
+		if ok {
+			return payload
+		}
+		tr.FaultSpanOn(tp.node, track,
+			fmt.Sprintf("recv-timeout b%d t%d", xr.buf.ID, xr.x.SrcThread),
+			start, rank.Proc().Now())
+	}
+}
+
+// awaitCredit blocks until a pipelining credit for xr arrives, in resilient
+// mode. Each timed-out wait is recorded; while the per-transfer overcommit
+// budget lasts, a timeout is resolved by borrowing an emergency slot and
+// proceeding without the credit — the credit stays in flight and satisfies a
+// later wait instantly, so the pipeline depth overshoot is bounded by the
+// budget and drains by itself.
+func (r *runner) awaitCredit(rank *mpi.Rank, tp *threadPlan, track string, xr xferRef, overcommit map[localKey]int) {
+	ctag := creditTag(xr.buf.ID, xr.x.SrcThread, xr.x.DstThread)
+	key := localKey{xr.buf.ID, xr.x.SrcThread, xr.x.DstThread}
+	res := r.opts.Resilience
+	tr := r.mach.Trace()
+	for {
+		start := rank.Proc().Now()
+		if _, ok := rank.RecvTimeout(xr.peerNode, ctag, res.CreditTimeout); ok {
+			return
+		}
+		tr.FaultSpanOn(tp.node, track,
+			fmt.Sprintf("credit-timeout b%d", xr.buf.ID), start, rank.Proc().Now())
+		if overcommit[key] < res.MaxCreditOvercommit {
+			overcommit[key]++
+			tr.FaultPoint(tp.node,
+				fmt.Sprintf("overcommit b%d %d->%d", xr.buf.ID, xr.x.SrcThread, xr.x.DstThread),
+				rank.Proc().Now())
+			return
+		}
+	}
+}
+
+// orderXfers returns a port's transfer schedule, re-sequenced in degraded
+// mode: transfers whose peer node is currently inside a stall window move —
+// stably — to the back, so healthy peers are serviced first and the stalled
+// peer's transfer is attempted as late as possible (by which time it may have
+// restarted). Without Resilience.Degraded (or without faults) the table
+// order is returned untouched.
+func (r *runner) orderXfers(xfers []xferRef, now sim.Time) []xferRef {
+	inj := r.mach.Faults()
+	if !r.opts.Resilience.Degraded || !inj.Enabled() {
+		return xfers
+	}
+	stalled := 0
+	for i := range xfers {
+		if inj.NodeStalled(xfers[i].peerNode, now) {
+			stalled++
+		}
+	}
+	if stalled == 0 || stalled == len(xfers) {
+		return xfers
+	}
+	out := make([]xferRef, 0, len(xfers))
+	tail := make([]xferRef, 0, stalled)
+	for _, xr := range xfers {
+		if inj.NodeStalled(xr.peerNode, now) {
+			tail = append(tail, xr)
+		} else {
+			out = append(out, xr)
+		}
+	}
+	return append(out, tail...)
 }
 
 func (r *runner) noteSourceStart(iter int, t sim.Time) {

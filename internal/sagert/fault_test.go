@@ -1,0 +1,151 @@
+package sagert
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/fault"
+	"repro/internal/platforms"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// stressPlan combines every fault class: background drops, a degraded link,
+// a full outage window and a node stall.
+func stressPlan() *fault.Plan {
+	p, err := fault.ParsePlan(`
+seed 11
+drop link=* rate=0.2
+degrade link=1->2 bw=0.5 lat=+20us
+degrade link=2->1 bw=0 from=100us to=400us
+stall node=3 at=200us for=300us
+`)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestResilientRunCorrectUnderFaults is the subsystem's end-to-end safety
+// check: under drops, outages and stalls the run must terminate and the
+// computed transform must be bit-identical to the fault-free one — faults
+// cost time, never correctness.
+func TestResilientRunCorrectUnderFaults(t *testing.T) {
+	const n = 32
+	tb := genTables(t, apps.FFT2D, n, 4, 4)
+	clean, err := Run(tb, platforms.CSPI(), Options{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run(tb, platforms.CSPI(), Options{
+		Iterations: 2,
+		Faults:     stressPlan(),
+		Resilience: fault.Resilience{Degraded: true},
+	})
+	if err != nil {
+		t.Fatalf("resilient run failed: %v", err)
+	}
+	if faulted.Output == nil || clean.Output == nil {
+		t.Fatal("missing output")
+	}
+	if d := faulted.Output.MaxDiff(clean.Output); d != 0 {
+		t.Fatalf("faults changed the computed result (max diff %g)", d)
+	}
+	if faulted.Elapsed <= clean.Elapsed {
+		t.Fatalf("faulted run (%v) not slower than clean (%v)", faulted.Elapsed, clean.Elapsed)
+	}
+}
+
+// TestResilientRunDeterministic: two identical faulted runs agree on every
+// latency, and tracing does not perturb a single value.
+func TestResilientRunDeterministic(t *testing.T) {
+	const n = 32
+	tb := genTables(t, apps.CornerTurn, n, 4, 4)
+	runOnce := func(col *trace.Collector) *Result {
+		res, err := Run(tb, platforms.CSPI(), Options{
+			Iterations: 3,
+			Faults:     stressPlan(),
+			Resilience: fault.Resilience{Degraded: true},
+			Collector:  col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(nil), runOnce(nil)
+	traced := runOnce(trace.New("faulted"))
+	for i := range a.Latencies {
+		if a.Latencies[i] != b.Latencies[i] || a.Latencies[i] != traced.Latencies[i] {
+			t.Fatalf("iteration %d latencies diverge: %v %v %v",
+				i, a.Latencies[i], b.Latencies[i], traced.Latencies[i])
+		}
+	}
+	if a.Elapsed != b.Elapsed || a.Elapsed != traced.Elapsed {
+		t.Fatalf("elapsed diverges: %v %v %v", a.Elapsed, b.Elapsed, traced.Elapsed)
+	}
+}
+
+// TestResilienceEventsTraced: aggressive timeouts against a stalled consumer
+// surface the runtime's recovery machinery — recv-timeouts, credit handling
+// and injected faults all land in the collector.
+func TestResilienceEventsTraced(t *testing.T) {
+	const n = 32
+	tb := genTables(t, apps.FFT2D, n, 4, 4)
+	plan, err := fault.ParsePlan(`
+seed 5
+drop link=* rate=0.4
+stall node=2 at=0 for=2ms
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.New("resilience")
+	_, err = Run(tb, platforms.CSPI(), Options{
+		Iterations: 3,
+		Faults:     plan,
+		Resilience: fault.Resilience{
+			RecvTimeout:   100 * time.Microsecond,
+			CreditTimeout: 100 * time.Microsecond,
+			Degraded:      true,
+		},
+		Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, f := range col.Faults() {
+		kinds[f.Kind] = f.Count
+	}
+	if kinds["drop"] == 0 || kinds["stall"] == 0 {
+		t.Fatalf("injector events missing from trace: %v", kinds)
+	}
+	if kinds["recv-timeout"] == 0 {
+		t.Fatalf("no recv-timeout spans despite a 2ms stall and 100us timeout: %v", kinds)
+	}
+	if kinds["retry"] == 0 {
+		t.Fatalf("no retry spans at 40%% drop: %v", kinds)
+	}
+}
+
+// TestInvalidPlanRefused: Run must reject malformed plans and plans that
+// reference nodes beyond the machine before any simulation starts.
+func TestInvalidPlanRefused(t *testing.T) {
+	tb := genTables(t, apps.FFT2D, 16, 2, 2)
+	if _, err := Run(tb, platforms.CSPI(), Options{
+		Iterations: 1,
+		Faults:     &fault.Plan{Stalls: []fault.StallRule{{Node: 0, Win: fault.Window{From: 0, To: fault.Forever}}}},
+	}); err == nil {
+		t.Fatal("unbounded stall accepted")
+	}
+	if _, err := Run(tb, platforms.CSPI(), Options{
+		Iterations: 1,
+		Faults: &fault.Plan{Stalls: []fault.StallRule{{Node: 99, Win: fault.Window{
+			From: 0, To: sim.Time(time.Millisecond),
+		}}}},
+	}); err == nil {
+		t.Fatal("stall on nonexistent node accepted")
+	}
+}

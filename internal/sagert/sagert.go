@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/funclib"
 	"repro/internal/gluegen"
 	"repro/internal/isspl"
@@ -82,6 +83,16 @@ type Options struct {
 	// ProbeAll instruments every function, not just those whose model
 	// entry set the probe property.
 	ProbeAll bool
+	// Faults, when non-nil and non-empty, installs a deterministic fault
+	// injector on the simulated machine and switches the runtime into its
+	// resilient mode: striped transfers retry with backoff (at the MPI
+	// layer), data receives and credit waits use timeouts, and — with
+	// Resilience.Degraded — transfer schedules re-sequence around stalled
+	// peers. The plan is validated against the table's node count.
+	Faults *fault.Plan
+	// Resilience tunes the resilient mode's timeouts and overcommit budget;
+	// zero fields take fault.Resilience defaults. Ignored without Faults.
+	Resilience fault.Resilience
 }
 
 // DefaultDispatchOverhead is the table-dispatch cost used when Options does
@@ -105,6 +116,7 @@ func (o *Options) withDefaults() Options {
 	if out.BufferSlots < 1 {
 		out.BufferSlots = 2
 	}
+	out.Resilience = out.Resilience.WithDefaults()
 	return out
 }
 
@@ -199,6 +211,14 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 	if len(tables.Buffers)*tagThreadLimit*tagThreadLimit >= mpi.TagUserLimit/2 {
 		return nil, fmt.Errorf("sagert: %d buffers exceed the tag space", len(tables.Buffers))
 	}
+	if !o.Faults.Empty() {
+		if err := o.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("sagert: invalid fault plan: %w", err)
+		}
+		if err := o.Faults.CheckNodes(tables.NumNodes); err != nil {
+			return nil, fmt.Errorf("sagert: fault plan does not fit the machine: %w", err)
+		}
+	}
 
 	k := sim.NewKernel()
 	// Release any process goroutines left parked by a failed or stopped run
@@ -208,6 +228,7 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 	mach := machine.New(k, pl, tables.NumNodes)
 	mach.SetNodeSpeeds(o.NodeSpeeds)
 	mach.SetTrace(o.Collector)
+	mach.SetFaults(o.Faults.NewInjector())
 	world := mpi.NewWorld(mach)
 	r := &runner{
 		tables: tables, opts: o, mach: mach, world: world,

@@ -113,16 +113,29 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		if label == "" {
 			label = fmt.Sprintf("run %d", runIdx)
 		}
-		// Group spans by (node, track), preserving determinism via sorted
-		// iteration.
+		// Group spans and instants by (node, track), preserving determinism
+		// via sorted iteration. A track may carry both (the fault track mixes
+		// retry spans with drop instants), so each track's events are merged
+		// into one timestamp-sorted stream — ValidateChrome demands per-track
+		// monotonicity in stream order.
 		type trackKey struct {
 			node  int
 			track string
 		}
-		tracks := map[trackKey][]Span{}
+		type trackEv struct {
+			start, end sim.Time
+			span       bool
+			s          Span
+			in         Instant
+		}
+		tracks := map[trackKey][]trackEv{}
 		for _, s := range c.spans {
 			k := trackKey{s.Node, s.Track}
-			tracks[k] = append(tracks[k], s)
+			tracks[k] = append(tracks[k], trackEv{start: s.Start, end: s.End, span: true, s: s})
+		}
+		for _, in := range c.instants {
+			k := trackKey{in.Node, in.Track}
+			tracks[k] = append(tracks[k], trackEv{start: in.At, end: in.At, in: in})
 		}
 		keys := make([]trackKey, 0, len(tracks))
 		for k := range tracks {
@@ -137,14 +150,24 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		for _, k := range keys {
 			pid := cw.pid(processKey(runIdx, k.node), processName(label, k.node))
 			tid := cw.tid(pid, k.track)
-			spans := tracks[k]
-			sort.SliceStable(spans, func(i, j int) bool {
-				if spans[i].Start != spans[j].Start {
-					return spans[i].Start < spans[j].Start
+			evs := tracks[k]
+			sort.SliceStable(evs, func(i, j int) bool {
+				if evs[i].start != evs[j].start {
+					return evs[i].start < evs[j].start
 				}
-				return spans[i].End > spans[j].End // outer span first at equal start
+				if evs[i].span != evs[j].span {
+					return evs[i].span // spans before instants at equal time
+				}
+				return evs[i].end > evs[j].end // outer span first at equal start
 			})
-			for _, s := range spans {
+			for _, ev := range evs {
+				if !ev.span {
+					cw.emit(chromeEvent{Name: ev.in.Name, Cat: string(ev.in.Layer), Ph: "i",
+						Ts: usec(ev.in.At), Pid: pid, Tid: tid, S: "t",
+						Args: map[string]any{"value": ev.in.Value}})
+					continue
+				}
+				s := ev.s
 				args := map[string]any{}
 				if s.Bytes >= 0 {
 					args["bytes"] = s.Bytes
@@ -160,31 +183,6 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 				}
 				cw.emit(chromeEvent{Name: s.Name, Cat: string(s.Layer), Ph: "X",
 					Ts: usec(s.Start), Dur: float64(s.End.Sub(s.Start)) / 1e3, Pid: pid, Tid: tid, Args: args})
-			}
-		}
-		// Verbose instants, grouped the same way.
-		insts := map[trackKey][]Instant{}
-		for _, in := range c.instants {
-			k := trackKey{in.Node, in.Track}
-			insts[k] = append(insts[k], in)
-		}
-		ikeys := make([]trackKey, 0, len(insts))
-		for k := range insts {
-			ikeys = append(ikeys, k)
-		}
-		sort.Slice(ikeys, func(i, j int) bool {
-			if ikeys[i].node != ikeys[j].node {
-				return ikeys[i].node < ikeys[j].node
-			}
-			return ikeys[i].track < ikeys[j].track
-		})
-		for _, k := range ikeys {
-			pid := cw.pid(processKey(runIdx, k.node), processName(label, k.node))
-			tid := cw.tid(pid, k.track)
-			for _, in := range insts[k] {
-				cw.emit(chromeEvent{Name: in.Name, Cat: string(in.Layer), Ph: "i",
-					Ts: usec(in.At), Pid: pid, Tid: tid, S: "t",
-					Args: map[string]any{"value": in.Value}})
 			}
 		}
 	}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// faultCollector covers every fault-event entry point: injector instants
+// (drop, down), node-level spans (stall, giveup), thread-level recovery spans
+// and a retry episode — all mixed with a regular sagert span so the fault
+// track coexists with normal tracks.
+func faultCollector(label string) *Collector {
+	c := New(label)
+	c.ProcStart(1, "worker", 0)
+	c.Phase(LayerSage, 0, ProcTrack("worker", 1), "recv", 0, ms(1), ms(2))
+	c.FaultPoint(0, "drop link 0->1", ms(1))
+	c.FaultPoint(0, "down link 0->2", ms(2))
+	c.FaultPoint(0, "drop link 0->1", ms(3))
+	c.FaultSpan(1, "stall node 1", ms(1), ms(4))
+	c.FaultSpan(0, "giveup 0->1", ms(4), ms(5))
+	c.FaultSpan(0, "retry 0->1 x3", ms(2), ms(4))
+	c.FaultSpanOn(0, ProcTrack("worker", 1), "recv-timeout b0 t1", ms(2), ms(3))
+	c.ProcEnd(1, "worker", ms(8))
+	c.elapsed = ms(8)
+	return c
+}
+
+// TestFaultCounts pins the Faults() accounting: every FaultPoint/FaultSpan
+// counts once under its first name token, and the result is sorted by kind.
+func TestFaultCounts(t *testing.T) {
+	c := faultCollector("f")
+	want := map[string]int{
+		"drop": 2, "down": 1, "stall": 1, "giveup": 1, "retry": 1, "recv-timeout": 1,
+	}
+	got := c.Faults()
+	if len(got) != len(want) {
+		t.Fatalf("got %d fault kinds, want %d: %+v", len(got), len(want), got)
+	}
+	for i, f := range got {
+		if want[f.Kind] != f.Count {
+			t.Errorf("kind %q: count %d, want %d", f.Kind, f.Count, want[f.Kind])
+		}
+		if i > 0 && got[i-1].Kind >= f.Kind {
+			t.Errorf("kinds not sorted: %q before %q", got[i-1].Kind, f.Kind)
+		}
+	}
+	// Every kind the collector can emit is in the validator's vocabulary.
+	for _, f := range got {
+		if !FaultKinds[f.Kind] {
+			t.Errorf("collector emitted kind %q outside FaultKinds", f.Kind)
+		}
+	}
+}
+
+// TestNilCollectorFaultMethods extends the nil-safety contract to the fault
+// entry points.
+func TestNilCollectorFaultMethods(t *testing.T) {
+	var c *Collector
+	c.FaultPoint(0, "drop x", 0)
+	c.FaultSpan(0, "stall", 0, 1)
+	c.FaultSpanOn(0, "t", "retry x", 0, 1)
+	if c.Faults() != nil {
+		t.Fatal("nil collector returned fault counts")
+	}
+}
+
+// TestFaultChromeExport pins the exporter/validator pair on the fault schema:
+// fault spans and fault instants share the per-node fault track, so the
+// export must interleave them in timestamp order, tag them with the fault
+// category, and pass the stream-monotonicity gate.
+func TestFaultChromeExport(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(faultCollector("faulted run"))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("fault trace rejected by validator: %v\n%s", err, buf.String())
+	}
+	if stats.Faults != 7 {
+		t.Fatalf("stats.Faults = %d, want 7", stats.Faults)
+	}
+	if stats.Cats[string(LayerFault)] != 7 {
+		t.Fatalf("fault category count = %d, want 7 (cats: %v)", stats.Cats[string(LayerFault)], stats.Cats)
+	}
+	if !strings.Contains(buf.String(), FaultTrack) {
+		t.Fatal("export lost the fault track name")
+	}
+}
+
+// TestValidateChromeRejectsUnknownFaultKind: the vocabulary gate — a
+// fault-category event whose name does not start with a known kind fails
+// validation, while the same name outside the fault category is fine.
+func TestValidateChromeRejectsUnknownFaultKind(t *testing.T) {
+	bad := `{"traceEvents":[{"name":"gremlin attack","cat":"fault","ph":"i","ts":1,"pid":1,"tid":1}]}`
+	_, err := ValidateChrome([]byte(bad))
+	if err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown fault kind") {
+		t.Fatalf("error does not name the failure: %v", err)
+	}
+	ok := `{"traceEvents":[{"name":"gremlin attack","cat":"sagert","ph":"i","ts":1,"pid":1,"tid":1}]}`
+	if _, err := ValidateChrome([]byte(ok)); err != nil {
+		t.Fatalf("non-fault category wrongly gated by fault vocabulary: %v", err)
+	}
+	// Kind extraction uses the first token only: a known kind with detail
+	// after the space passes.
+	detailed := `{"traceEvents":[{"name":"credit-timeout b3","cat":"fault","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}]}`
+	if _, err := ValidateChrome([]byte(detailed)); err != nil {
+		t.Fatalf("detailed fault name rejected: %v", err)
+	}
+}
+
+// TestSummaryIncludesFaults: the text summary surfaces per-kind fault counts.
+func TestSummaryIncludesFaults(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(faultCollector("faulted run"))
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"faults:", "drop x2", "stall x1", "recv-timeout x1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -59,6 +59,13 @@ func (t *Trace) WriteSummary(w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+		if faults := c.Faults(); len(faults) > 0 {
+			fmt.Fprintf(w, "faults:")
+			for _, fk := range faults {
+				fmt.Fprintf(w, " %s x%d", fk.Kind, fk.Count)
+			}
+			fmt.Fprintln(w)
+		}
 		if waits := c.Waits(); len(waits) > 0 {
 			fmt.Fprintf(w, "top waits:\n")
 			for j, wt := range waits {

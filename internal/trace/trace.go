@@ -52,7 +52,30 @@ const (
 	LayerSage Layer = "sagert"
 	// LayerHand marks hand-coded baseline phases.
 	LayerHand Layer = "handcoded"
+	// LayerFault marks fault-injection and recovery events: injected drops,
+	// link outages and node stalls (from internal/fault), and the retry,
+	// timeout and degraded-mode recovery behaviour of the runtimes.
+	LayerFault Layer = "fault"
 )
+
+// FaultTrack is the per-node track fault-injection events land on when they
+// are not attributable to a specific simulated thread.
+const FaultTrack = "faults"
+
+// FaultKinds enumerates the legal first tokens of fault-layer event names;
+// ValidateChrome rejects fault events outside this vocabulary. Injection
+// kinds (drop, down, stall) come from the injector; recovery kinds (retry,
+// giveup, recv-timeout, credit-timeout, overcommit) from the runtimes.
+var FaultKinds = map[string]bool{
+	"drop":           true,
+	"down":           true,
+	"stall":          true,
+	"retry":          true,
+	"giveup":         true,
+	"recv-timeout":   true,
+	"credit-timeout": true,
+	"overcommit":     true,
+}
 
 // NodeKernel is the pseudo-node owning events that are not attributable to a
 // machine node (the simulation kernel's own bookkeeping).
@@ -134,6 +157,7 @@ type Collector struct {
 	links       map[LinkKey]*LinkTotals
 	waits       map[string]*WaitTotals
 	collectives map[string]int
+	faults      map[string]int
 	procStart   map[int]sim.Time
 	dispatched  uint64
 	elapsed     sim.Time
@@ -146,6 +170,7 @@ func New(label string) *Collector {
 		links:       map[LinkKey]*LinkTotals{},
 		waits:       map[string]*WaitTotals{},
 		collectives: map[string]int{},
+		faults:      map[string]int{},
 		procStart:   map[int]sim.Time{},
 	}
 }
@@ -191,6 +216,71 @@ func (c *Collector) Collective(node int, track, name string, start, end sim.Time
 	c.collectives[name]++
 	c.spans = append(c.spans, Span{Layer: LayerMPI, Node: node, Track: track, Name: name,
 		Start: start, End: end, Bytes: -1, Iter: -1, Depth: -1})
+}
+
+// faultKind extracts the event-kind vocabulary token (everything before the
+// first space) from a fault event name.
+func faultKind(name string) string {
+	if i := strings.IndexByte(name, ' '); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// FaultPoint records an instantaneous fault-injection event (a dropped
+// message, a refused attempt on a downed link) on the owning node's fault
+// track. The name's first token must come from FaultKinds; unlike the
+// verbose channel/resource instants, fault points are always recorded.
+func (c *Collector) FaultPoint(node int, name string, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.faults[faultKind(name)]++
+	c.instants = append(c.instants, Instant{Layer: LayerFault, Node: node,
+		Track: FaultTrack, Name: name, At: at})
+}
+
+// FaultSpan records a fault or recovery interval — a node stall window, a
+// retry-with-backoff episode, a timeout re-arm — on the given track (use
+// FaultTrack for node-level events, ProcTrack for thread-level recovery).
+// The name's first token must come from FaultKinds.
+func (c *Collector) FaultSpan(node int, name string, start, end sim.Time) {
+	c.FaultSpanOn(node, FaultTrack, name, start, end)
+}
+
+// FaultSpanOn is FaultSpan with an explicit track, so recovery spans can sit
+// on the affected thread's own timeline row.
+func (c *Collector) FaultSpanOn(node int, track, name string, start, end sim.Time) {
+	if c == nil {
+		return
+	}
+	c.faults[faultKind(name)]++
+	c.spans = append(c.spans, Span{Layer: LayerFault, Node: node, Track: track,
+		Name: name, Start: start, End: end, Bytes: -1, Iter: -1, Depth: -1})
+}
+
+// Faults returns per-kind injected/recovery event counts in kind order.
+func (c *Collector) Faults() []struct {
+	Kind  string
+	Count int
+} {
+	if c == nil {
+		return nil
+	}
+	kinds := make([]string, 0, len(c.faults))
+	for k := range c.faults {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]struct {
+		Kind  string
+		Count int
+	}, len(kinds))
+	for i, k := range kinds {
+		out[i].Kind = k
+		out[i].Count = c.faults[k]
+	}
+	return out
 }
 
 // LinkTransfer accumulates per-link traffic counters (called by the machine

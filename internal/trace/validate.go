@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // ChromeStats summarises a validated Chrome trace-event file.
 type ChromeStats struct {
 	Events int            // non-metadata events
 	Spans  int            // ph "X" events
+	Faults int            // events in the "fault" category
 	Cats   map[string]int // events per category (layer)
 }
 
@@ -38,7 +40,9 @@ type rawChromeEvent struct {
 // ValidateChrome checks that data is a well-formed Chrome trace-event JSON
 // object as emitted by WriteChrome: a traceEvents array whose entries carry
 // name/ph/pid/tid, a known phase, non-negative timestamps and durations, and
-// — per (pid, tid) track — monotonically non-decreasing timestamps. It
+// — per (pid, tid) track — monotonically non-decreasing timestamps. Events
+// in the "fault" category must additionally use the FaultKinds vocabulary as
+// the first token of their name (the fault/retry schema extension). It
 // returns per-category statistics on success. This is the schema gate CI
 // runs against sage-bench -trace output.
 func ValidateChrome(data []byte) (*ChromeStats, error) {
@@ -65,6 +69,15 @@ func ValidateChrome(data []byte) (*ChromeStats, error) {
 		if !known[ev.Ph] {
 			return nil, fmt.Errorf("trace: event %d (%s) has unknown phase %q", i, *ev.Name, ev.Ph)
 		}
+		if ev.Cat == string(LayerFault) {
+			kind := *ev.Name
+			if j := strings.IndexByte(kind, ' '); j > 0 {
+				kind = kind[:j]
+			}
+			if !FaultKinds[kind] {
+				return nil, fmt.Errorf("trace: event %d (%s) uses unknown fault kind %q", i, *ev.Name, kind)
+			}
+		}
 		if ev.Pid == nil || ev.Tid == nil {
 			return nil, fmt.Errorf("trace: event %d (%s) lacks pid/tid", i, *ev.Name)
 		}
@@ -86,6 +99,9 @@ func ValidateChrome(data []byte) (*ChromeStats, error) {
 		stats.Events++
 		if ev.Ph == "X" {
 			stats.Spans++
+		}
+		if ev.Cat == string(LayerFault) {
+			stats.Faults++
 		}
 		stats.Cats[ev.Cat]++
 	}
