@@ -24,6 +24,12 @@
 // Perfetto) covering every simulation run the experiment performs;
 // -trace-summary prints per-node utilisation, link traffic and wait
 // statistics derived from the same trace. Tracing never changes results.
+//
+// -benchjson BENCH_<n>.json runs the fixed performance matrix instead of an
+// experiment (see package repro/internal/bench) and writes the report;
+// -bench-quick shrinks the matrix for CI smoke runs. -benchcheck FILE
+// validates an existing report against the BENCH JSON schema and prints its
+// deterministic fingerprint.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/atot"
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/platforms"
@@ -47,12 +54,48 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every simulation run to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print a per-node/per-link trace summary (requires or implies tracing)")
 	faultsPath := flag.String("faults", "", "fault-plan file injected into every simulated run (validate with sage-faultcheck)")
+	benchJSON := flag.String("benchjson", "", "run the fixed benchmark matrix and write the BENCH JSON report to this file (ignores -experiment)")
+	benchQuick := flag.Bool("bench-quick", false, "with -benchjson: tiny matrix sizes for CI smoke runs")
+	benchCheck := flag.String("benchcheck", "", "validate an existing BENCH JSON report and print its deterministic fingerprint")
 	flag.Parse()
 
+	if *benchCheck != "" {
+		r, err := bench.ReadFile(*benchCheck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Fingerprint())
+		return
+	}
+	if *benchJSON != "" {
+		if err := runBench(*benchJSON, *benchQuick); err != nil {
+			fmt.Fprintln(os.Stderr, "sage-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *quick, *paper, *parallel, *tracePath, *traceSummary, *faultsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "sage-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench executes the fixed performance matrix and writes the report.
+// Progress goes to stderr; the JSON file is the product.
+func runBench(path string, quick bool) error {
+	r, err := bench.Run(bench.Matrix(quick), os.Stderr)
+	if err != nil {
+		return err
+	}
+	if err := bench.Validate(r); err != nil {
+		return fmt.Errorf("fresh report failed schema validation: %w", err)
+	}
+	if err := bench.WriteFile(path, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d cases written to %s\n", len(r.Cases), path)
+	return nil
 }
 
 func run(exp string, quick, paper bool, parallel int, tracePath string, traceSummary bool, faultsPath string) error {

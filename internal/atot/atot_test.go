@@ -285,3 +285,73 @@ func TestEvaluateRejectsIncompleteMapping(t *testing.T) {
 		t.Fatal("incomplete mapping accepted")
 	}
 }
+
+// TestFlowTimeMatchesReference pins the memoized three-category flow table
+// to the arithmetic reference transferTime for every flow and node pair, so
+// table-building bugs cannot silently change mapping costs.
+func TestFlowTimeMatchesReference(t *testing.T) {
+	e := evaluatorFor(t, 64, 4, 8)
+	for fi, fl := range e.flows {
+		for src := 0; src < e.NumNodes; src++ {
+			for dst := 0; dst < e.NumNodes; dst++ {
+				got := e.flowTime(fi, src, dst)
+				want := e.transferTime(fl, src, dst)
+				if got != want {
+					t.Fatalf("flow %d (%d->%d): flowTime %v != transferTime %v", fi, src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTaskNodeMatchesReference pins the per-(task, node) busy-time table to
+// nodeTime, including after a speed change rebuilds it.
+func TestTaskNodeMatchesReference(t *testing.T) {
+	e := evaluatorFor(t, 64, 4, 4)
+	check := func() {
+		t.Helper()
+		for i, tk := range e.tasks {
+			for n := 0; n < e.NumNodes; n++ {
+				got := e.taskNode[i][n]
+				want := e.nodeTime(e.taskTime[tk.fn.ID][tk.thread], n)
+				if got != want {
+					t.Fatalf("task %d node %d: taskNode %v != nodeTime %v", i, n, got, want)
+				}
+			}
+		}
+	}
+	check()
+	e.SetNodeSpeeds([]float64{1, 0.5, 2, 1})
+	check()
+}
+
+// TestGAParallelismInvariant verifies the batch-scored GA's core claim: the
+// search trajectory is identical at any pool width, because the rng is only
+// consumed while breeding, never while scoring.
+func TestGAParallelismInvariant(t *testing.T) {
+	base := GAConfig{Population: 24, Generations: 12, Seed: 7}
+	var ref *model.Mapping
+	var refStats *GAStats
+	for _, par := range []int{1, 4, 0} {
+		e := evaluatorFor(t, 64, 4, 4)
+		cfg := base
+		cfg.Parallelism = par
+		m, stats, err := MapGA(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refStats = m, stats
+			continue
+		}
+		if fmt.Sprint(m.Assign) != fmt.Sprint(ref.Assign) {
+			t.Fatalf("parallelism %d changed the winning mapping:\n%v\nvs\n%v", par, m.Assign, ref.Assign)
+		}
+		if stats.Evaluations != refStats.Evaluations {
+			t.Fatalf("parallelism %d: %d evaluations, want %d", par, stats.Evaluations, refStats.Evaluations)
+		}
+		if fmt.Sprint(stats.BestByGen) != fmt.Sprint(refStats.BestByGen) {
+			t.Fatalf("parallelism %d changed the trajectory", par)
+		}
+	}
+}

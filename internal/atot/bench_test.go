@@ -1,0 +1,51 @@
+package atot
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/platforms"
+)
+
+func benchEvaluator(b *testing.B, n, threads, nodes int) *Evaluator {
+	b.Helper()
+	app, err := apps.FFT2D(n, threads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEvaluator(app, platforms.CSPI(), nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkEvalGenome is the GA's inner loop: one fitness evaluation. The
+// memoized tables and pooled scratch make it allocation-free.
+func BenchmarkEvalGenome(b *testing.B) {
+	e := benchEvaluator(b, 256, 8, 8)
+	g := make(genome, len(e.tasks))
+	for i := range g {
+		g[i] = i % e.NumNodes
+	}
+	w := Weights{}.withDefaults()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.evalGenome(g, w)
+	}
+}
+
+// BenchmarkMapGA prices a short end-to-end search (breeding + batch-scored
+// fitness on the worker pool).
+func BenchmarkMapGA(b *testing.B) {
+	e := benchEvaluator(b, 128, 8, 8)
+	cfg := GAConfig{Population: 32, Generations: 20, Seed: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MapGA(e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package atot
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/funclib"
 	"repro/internal/machine"
@@ -54,6 +55,28 @@ type Evaluator struct {
 	// speeds are per-node CPU multipliers (heterogeneous targets); nil
 	// means homogeneous.
 	speeds []float64
+
+	// Memoized hot-path tables, built once (GA fitness calls evalGenome tens
+	// of thousands of times; nothing below may allocate or hash per call):
+	taskIdx  map[[2]int]int     // (fnID, thread) -> dense task index
+	fnSlot   map[int]int        // fnID -> dense function index
+	taskBase []int              // [fnSlot] first task index of the function
+	taskNode [][]sim.Duration   // [task][node] speed-scaled busy time
+	flowSrc  []int              // [flow] source task index
+	flowDst  []int              // [flow] destination task index
+	flowCost [][3]sim.Duration  // [flow] {same-node copy, intra-board, inter-board}
+	incoming [][]int            // [fnSlot] indices of flows into the function
+	board    []int              // [node] board id
+	scratch  sync.Pool          // *evalScratch, shared by parallel fitness workers
+}
+
+// evalScratch holds one fitness evaluation's working arrays; pooled so
+// concurrent GA workers neither allocate per genome nor share state.
+type evalScratch struct {
+	nodeBusy []sim.Duration
+	nodeFree []sim.Duration
+	ready    [][]sim.Duration // [fnSlot][thread]
+	done     [][]sim.Duration
 }
 
 // SetNodeSpeeds installs per-node CPU speed multipliers matching the ones
@@ -61,6 +84,7 @@ type Evaluator struct {
 // mapper optimises for the actual heterogeneous hardware.
 func (e *Evaluator) SetNodeSpeeds(speeds []float64) {
 	e.speeds = speeds
+	e.buildTaskNode()
 }
 
 // nodeTime scales a baseline task time by the target node's speed.
@@ -103,7 +127,94 @@ func NewEvaluator(app *model.App, pl machine.Platform, numNodes int) (*Evaluator
 	if err := e.buildFlows(); err != nil {
 		return nil, err
 	}
+	e.buildTables()
 	return e, nil
+}
+
+// buildTables precomputes every mapping-independent lookup the hot
+// evaluation path needs, replacing per-call map construction and pricing
+// arithmetic with indexed loads.
+func (e *Evaluator) buildTables() {
+	e.taskIdx = make(map[[2]int]int, len(e.tasks))
+	for i, t := range e.tasks {
+		e.taskIdx[[2]int{t.fn.ID, t.thread}] = i
+	}
+	e.fnSlot = make(map[int]int, len(e.App.Functions))
+	e.taskBase = make([]int, len(e.App.Functions))
+	base := 0
+	for si, f := range e.App.Functions {
+		e.fnSlot[f.ID] = si
+		e.taskBase[si] = base
+		base += f.Threads
+	}
+	e.board = make([]int, e.NumNodes)
+	for n := 0; n < e.NumNodes; n++ {
+		e.board[n] = e.Platform.Board(n)
+	}
+	e.flowSrc = make([]int, len(e.flows))
+	e.flowDst = make([]int, len(e.flows))
+	e.flowCost = make([][3]sim.Duration, len(e.flows))
+	e.incoming = make([][]int, len(e.App.Functions))
+	pl := &e.Platform
+	for fi, fl := range e.flows {
+		e.flowSrc[fi] = e.taskIdx[[2]int{fl.srcFn, fl.srcThread}]
+		e.flowDst[fi] = e.taskIdx[[2]int{fl.dstFn, fl.dstThread}]
+		intraSer := sim.Duration(float64(fl.bytes) / pl.IntraBW * 1e9)
+		interSer := sim.Duration(float64(fl.bytes) / pl.InterBW * 1e9)
+		e.flowCost[fi] = [3]sim.Duration{
+			pl.CopyTime(fl.bytes),
+			pl.SendOverhead + pl.RecvOverhead + pl.IntraLatency + intraSer,
+			pl.SendOverhead + pl.RecvOverhead + pl.InterLatency + interSer,
+		}
+		slot := e.fnSlot[fl.dstFn]
+		e.incoming[slot] = append(e.incoming[slot], fi)
+	}
+	e.buildTaskNode()
+	e.scratch.New = func() any { return e.newScratch() }
+}
+
+// buildTaskNode (re)computes the per-(task, node) busy-time table; rerun
+// when the node speeds change.
+func (e *Evaluator) buildTaskNode() {
+	if e.taskIdx == nil {
+		return // NewEvaluator still assembling; buildTables will call back
+	}
+	e.taskNode = make([][]sim.Duration, len(e.tasks))
+	for i, t := range e.tasks {
+		row := make([]sim.Duration, e.NumNodes)
+		base := e.taskTime[t.fn.ID][t.thread]
+		for n := 0; n < e.NumNodes; n++ {
+			row[n] = e.nodeTime(base, n)
+		}
+		e.taskNode[i] = row
+	}
+}
+
+func (e *Evaluator) newScratch() *evalScratch {
+	s := &evalScratch{
+		nodeBusy: make([]sim.Duration, e.NumNodes),
+		nodeFree: make([]sim.Duration, e.NumNodes),
+		ready:    make([][]sim.Duration, len(e.App.Functions)),
+		done:     make([][]sim.Duration, len(e.App.Functions)),
+	}
+	for si, f := range e.App.Functions {
+		s.ready[si] = make([]sim.Duration, f.Threads)
+		s.done[si] = make([]sim.Duration, f.Threads)
+	}
+	return s
+}
+
+// flowTime prices flow fi between two nodes from the precomputed
+// three-category table (same node / same board / cross-board).
+func (e *Evaluator) flowTime(fi, srcNode, dstNode int) sim.Duration {
+	switch {
+	case srcNode == dstNode:
+		return e.flowCost[fi][0]
+	case e.board[srcNode] == e.board[dstNode]:
+		return e.flowCost[fi][1]
+	default:
+		return e.flowCost[fi][2]
+	}
 }
 
 // threadTime estimates one thread's per-iteration compute time from the
@@ -266,30 +377,32 @@ func (e *Evaluator) Evaluate(m *model.Mapping, w Weights) (Cost, error) {
 	return e.evalGenome(g, w.withDefaults()), nil
 }
 
-// nodeOf looks up a task's node in a genome.
-func (e *Evaluator) nodeIndex() map[[2]int]int {
-	idx := map[[2]int]int{}
-	for i, t := range e.tasks {
-		idx[[2]int{t.fn.ID, t.thread}] = i
-	}
-	return idx
+// evalGenome prices one genome. It is pure with respect to the Evaluator
+// (scratch state comes from a pool), so fitness evaluations may run
+// concurrently — the GA's worker pool relies on this.
+func (e *Evaluator) evalGenome(g genome, w Weights) Cost {
+	s := e.scratch.Get().(*evalScratch)
+	c := e.evalGenomeInto(g, w, s)
+	e.scratch.Put(s)
+	return c
 }
 
-func (e *Evaluator) evalGenome(g genome, w Weights) Cost {
-	idx := e.nodeIndex()
-	nodeBusy := make([]sim.Duration, e.NumNodes)
-	for i, t := range e.tasks {
-		nodeBusy[g[i]] += e.nodeTime(e.taskTime[t.fn.ID][t.thread], g[i])
+func (e *Evaluator) evalGenomeInto(g genome, w Weights, s *evalScratch) Cost {
+	nodeBusy := s.nodeBusy
+	for i := range nodeBusy {
+		nodeBusy[i] = 0
+	}
+	for i := range e.tasks {
+		nodeBusy[g[i]] += e.taskNode[i][g[i]]
 	}
 	var comm sim.Duration
-	for _, f := range e.flows {
-		src := g[idx[[2]int{f.srcFn, f.srcThread}]]
-		dst := g[idx[[2]int{f.dstFn, f.dstThread}]]
-		t := e.transferTime(f, src, dst)
-		comm += t
+	so, ro := e.Platform.SendOverhead, e.Platform.RecvOverhead
+	for fi := range e.flows {
+		src, dst := g[e.flowSrc[fi]], g[e.flowDst[fi]]
+		comm += e.flowTime(fi, src, dst)
 		// Communication also occupies the endpoints.
-		nodeBusy[src] += e.Platform.SendOverhead
-		nodeBusy[dst] += e.Platform.RecvOverhead
+		nodeBusy[src] += so
+		nodeBusy[dst] += ro
 	}
 	var maxBusy sim.Duration
 	for _, b := range nodeBusy {
@@ -297,7 +410,7 @@ func (e *Evaluator) evalGenome(g genome, w Weights) Cost {
 			maxBusy = b
 		}
 	}
-	cp := e.criticalPath(g, idx)
+	cp := e.criticalPath(g, s)
 	c := Cost{MaxNodeBusy: maxBusy, Comm: comm, CriticalPath: cp}
 	c.Total = w.Load*float64(maxBusy) + w.Comm*float64(comm) + w.Latency*float64(cp)
 	if w.LatencyBound > 0 && cp > w.LatencyBound {
@@ -309,40 +422,44 @@ func (e *Evaluator) evalGenome(g genome, w Weights) Cost {
 // criticalPath list-schedules one iteration: each thread starts when its
 // inputs have arrived AND its processor is free (threads sharing a node
 // serialise), and transfers start when the producing thread finishes.
-func (e *Evaluator) criticalPath(g genome, idx map[[2]int]int) sim.Duration {
-	// ready[fnID][thread] = earliest start; done[fnID][thread] = finish.
-	done := map[int][]sim.Duration{}
-	ready := map[int][]sim.Duration{}
-	for _, f := range e.App.Functions {
-		ready[f.ID] = make([]sim.Duration, f.Threads)
-		done[f.ID] = make([]sim.Duration, f.Threads)
+func (e *Evaluator) criticalPath(g genome, s *evalScratch) sim.Duration {
+	// ready[fnSlot][thread] = earliest start; done[fnSlot][thread] = finish.
+	for si := range s.ready {
+		r, d := s.ready[si], s.done[si]
+		for i := range r {
+			r[i], d[i] = 0, 0
+		}
 	}
-	// Group incoming flows by destination.
-	incoming := map[int][]flow{}
-	for _, fl := range e.flows {
-		incoming[fl.dstFn] = append(incoming[fl.dstFn], fl)
+	nodeFree := s.nodeFree
+	for i := range nodeFree {
+		nodeFree[i] = 0
 	}
-	nodeFree := make([]sim.Duration, e.NumNodes)
 	var finish sim.Duration
 	for _, f := range e.order {
-		for _, fl := range incoming[f.ID] {
-			src := g[idx[[2]int{fl.srcFn, fl.srcThread}]]
-			dst := g[idx[[2]int{fl.dstFn, fl.dstThread}]]
-			arrive := done[fl.srcFn][fl.srcThread] + e.transferTime(fl, src, dst)
-			if arrive > ready[f.ID][fl.dstThread] {
-				ready[f.ID][fl.dstThread] = arrive
+		slot := e.fnSlot[f.ID]
+		ready := s.ready[slot]
+		for _, fi := range e.incoming[slot] {
+			fl := &e.flows[fi]
+			src, dst := g[e.flowSrc[fi]], g[e.flowDst[fi]]
+			arrive := s.done[e.fnSlot[fl.srcFn]][fl.srcThread] + e.flowTime(fi, src, dst)
+			if arrive > ready[fl.dstThread] {
+				ready[fl.dstThread] = arrive
 			}
 		}
+		base := e.taskBase[slot]
+		doneRow := s.done[slot]
 		for th := 0; th < f.Threads; th++ {
-			node := g[idx[[2]int{f.ID, th}]]
-			start := ready[f.ID][th]
+			ti := base + th
+			node := g[ti]
+			start := ready[th]
 			if nodeFree[node] > start {
 				start = nodeFree[node]
 			}
-			done[f.ID][th] = start + e.nodeTime(e.taskTime[f.ID][th], node)
-			nodeFree[node] = done[f.ID][th]
-			if done[f.ID][th] > finish {
-				finish = done[f.ID][th]
+			end := start + e.taskNode[ti][node]
+			doneRow[th] = end
+			nodeFree[node] = end
+			if end > finish {
+				finish = end
 			}
 		}
 	}
@@ -366,39 +483,45 @@ func (e *Evaluator) EstimateSchedule(m *model.Mapping) ([]ScheduledTask, error) 
 	if err != nil {
 		return nil, err
 	}
-	idx := e.nodeIndex()
-	done := map[int][]sim.Duration{}
-	ready := map[int][]sim.Duration{}
-	for _, f := range e.App.Functions {
-		ready[f.ID] = make([]sim.Duration, f.Threads)
-		done[f.ID] = make([]sim.Duration, f.Threads)
+	s := e.scratch.Get().(*evalScratch)
+	defer e.scratch.Put(s)
+	for si := range s.ready {
+		r, d := s.ready[si], s.done[si]
+		for i := range r {
+			r[i], d[i] = 0, 0
+		}
 	}
-	incoming := map[int][]flow{}
-	for _, fl := range e.flows {
-		incoming[fl.dstFn] = append(incoming[fl.dstFn], fl)
+	nodeFree := s.nodeFree
+	for i := range nodeFree {
+		nodeFree[i] = 0
 	}
-	nodeFree := make([]sim.Duration, e.NumNodes)
 	var out []ScheduledTask
 	for _, f := range e.order {
-		for _, fl := range incoming[f.ID] {
-			src := g[idx[[2]int{fl.srcFn, fl.srcThread}]]
-			dst := g[idx[[2]int{fl.dstFn, fl.dstThread}]]
-			arrive := done[fl.srcFn][fl.srcThread] + e.transferTime(fl, src, dst)
-			if arrive > ready[f.ID][fl.dstThread] {
-				ready[f.ID][fl.dstThread] = arrive
+		slot := e.fnSlot[f.ID]
+		ready := s.ready[slot]
+		for _, fi := range e.incoming[slot] {
+			fl := &e.flows[fi]
+			src, dst := g[e.flowSrc[fi]], g[e.flowDst[fi]]
+			arrive := s.done[e.fnSlot[fl.srcFn]][fl.srcThread] + e.flowTime(fi, src, dst)
+			if arrive > ready[fl.dstThread] {
+				ready[fl.dstThread] = arrive
 			}
 		}
+		base := e.taskBase[slot]
+		doneRow := s.done[slot]
 		for th := 0; th < f.Threads; th++ {
-			node := g[idx[[2]int{f.ID, th}]]
-			start := ready[f.ID][th]
+			ti := base + th
+			node := g[ti]
+			start := ready[th]
 			if nodeFree[node] > start {
 				start = nodeFree[node]
 			}
-			done[f.ID][th] = start + e.nodeTime(e.taskTime[f.ID][th], node)
-			nodeFree[node] = done[f.ID][th]
+			end := start + e.taskNode[ti][node]
+			doneRow[th] = end
+			nodeFree[node] = end
 			out = append(out, ScheduledTask{
 				Fn: f.Name, Thread: th, Node: node,
-				Start: start, End: done[f.ID][th],
+				Start: start, End: end,
 			})
 		}
 	}

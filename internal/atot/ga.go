@@ -17,6 +17,12 @@ type GAConfig struct {
 	Elite       int     // default 2
 	Tournament  int     // default 3
 	Seed        int64   // default 1
+	// Parallelism bounds the worker pool that batch-scores each generation's
+	// offspring (0 = GOMAXPROCS, 1 = sequential). Any setting yields the
+	// identical search trajectory: random numbers are consumed only while
+	// breeding genomes, never while scoring them, so the rng stream — and
+	// therefore every generation's population — is unchanged by pooling.
+	Parallelism int
 	Weights     Weights
 }
 
@@ -81,33 +87,36 @@ func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
 		cost Cost
 	}
 	stats := &GAStats{Generations: c.Generations}
-	score := func(g genome) Cost {
-		stats.Evaluations++
-		return e.evalGenome(g, c.Weights)
+	// scoreAll prices a batch of genomes on the worker pool. evalGenome is
+	// pure (pooled scratch, memoized tables, no rng), so scoring in parallel
+	// is safe and preserves the exact sequential trajectory.
+	scoreAll := func(batch []scored) {
+		stats.Evaluations += len(batch)
+		runPool(len(batch), c.Parallelism, func(i int) {
+			batch[i].cost = e.evalGenome(batch[i].g, c.Weights)
+		})
 	}
 
 	pop := make([]scored, c.Population)
 	// Seed the population with the two deterministic baselines plus random
 	// genomes, so the GA never does worse than the heuristics.
 	if g, err := e.genomeFromMapping(model.RoundRobin(e.App, e.NumNodes)); err == nil {
-		pop[0] = scored{g: g, cost: score(g)}
+		pop[0] = scored{g: g}
 	} else {
-		g := newGenome()
-		pop[0] = scored{g: g, cost: score(g)}
+		pop[0] = scored{g: newGenome()}
 	}
 	if m, err := model.SpreadParallel(e.App, e.NumNodes); err == nil {
 		if g, err := e.genomeFromMapping(m); err == nil {
-			pop[1] = scored{g: g, cost: score(g)}
+			pop[1] = scored{g: g}
 		}
 	}
 	if pop[1].g == nil {
-		g := newGenome()
-		pop[1] = scored{g: g, cost: score(g)}
+		pop[1] = scored{g: newGenome()}
 	}
 	for i := 2; i < c.Population; i++ {
-		g := newGenome()
-		pop[i] = scored{g: g, cost: score(g)}
+		pop[i] = scored{g: newGenome()}
 	}
+	scoreAll(pop)
 
 	best := func() scored {
 		b := pop[0]
@@ -143,6 +152,11 @@ func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
 			elitePool[i], elitePool[bi] = elitePool[bi], elitePool[i]
 			next = append(next, elitePool[i])
 		}
+		// Breed all offspring first (rng-consuming, sequential), then score
+		// the batch on the pool. Tournament selection reads only the previous
+		// generation's costs, so deferring the children's scores changes
+		// nothing.
+		elites := len(next)
 		for len(next) < c.Population {
 			a := tournament()
 			b := tournament()
@@ -161,8 +175,9 @@ func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
 					child[i] = rng.Intn(e.NumNodes)
 				}
 			}
-			next = append(next, scored{g: child, cost: score(child)})
+			next = append(next, scored{g: child})
 		}
+		scoreAll(next[elites:])
 		pop = next
 		stats.BestByGen = append(stats.BestByGen, best().cost.Total)
 	}
@@ -176,29 +191,26 @@ func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
 // in topological order onto the node minimising (load + inbound transfer
 // cost), a classic HEFT-style heuristic.
 func MapGreedy(e *Evaluator) (*model.Mapping, error) {
-	idx := e.nodeIndex()
 	g := make(genome, len(e.tasks))
 	for i := range g {
 		g[i] = -1
 	}
 	nodeBusy := make([]sim.Duration, e.NumNodes)
-	incoming := map[int][]flow{}
-	for _, fl := range e.flows {
-		incoming[fl.dstFn] = append(incoming[fl.dstFn], fl)
-	}
 	for _, f := range e.order {
+		slot := e.fnSlot[f.ID]
+		base := e.taskBase[slot]
 		for th := 0; th < f.Threads; th++ {
-			ti := idx[[2]int{f.ID, th}]
+			ti := base + th
 			bestNode, bestCost := 0, sim.Duration(1<<62)
 			for n := 0; n < e.NumNodes; n++ {
-				cost := nodeBusy[n] + e.nodeTime(e.taskTime[f.ID][th], n)
-				for _, fl := range incoming[f.ID] {
-					if fl.dstThread != th {
+				cost := nodeBusy[n] + e.taskNode[ti][n]
+				for _, fi := range e.incoming[slot] {
+					if e.flows[fi].dstThread != th {
 						continue
 					}
-					src := g[idx[[2]int{fl.srcFn, fl.srcThread}]]
+					src := g[e.flowSrc[fi]]
 					if src >= 0 {
-						cost += e.transferTime(fl, src, n)
+						cost += e.flowTime(fi, src, n)
 					}
 				}
 				if cost < bestCost {
@@ -206,7 +218,7 @@ func MapGreedy(e *Evaluator) (*model.Mapping, error) {
 				}
 			}
 			g[ti] = bestNode
-			nodeBusy[bestNode] += e.nodeTime(e.taskTime[f.ID][th], bestNode)
+			nodeBusy[bestNode] += e.taskNode[ti][bestNode]
 		}
 	}
 	return e.mappingFromGenome(g), nil

@@ -1,0 +1,46 @@
+package atot
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runPool executes n independent jobs on a bounded worker pool. It is the
+// experiment engine's pooling pattern, duplicated here because atot cannot
+// import internal/experiments (that package imports atot).
+//
+// Each job writes only its own output slot, so pooled execution produces
+// byte-identical results to sequential execution: parallelism changes
+// wall-clock time, never a computed number. parallelism <= 0 selects
+// runtime.GOMAXPROCS(0) workers; 1 runs the jobs inline on the calling
+// goroutine (the sequential reference).
+func runPool(n, parallelism int, job func(i int)) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

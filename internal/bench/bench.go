@@ -1,0 +1,335 @@
+// Package bench is the repo's reproducible performance harness. It runs a
+// fixed matrix of end-to-end simulations (FFT sizes and a corner turn,
+// traced and untraced, faulted and clean) plus a kernel-scheduling
+// microbenchmark, and reports both host-dependent measurements (wall time,
+// events/sec, allocations) and deterministic outputs (virtual elapsed time,
+// kernel dispatches) that must be identical on every machine and every run.
+//
+// `sage-bench -benchjson BENCH_<n>.json` emits the report; committed
+// BENCH_*.json files seed the repo's performance trajectory, so later PRs
+// can demonstrate speedups against a recorded baseline. The deterministic
+// fields double as a regression gate: if two runs (or two hosts, or two
+// commits that claim pure optimisation) disagree on virtual_ns or
+// dispatches, simulated behaviour changed.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/platforms"
+	"repro/internal/sagert"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Schema identifies the report format; bump when fields change meaning.
+const Schema = "sage-bench/1"
+
+// faultPlanText is the canonical fault plan for faulted matrix cases:
+// a light uniform drop rate plus one node stall, which together exercise
+// retry, timeout and degraded-mode re-sequencing paths.
+const faultPlanText = `seed 9
+drop link=* rate=0.1
+stall node=1 at=200us for=500us
+`
+
+// Case is one cell of the benchmark matrix.
+type Case struct {
+	Name       string
+	App        experiments.AppKind // empty for micro cases
+	N          int                 // matrix size (side length)
+	Nodes      int
+	Iterations int
+	Traced     bool
+	Faulted    bool
+	// Events selects the kernel-scheduling microbenchmark (App empty):
+	// a chain of that many self-rescheduled timer events.
+	Events int
+}
+
+// CaseResult is one executed cell. Fields under "deterministic" depend only
+// on the simulated behaviour; the rest measure the host.
+type CaseResult struct {
+	Name       string `json:"name"`
+	App        string `json:"app,omitempty"`
+	N          int    `json:"n,omitempty"`
+	Nodes      int    `json:"nodes,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Traced     bool   `json:"traced"`
+	Faulted    bool   `json:"faulted"`
+
+	// Deterministic: identical across hosts, runs and pool widths.
+	VirtualNS  int64  `json:"virtual_ns"`
+	Dispatches uint64 `json:"dispatches"`
+
+	// Host-dependent measurements.
+	WallNS         int64   `json:"wall_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// Report is the full harness output.
+type Report struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Cases      []CaseResult `json:"cases"`
+}
+
+// Matrix returns the fixed protocol matrix. The full matrix is the
+// committed-baseline protocol (FFT 256/512/1024 + corner turn, each traced
+// and untraced, faulted and clean, on 8 nodes); quick shrinks sizes for CI
+// smoke runs without changing the matrix shape.
+func Matrix(quick bool) []Case {
+	type appCell struct {
+		app experiments.AppKind
+		n   int
+	}
+	apps := []appCell{
+		{experiments.AppFFT2D, 256},
+		{experiments.AppFFT2D, 512},
+		{experiments.AppFFT2D, 1024},
+		{experiments.AppCornerTurn, 512},
+	}
+	nodes, iters, events := 8, 5, 2_000_000
+	if quick {
+		apps = []appCell{
+			{experiments.AppFFT2D, 64},
+			{experiments.AppFFT2D, 128},
+			{experiments.AppCornerTurn, 64},
+		}
+		nodes, iters, events = 4, 3, 200_000
+	}
+	var cases []Case
+	for _, a := range apps {
+		short := "fft"
+		if a.app == experiments.AppCornerTurn {
+			short = "ct"
+		}
+		for _, faulted := range []bool{false, true} {
+			for _, traced := range []bool{false, true} {
+				name := fmt.Sprintf("%s%d", short, a.n)
+				if faulted {
+					name += ".faulted"
+				} else {
+					name += ".clean"
+				}
+				if traced {
+					name += ".traced"
+				}
+				cases = append(cases, Case{
+					Name: name, App: a.app, N: a.n, Nodes: nodes,
+					Iterations: iters, Traced: traced, Faulted: faulted,
+				})
+			}
+		}
+	}
+	cases = append(cases, Case{Name: "kernel.schedule", Events: events})
+	return cases
+}
+
+// Run executes the cases in order and assembles the report. Progress lines
+// go to log (nil silences them). Cases run sequentially so wall-time and
+// allocation measurements are not polluted by sibling cases.
+func Run(cases []Case, log io.Writer) (*Report, error) {
+	r := &Report{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range cases {
+		var (
+			res CaseResult
+			err error
+		)
+		if c.App == "" {
+			res, err = runMicro(c)
+		} else {
+			res, err = runSim(c)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: case %s: %w", c.Name, err)
+		}
+		if log != nil {
+			fmt.Fprintf(log, "bench %-22s %10.0f events/sec  %6.2f allocs/event  wall %v\n",
+				res.Name, res.EventsPerSec, res.AllocsPerEvent, time.Duration(res.WallNS).Round(time.Millisecond))
+		}
+		r.Cases = append(r.Cases, res)
+	}
+	return r, nil
+}
+
+// measure wraps fn with wall-clock and allocation accounting. GC runs first
+// so a prior case's garbage is not attributed to this one.
+func measure(fn func() error) (wallNS int64, allocs, bytes uint64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err = fn()
+	wallNS = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return wallNS, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+}
+
+func finish(res *CaseResult, wallNS int64, allocs, bytes, dispatches uint64, virtual sim.Time) {
+	res.VirtualNS = int64(virtual)
+	res.Dispatches = dispatches
+	res.WallNS = wallNS
+	if wallNS > 0 {
+		res.EventsPerSec = float64(dispatches) / (float64(wallNS) / 1e9)
+	}
+	if dispatches > 0 {
+		res.AllocsPerEvent = float64(allocs) / float64(dispatches)
+		res.BytesPerEvent = float64(bytes) / float64(dispatches)
+	}
+	res.Allocs = allocs
+}
+
+func runSim(c Case) (CaseResult, error) {
+	res := CaseResult{
+		Name: c.Name, App: string(c.App), N: c.N, Nodes: c.Nodes,
+		Iterations: c.Iterations, Traced: c.Traced, Faulted: c.Faulted,
+	}
+	pl := platforms.CSPI()
+	out, err := experiments.GenerateTables(c.App, pl, c.Nodes, c.N)
+	if err != nil {
+		return res, err
+	}
+	opts := sagert.Options{Iterations: c.Iterations}
+	if c.Faulted {
+		plan, err := fault.ParsePlan(faultPlanText)
+		if err != nil {
+			return res, err
+		}
+		opts.Faults = plan
+		opts.Resilience.Degraded = plan.HasStalls()
+	}
+	if c.Traced {
+		opts.Collector = trace.New(c.Name)
+		opts.ProbeAll = true
+	}
+	var run *sagert.Result
+	wallNS, allocs, bytes, err := measure(func() error {
+		r, err := sagert.Run(out.Tables, pl, opts)
+		run = r
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	finish(&res, wallNS, allocs, bytes, run.Dispatches, run.Elapsed)
+	return res, nil
+}
+
+// runMicro is the kernel-scheduling microbenchmark: a chain of Events
+// self-rescheduled timer callbacks, the same loop as the package's
+// BenchmarkKernelSchedule. It is the acceptance number for scheduling-path
+// optimisations (events/sec up, allocs/event down).
+func runMicro(c Case) (CaseResult, error) {
+	res := CaseResult{Name: c.Name, Iterations: c.Events}
+	var k *sim.Kernel
+	wallNS, allocs, bytes, err := measure(func() error {
+		k = sim.NewKernel()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < c.Events {
+				k.After(time.Microsecond, tick)
+			}
+		}
+		k.After(time.Microsecond, tick)
+		return k.Run()
+	})
+	if err != nil {
+		return res, err
+	}
+	finish(&res, wallNS, allocs, bytes, k.Dispatched(), k.Now())
+	return res, nil
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func WriteFile(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := Validate(&r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Validate checks a report against the BENCH JSON schema: identity fields
+// present, measurements internally consistent, no duplicate case names.
+func Validate(r *Report) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("missing go_version")
+	}
+	if r.GOMAXPROCS < 1 {
+		return fmt.Errorf("gomaxprocs %d", r.GOMAXPROCS)
+	}
+	if len(r.Cases) == 0 {
+		return fmt.Errorf("no cases")
+	}
+	seen := map[string]bool{}
+	for i, c := range r.Cases {
+		if c.Name == "" {
+			return fmt.Errorf("case %d: missing name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("case %q: duplicate name", c.Name)
+		}
+		seen[c.Name] = true
+		if c.App != "" && (c.N <= 0 || c.Nodes <= 0 || c.Iterations <= 0) {
+			return fmt.Errorf("case %q: incomplete sim identity (n=%d nodes=%d iterations=%d)", c.Name, c.N, c.Nodes, c.Iterations)
+		}
+		if c.VirtualNS <= 0 || c.Dispatches == 0 {
+			return fmt.Errorf("case %q: missing deterministic outputs (virtual_ns=%d dispatches=%d)", c.Name, c.VirtualNS, c.Dispatches)
+		}
+		if c.WallNS <= 0 || c.EventsPerSec <= 0 {
+			return fmt.Errorf("case %q: missing measurements (wall_ns=%d events_per_sec=%g)", c.Name, c.WallNS, c.EventsPerSec)
+		}
+		if c.AllocsPerEvent < 0 || c.BytesPerEvent < 0 {
+			return fmt.Errorf("case %q: negative allocation rate", c.Name)
+		}
+	}
+	return nil
+}
+
+// Fingerprint projects the deterministic fields into a newline-separated
+// canonical form. Two runs of the same matrix on any hosts must produce
+// identical fingerprints; CI diffs this as the determinism gate.
+func (r *Report) Fingerprint() string {
+	var out []byte
+	for _, c := range r.Cases {
+		out = fmt.Appendf(out, "%s virtual_ns=%d dispatches=%d\n", c.Name, c.VirtualNS, c.Dispatches)
+	}
+	return string(out)
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// tinyCases is a fast sub-matrix covering every case shape: clean, faulted,
+// traced, and the micro case.
+func tinyCases() []Case {
+	return []Case{
+		{Name: "fft64.clean", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2},
+		{Name: "fft64.faulted", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Faulted: true},
+		{Name: "ct64.clean.traced", App: experiments.AppCornerTurn, N: 64, Nodes: 4, Iterations: 2, Traced: true},
+		{Name: "kernel.schedule", Events: 10_000},
+	}
+}
+
+func TestRunValidatesAndFingerprints(t *testing.T) {
+	r, err := Run(tinyCases(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(r); err != nil {
+		t.Fatalf("fresh report fails its own schema: %v", err)
+	}
+	fp := r.Fingerprint()
+	if strings.Count(fp, "\n") != len(r.Cases) {
+		t.Fatalf("fingerprint has wrong line count:\n%s", fp)
+	}
+	for _, c := range r.Cases {
+		if !strings.Contains(fp, c.Name+" ") {
+			t.Fatalf("fingerprint missing case %q", c.Name)
+		}
+	}
+}
+
+// TestDeterministicFields is the determinism gate: two fresh runs of the
+// same cases must agree exactly on every virtual-time output. (Wall times
+// and allocation counts are host noise and excluded by Fingerprint.)
+func TestDeterministicFields(t *testing.T) {
+	a, err := Run(tinyCases(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyCases(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("deterministic fields changed between runs:\n--- first\n%s--- second\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	for _, quick := range []bool{false, true} {
+		cases := Matrix(quick)
+		var traced, faulted, micro int
+		seen := map[string]bool{}
+		for _, c := range cases {
+			if seen[c.Name] {
+				t.Fatalf("duplicate case name %q", c.Name)
+			}
+			seen[c.Name] = true
+			if c.Traced {
+				traced++
+			}
+			if c.Faulted {
+				faulted++
+			}
+			if c.App == "" {
+				micro++
+				if c.Events <= 0 {
+					t.Fatalf("micro case %q has no event count", c.Name)
+				}
+			}
+		}
+		if micro != 1 {
+			t.Fatalf("quick=%v: %d micro cases, want 1", quick, micro)
+		}
+		sims := len(cases) - micro
+		if traced != sims/2 || faulted != sims/2 {
+			t.Fatalf("quick=%v: matrix unbalanced: %d sims, %d traced, %d faulted", quick, sims, traced, faulted)
+		}
+	}
+}
+
+func TestValidateRejectsBadReports(t *testing.T) {
+	good, err := Run([]Case{{Name: "kernel.schedule", Events: 1000}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := []struct {
+		name string
+		fn   func(r *Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "sage-bench/0" }},
+		{"no cases", func(r *Report) { r.Cases = nil }},
+		{"missing name", func(r *Report) { r.Cases[0].Name = "" }},
+		{"duplicate name", func(r *Report) { r.Cases = append(r.Cases, r.Cases[0]) }},
+		{"zero dispatches", func(r *Report) { r.Cases[0].Dispatches = 0 }},
+		{"zero wall", func(r *Report) { r.Cases[0].WallNS = 0 }},
+	}
+	for _, m := range mutate {
+		r := *good
+		r.Cases = append([]CaseResult(nil), good.Cases...)
+		m.fn(&r)
+		if err := Validate(&r); err == nil {
+			t.Errorf("%s: validation passed", m.name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r, err := Run([]Case{{Name: "kernel.schedule", Events: 1000}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := WriteFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != r.Fingerprint() {
+		t.Fatal("round trip changed deterministic fields")
+	}
+}

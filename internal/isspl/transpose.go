@@ -83,9 +83,17 @@ func ScatterTileTransposed(dst, tile []complex128, dstCols, row0, col0, h, w int
 	if len(tile) < h*w {
 		panic("isspl: ScatterTileTransposed tile too small")
 	}
-	for i := 0; i < h; i++ {
-		for j := 0; j < w; j++ {
-			dst[(row0+j)*dstCols+(col0+i)] = tile[i*w+j]
+	// Cache-blocked like Transpose: without blocking, each inner step writes
+	// a full dst row apart, so large tiles evict every line before reuse.
+	for bi := 0; bi < h; bi += transposeBlock {
+		for bj := 0; bj < w; bj += transposeBlock {
+			iMax := min(bi+transposeBlock, h)
+			jMax := min(bj+transposeBlock, w)
+			for i := bi; i < iMax; i++ {
+				for j := bj; j < jMax; j++ {
+					dst[(row0+j)*dstCols+(col0+i)] = tile[i*w+j]
+				}
+			}
 		}
 	}
 }

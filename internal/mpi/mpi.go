@@ -72,11 +72,16 @@ type message struct {
 
 // waiter is a blocked receiver: a match key plus a private one-shot channel
 // the matching message is handed over on. matched marks hand-over, so a
-// pending receive timeout knows it lost the race.
+// pending receive timeout knows it lost the race. Waiters (and their
+// channels) are recycled through the endpoint's free list; gen counts
+// recycles so a timeout timer armed for an earlier wait recognises that its
+// waiter has moved on.
 type waiter struct {
 	src, tag int
 	ch       *sim.Chan[message]
 	matched  bool
+	gen      uint64
+	next     *waiter
 }
 
 // endpoint is the per-rank receive engine: an unordered pending set matched
@@ -86,6 +91,38 @@ type endpoint struct {
 	rank    int
 	pending []message
 	waiters []*waiter
+	free    *waiter
+}
+
+// getWaiter takes a waiter off the free list (or allocates one) keyed for
+// (src, tag). The channel name is part of the observable trace/deadlock
+// output, so a recycled waiter is renamed unless the key is unchanged — the
+// common case for credit waits, which poll the same peer and tag every
+// iteration.
+func (e *endpoint) getWaiter(src, tag int) *waiter {
+	w := e.free
+	if w == nil {
+		return &waiter{
+			src: src, tag: tag,
+			ch: sim.NewChan[message](e.k, fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag)),
+		}
+	}
+	e.free = w.next
+	w.next = nil
+	w.matched = false
+	if w.src != src || w.tag != tag {
+		w.src, w.tag = src, tag
+		w.ch.SetName(fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag))
+	}
+	return w
+}
+
+// putWaiter recycles w once its wait has fully resolved (received or timed
+// out, and no longer queued). Bumping gen disarms any still-pending timer.
+func (e *endpoint) putWaiter(w *waiter) {
+	w.gen++
+	w.next = e.free
+	e.free = w
 }
 
 func matches(m *message, src, tag int) bool {
@@ -116,12 +153,11 @@ func (e *endpoint) recv(p *sim.Proc, src, tag int) message {
 			return m
 		}
 	}
-	w := &waiter{
-		src: src, tag: tag,
-		ch: sim.NewChan[message](e.k, fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag)),
-	}
+	w := e.getWaiter(src, tag)
 	e.waiters = append(e.waiters, w)
-	return w.ch.Recv(p)
+	m := w.ch.Recv(p)
+	e.putWaiter(w)
+	return m
 }
 
 // recvTimeout is recv with a deadline: if no matching message arrives within
@@ -136,14 +172,14 @@ func (e *endpoint) recvTimeout(p *sim.Proc, src, tag int, d sim.Duration) (messa
 			return m, true
 		}
 	}
-	w := &waiter{
-		src: src, tag: tag,
-		ch: sim.NewChan[message](e.k, fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag)),
-	}
+	w := e.getWaiter(src, tag)
 	e.waiters = append(e.waiters, w)
 	timedOut := false
+	gen := w.gen
 	e.k.After(d, func() {
-		if w.matched {
+		// gen mismatch: this wait resolved and the waiter was recycled for
+		// a later receive; the stale timer must not touch it.
+		if w.gen != gen || w.matched {
 			return
 		}
 		for i, x := range e.waiters {
@@ -156,6 +192,7 @@ func (e *endpoint) recvTimeout(p *sim.Proc, src, tag int, d sim.Duration) (messa
 		w.ch.Send(message{})
 	})
 	m := w.ch.Recv(p)
+	e.putWaiter(w)
 	if timedOut {
 		return message{}, false
 	}

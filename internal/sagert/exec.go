@@ -191,6 +191,14 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 	// mode only): a bounded per-run budget, so the pipeline depth can never
 	// exceed BufferSlots + MaxCreditOvercommit.
 	overcommit := map[localKey]int{}
+	// Per-iteration working state, hoisted out of the loop and cleared each
+	// pass so the steady-state iteration allocates no maps or contexts.
+	inBlocks := make(map[string]*funclib.Block, len(tp.ins))
+	outBlocks := make(map[string]*funclib.Block, len(tp.outs))
+	ctx := &funclib.Context{
+		FuncName: tp.fn.Name, Params: tp.fn.Params,
+		Thread: tp.thread, Threads: tp.fn.Threads,
+	}
 	for iter := 0; iter < r.opts.Iterations && r.err == nil; iter++ {
 		compute := iter < r.opts.ComputeIterations
 
@@ -211,7 +219,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 
 		// --- receive phase: assemble input logical buffers -----------------
 		recvStart := rank.Proc().Now()
-		inBlocks := map[string]*funclib.Block{}
+		clear(inBlocks)
 		for _, pp := range tp.ins {
 			blk := funclib.NewBlock(pp.region)
 			if !compute {
@@ -263,7 +271,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 		compStart := rank.Proc().Now()
 		node.ComputeTime(rank.Proc(), r.opts.DispatchOverhead)
 
-		outBlocks := map[string]*funclib.Block{}
+		clear(outBlocks)
 		for _, pp := range tp.outs {
 			blk := funclib.NewBlock(pp.region)
 			if !compute {
@@ -271,10 +279,8 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 			}
 			outBlocks[pp.entry.Name] = blk
 		}
-		ctx := &funclib.Context{
-			FuncName: tp.fn.Name, Params: tp.fn.Params,
-			Thread: tp.thread, Threads: tp.fn.Threads, Iteration: iter,
-		}
+		ctx.Iteration = iter
+		ctx.Sink = nil
 		if tp.isSink && compute && iter == r.opts.ComputeIterations-1 {
 			if target := r.outputs[tp.fn.Name]; target != nil {
 				ctx.Sink = func(port string, b *funclib.Block) { r.storeSink(target, b) }
@@ -514,7 +520,10 @@ func extractRegion(blk *funclib.Block, reg model.Region) *funclib.Block {
 
 // result assembles the Result after the kernel drains.
 func (r *runner) result(k *sim.Kernel) *Result {
-	res := &Result{Output: r.output, Outputs: r.outputs, Elapsed: k.Now(), MaxOverrun: r.maxOverrun}
+	res := &Result{
+		Output: r.output, Outputs: r.outputs, Elapsed: k.Now(),
+		MaxOverrun: r.maxOverrun, Dispatches: k.Dispatched(),
+	}
 	for i := 0; i < r.opts.Iterations; i++ {
 		res.Latencies = append(res.Latencies, r.sinkDone[i].Sub(r.sourceStart[i]))
 	}

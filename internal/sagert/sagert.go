@@ -155,6 +155,9 @@ type Result struct {
 	// real-time arrival (Options.InputPeriod) and the moment the source
 	// could actually begin processing it; zero when unpaced or keeping up.
 	MaxOverrun sim.Duration
+	// Dispatches is the number of kernel events the run executed — the
+	// denominator benchmark harnesses use for events/sec and allocs/event.
+	Dispatches uint64
 	// NodeStats reports per-node busy time.
 	NodeStats []NodeStat
 }

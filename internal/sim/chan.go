@@ -30,6 +30,11 @@ func (c *Chan[T]) Len() int { return len(c.ready) }
 // and trace collectors).
 func (c *Chan[T]) Name() string { return c.name }
 
+// SetName renames the mailbox. Owners that pool channels across waits (e.g.
+// mpi's receive engine) rename the recycled channel so deadlock reports and
+// trace Wait spans carry the same per-wait name a fresh channel would.
+func (c *Chan[T]) SetName(name string) { c.name = name }
+
 // Send delivers v at the current virtual time without blocking the sender.
 func (c *Chan[T]) Send(v T) { c.deliver(v) }
 
@@ -53,7 +58,10 @@ func (c *Chan[T]) deliver(v T) {
 	}
 	if len(c.waiters) > 0 {
 		p := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		// Shift rather than reslice so the backing array's capacity is
+		// reused by later waits.
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
 		// Wake at the current instant; the receiver will take the value
 		// when dispatched.
 		c.k.wake(p, c.k.now)
@@ -66,7 +74,7 @@ func (c *Chan[T]) Recv(p *Proc) T {
 		start := c.k.now
 		for len(c.ready) == 0 {
 			c.waiters = append(c.waiters, p)
-			p.yield(fmt.Sprintf("recv %s", c.name))
+			p.yield("recv", c.name)
 		}
 		if tr := c.k.tracer; tr != nil && c.k.now > start {
 			tr.Wait(p.pid, p.name, "recv", c.name, start, c.k.now, 0)
@@ -105,6 +113,8 @@ type Resource struct {
 	waiters  []*resWaiter
 }
 
+// resWaiter is a resource-queue entry. Each Proc embeds one (a process
+// waits on at most one Resource at a time), so queuing allocates nothing.
 type resWaiter struct {
 	p *Proc
 	n int
@@ -144,12 +154,14 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if r.inUse+n > r.capacity || len(r.waiters) > 0 {
 		depth := len(r.waiters)
 		start := r.k.now
-		w := &resWaiter{p: p, n: n}
+		w := &p.rw
+		w.p, w.n, w.woken = p, n, false
 		r.waiters = append(r.waiters, w)
 		for {
-			p.yield(fmt.Sprintf("acquire %s", r.name))
+			p.yield("acquire", r.name)
 			if len(r.waiters) > 0 && r.waiters[0] == w && r.inUse+n <= r.capacity {
-				r.waiters = r.waiters[1:]
+				copy(r.waiters, r.waiters[1:])
+				r.waiters = r.waiters[:len(r.waiters)-1]
 				break
 			}
 			// Spurious wake: allow a future release to wake us again.
@@ -231,7 +243,7 @@ func (b *Barrier) Wait(p *Proc) {
 	start := b.k.now
 	b.waiting = append(b.waiting, p)
 	for b.gen == gen {
-		p.yield(fmt.Sprintf("barrier %s", b.name))
+		p.yield("barrier", b.name)
 	}
 	if tr := b.k.tracer; tr != nil && b.k.now > start {
 		tr.Wait(p.pid, p.name, "barrier", b.name, start, b.k.now, depth)

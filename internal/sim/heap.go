@@ -1,71 +1,87 @@
 package sim
 
-// eventHeap is a binary min-heap of events ordered by (time, sequence). The
+// eventHeap is a 4-ary min-heap of events ordered by (time, sequence). The
 // sequence tiebreak guarantees deterministic ordering of simultaneous events:
 // earlier-scheduled events fire first.
+//
+// A 4-ary layout halves the tree depth of a binary heap, so sifts touch
+// fewer cache lines, and both sift paths move a "hole" instead of swapping:
+// each level costs one pointer store rather than three.
 type eventHeap struct {
 	items []*event
 }
 
 func (h *eventHeap) len() int { return len(h.items) }
 
-func (h *eventHeap) less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+// top returns the earliest event without removing it, or nil if empty.
+func (h *eventHeap) top() *event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (h *eventHeap) swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-
 func (h *eventHeap) push(e *event) {
-	h.items = append(h.items, e)
-	h.up(len(h.items) - 1)
+	i := len(h.items)
+	h.items = append(h.items, nil)
+	// Sift the hole up: parents slide down until e's slot is found.
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h.items[parent]
+		if !eventLess(e, p) {
+			break
+		}
+		h.items[i] = p
+		i = parent
+	}
+	h.items[i] = e
 }
 
 // pop removes and returns the earliest event, or nil if the heap is empty.
 func (h *eventHeap) pop() *event {
-	if len(h.items) == 0 {
+	n := len(h.items)
+	if n == 0 {
 		return nil
 	}
 	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items[last] = nil
-	h.items = h.items[:last]
-	if last > 0 {
-		h.down(0)
+	n--
+	last := h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if n > 0 {
+		// Sift the hole down from the root: the smallest child slides up
+		// until `last` fits.
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			min := first
+			mv := h.items[first]
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for j := first + 1; j < end; j++ {
+				if eventLess(h.items[j], mv) {
+					min, mv = j, h.items[j]
+				}
+			}
+			if !eventLess(mv, last) {
+				break
+			}
+			h.items[i] = mv
+			i = min
+		}
+		h.items[i] = last
 	}
 	return top
-}
-
-func (h *eventHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-func (h *eventHeap) down(i int) {
-	n := len(h.items)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		smallest := left
-		if right := left + 1; right < n && h.less(right, left) {
-			smallest = right
-		}
-		if !h.less(smallest, i) {
-			break
-		}
-		h.swap(i, smallest)
-		i = smallest
-	}
 }

@@ -11,6 +11,22 @@
 // and contend for Resource capacity. Events that tie at the same virtual time
 // are ordered by scheduling sequence number, so runs are fully deterministic.
 //
+// # Fast path
+//
+// The hot path is allocation- and switch-free wherever the event order
+// allows (see DESIGN.md §7 for the full story):
+//
+//   - Event nodes are pooled on an intrusive free list; steady-state
+//     scheduling performs no heap allocation.
+//   - Events due at the current instant bypass the time heap through a FIFO
+//     fast lane; only future events pay the (4-ary) heap.
+//   - The scheduler token is handed directly from process to process: the
+//     goroutine that blocks runs the event loop itself and resumes the next
+//     process with a single channel send, instead of bouncing control
+//     through a central loop. A process woken at the instant it blocked
+//     continues without any channel operation at all. Dispatch order is
+//     identical to a central loop's because all holders pop the same queue.
+//
 // # Trace hook contract
 //
 // A Tracer installed with Kernel.SetTracer observes the kernel without
@@ -18,9 +34,9 @@
 // honour — is:
 //
 //   - Hooks are invoked synchronously while exactly one goroutine of the
-//     simulation is executing (the kernel loop or the currently dispatched
-//     process), so implementations need no locking as long as each Tracer
-//     serves a single kernel.
+//     simulation is executing (the scheduler-token holder: the kernel loop
+//     or the currently dispatched process), so implementations need no
+//     locking as long as each Tracer serves a single kernel.
 //   - Virtual time is frozen for the duration of a hook; the timestamps
 //     passed in equal Kernel.Now() at the instant of the call, and hooks may
 //     call the kernel's read-only accessors (Now, Pending, LiveProcs,
@@ -84,11 +100,16 @@ type Tracer interface {
 	ResourceOp(op, name string, inUse, capacity, queued int, at Time)
 }
 
-// event is a scheduled callback in the kernel's queue.
+// event is a scheduled entry in the kernel's queue: either a callback (fn)
+// or a process wake/start (proc). Nodes are recycled through the kernel's
+// intrusive free list; next links both the free list and the same-time FIFO
+// lane.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
+	next *event
 }
 
 // Kernel is a sequential discrete-event simulator.
@@ -98,30 +119,41 @@ type event struct {
 // state, so independent simulations may run concurrently, one kernel per
 // goroutine — this is what the parallel experiment engine does.
 //
+// Internally exactly one goroutine at a time holds the scheduler token and
+// mutates kernel state; every token transfer is a channel handoff, so all
+// accesses are ordered even under the race detector.
+//
 // The zero value is not usable; create kernels with NewKernel.
 type Kernel struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	park    chan struct{} // running process parked or finished
-	dead    chan struct{} // closed by Shutdown: kernel will never dispatch again
-	running *Proc
-	procs   map[*Proc]struct{}
-	nextPID int
-	stopped bool
-	tracef  func(format string, args ...any)
-	tracer  Tracer
-	// dispatched counts events executed by Run across the kernel's
-	// lifetime; exposed through Dispatched for trace collectors.
+	now   Time
+	queue eventHeap
+	// fifoHead/fifoTail hold events due at the current instant, in seq
+	// order. Invariant: every queued FIFO event has at == now (the clock
+	// cannot advance while the lane is non-empty, because its head always
+	// sorts before any strictly-future heap entry).
+	fifoHead *event
+	fifoTail *event
+	fifoLen  int
+	free     *event // recycled event nodes, linked through next
+	seq      uint64
+	park     chan struct{} // scheduler token returned to Run (or Shutdown)
+	dead     chan struct{} // closed by Shutdown: kernel will never dispatch again
+	running  *Proc
+	procs    []*Proc // live processes in spawn (= PID) order
+	nextPID  int
+	stopped  bool
+	tracef   func(format string, args ...any)
+	tracer   Tracer
+	// dispatched counts events executed across the kernel's lifetime;
+	// exposed through Dispatched for trace collectors.
 	dispatched uint64
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
 func NewKernel() *Kernel {
 	return &Kernel{
-		park:  make(chan struct{}),
-		dead:  make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
+		park: make(chan struct{}),
+		dead: make(chan struct{}),
 	}
 }
 
@@ -147,14 +179,75 @@ func (k *Kernel) trace(format string, args ...any) {
 	}
 }
 
+// alloc takes an event node off the free list (or allocates one) and stamps
+// it with the next sequence number.
+func (k *Kernel) alloc(at Time) *event {
+	ev := k.free
+	if ev != nil {
+		k.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	k.seq++
+	ev.at = at
+	ev.seq = k.seq
+	return ev
+}
+
+// release returns a fired event node to the free list. Callers must have
+// copied fn/proc out first.
+func (k *Kernel) release(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	ev.next = k.free
+	k.free = ev
+}
+
+// enqueue routes an event to the same-time FIFO lane (due now) or the time
+// heap (due later).
+func (k *Kernel) enqueue(ev *event) {
+	if ev.at == k.now {
+		if k.fifoTail == nil {
+			k.fifoHead = ev
+		} else {
+			k.fifoTail.next = ev
+		}
+		k.fifoTail = ev
+		k.fifoLen++
+		return
+	}
+	k.queue.push(ev)
+}
+
+// popEvent removes the globally earliest event by (time, seq), merging the
+// FIFO lane with the heap. A heap entry can tie the FIFO head's time only
+// with a smaller sequence number (it was scheduled before the clock reached
+// now), so the comparison preserves exact scheduling order.
+func (k *Kernel) popEvent() *event {
+	if f := k.fifoHead; f != nil {
+		if t := k.queue.top(); t == nil || eventLess(f, t) {
+			k.fifoHead = f.next
+			if k.fifoHead == nil {
+				k.fifoTail = nil
+			}
+			f.next = nil
+			k.fifoLen--
+			return f
+		}
+	}
+	return k.queue.pop()
+}
+
 // schedule enqueues fn to run at time at. It panics if at precedes the clock,
 // since the kernel can never travel backwards.
 func (k *Kernel) schedule(at Time, fn func()) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
 	}
-	k.seq++
-	k.queue.push(&event{at: at, seq: k.seq, fn: fn})
+	ev := k.alloc(at)
+	ev.fn = fn
+	k.enqueue(ev)
 }
 
 // After schedules fn to run after virtual duration d. It may be called from
@@ -173,12 +266,20 @@ type Proc struct {
 	pid     int
 	name    string
 	resume  chan struct{}
+	body    func(p *Proc)
 	started bool // the start event fired: a goroutine exists for this proc
 	killed  bool // Shutdown marked this proc for termination
 	done    bool
-	// blockedOn describes what the process is waiting for; used in the
-	// deadlock report produced by Run.
-	blockedOn string
+	// blockedVerb/blockedObj describe what the process is waiting for
+	// ("recv" + channel name, "acquire" + resource name, ...); kept as two
+	// fields so blocking never formats a string. Only the deadlock report
+	// produced by Run renders them.
+	blockedVerb string
+	blockedObj  string
+	// rw is the process's reusable resource-wait queue entry; a process
+	// waits on at most one Resource at a time, so one embedded node
+	// replaces a per-wait allocation.
+	rw resWaiter
 }
 
 // killSentinel is the panic value Shutdown uses to unwind a parked process
@@ -197,55 +298,141 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now reports current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
+// blockedReason renders the deadlock-report description of what the process
+// is waiting on.
+func (p *Proc) blockedReason() string {
+	if p.blockedVerb == "" {
+		return ""
+	}
+	if p.blockedObj == "" {
+		return p.blockedVerb
+	}
+	return p.blockedVerb + " " + p.blockedObj
+}
+
 // Spawn creates a process executing body, scheduled to start at the current
 // virtual time. Spawn may be called before Run or from inside a running
 // process or event callback.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{k: k, pid: k.nextPID, name: name, resume: make(chan struct{})}
+	p := &Proc{k: k, pid: k.nextPID, name: name, resume: make(chan struct{}), body: body}
 	k.nextPID++
-	k.procs[p] = struct{}{}
-	k.schedule(k.now, func() {
-		p.started = true
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(killSentinel); !ok {
-						panic(r)
-					}
-				}
-				p.done = true
-				delete(k.procs, p)
-				if k.tracer != nil {
-					k.tracer.ProcEnd(p.pid, p.name, k.now)
-				}
-				k.parkOrDie()
-			}()
-			<-p.resume
-			if p.killed {
-				panic(killSentinel{})
-			}
-			body(p)
-		}()
-		if k.tracer != nil {
-			k.tracer.ProcStart(p.pid, p.name, k.now)
-		}
-		k.dispatch(p)
-	})
+	k.procs = append(k.procs, p)
+	ev := k.alloc(k.now)
+	ev.proc = p
+	k.enqueue(ev)
 	return p
 }
 
-// dispatch transfers control to p and waits for it to park again.
-func (k *Kernel) dispatch(p *Proc) {
-	prev := k.running
-	k.running = p
-	p.blockedOn = ""
-	p.resume <- struct{}{}
-	<-k.park
-	k.running = prev
+// main is the goroutine body of a spawned process. It waits for its first
+// dispatch, runs the user body, and on exit — normal return or Shutdown's
+// sentinel — keeps the event loop going with the scheduler token it holds.
+func (p *Proc) main() {
+	k := p.k
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				panic(r)
+			}
+		}
+		p.done = true
+		k.removeProc(p)
+		if k.tracer != nil {
+			k.tracer.ProcEnd(p.pid, p.name, k.now)
+		}
+		// The dying process still holds the scheduler token: either pass
+		// it on by advancing the event loop, or hand it back to Run.
+		if k.advance(nil) != advHanded {
+			k.parkOrDie()
+		}
+	}()
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	body := p.body
+	p.body = nil
+	body(p)
 }
 
-// parkOrDie signals the kernel that the running process has parked or
-// finished. After Shutdown, nothing will ever receive on park again, so a
+// removeProc drops p from the live-process slice (spawn order preserved).
+func (k *Kernel) removeProc(p *Proc) {
+	for i, q := range k.procs {
+		if q == p {
+			k.procs = append(k.procs[:i], k.procs[i+1:]...)
+			return
+		}
+	}
+}
+
+// advResult reports how a call to advance relinquished (or kept) the
+// scheduler token.
+type advResult int
+
+const (
+	// advDrained: the queue emptied or Stop was called; the caller still
+	// holds the token and must return it to Run if it is a process.
+	advDrained advResult = iota
+	// advHanded: the token was transferred to another process via its
+	// resume channel; the caller no longer owns kernel state.
+	advHanded
+	// advSelf: the calling process's own wake event fired; it keeps the
+	// token and simply continues executing.
+	advSelf
+)
+
+// advance runs the event loop on behalf of the current scheduler-token
+// holder (self, or nil for the Run goroutine). Callback events execute
+// inline; a wake or start event for another process hands the token over
+// with a single channel send — the direct switch that replaces the classic
+// park-then-dispatch round trip. Dispatch order is identical to a central
+// loop's because every holder pops the same (time, seq)-ordered queue.
+func (k *Kernel) advance(self *Proc) advResult {
+	for !k.stopped {
+		ev := k.popEvent()
+		if ev == nil {
+			return advDrained
+		}
+		if ev.at < k.now {
+			panic("sim: event queue returned time in the past")
+		}
+		k.now = ev.at
+		k.dispatched++
+		p, fn := ev.proc, ev.fn
+		k.release(ev)
+		if p == nil {
+			fn()
+			continue
+		}
+		if !p.started {
+			p.started = true
+			go p.main()
+			if k.tracer != nil {
+				k.tracer.ProcStart(p.pid, p.name, k.now)
+			}
+			k.running = p
+			p.resume <- struct{}{}
+			return advHanded
+		}
+		// Dispatching a finished or killed process would block forever, so
+		// liveness is re-checked at fire time (a stale wake for a process
+		// that has since completed — or that Shutdown tore down — is
+		// dropped).
+		if p.done || p.killed {
+			continue
+		}
+		p.blockedVerb, p.blockedObj = "", ""
+		k.running = p
+		if p == self {
+			return advSelf
+		}
+		p.resume <- struct{}{}
+		return advHanded
+	}
+	return advDrained
+}
+
+// parkOrDie returns the scheduler token to the goroutine blocked in Run (or
+// Shutdown). After Shutdown, nothing will ever receive on park again, so a
 // completion racing the teardown becomes a no-op instead of a wedged
 // goroutine.
 func (k *Kernel) parkOrDie() {
@@ -255,16 +442,27 @@ func (k *Kernel) parkOrDie() {
 	}
 }
 
-// yield parks the running process, returning control to the kernel loop. The
-// process resumes when some event calls wake, or terminates (by sentinel
-// panic, recovered in the spawn wrapper) when Shutdown tears the kernel
-// down.
-func (p *Proc) yield(blockedOn string) {
-	p.blockedOn = blockedOn
-	p.k.parkOrDie()
+// yield blocks the running process until some event wakes it, recording what
+// it waits on for the deadlock report. The process first runs the event loop
+// itself: if its own wake fires at the current instant it returns without
+// any goroutine switch; otherwise it hands the scheduler token on (to the
+// next process directly, or back to Run when the queue drains) and parks. It
+// terminates (by sentinel panic, recovered in the spawn wrapper) when
+// Shutdown tears the kernel down.
+func (p *Proc) yield(verb, obj string) {
+	p.blockedVerb, p.blockedObj = verb, obj
+	k := p.k
+	switch k.advance(p) {
+	case advSelf:
+		return // woken at the same instant: zero channel operations
+	case advDrained:
+		k.parkOrDie()
+	case advHanded:
+		// token moved to another process; our wake will hand it back
+	}
 	select {
 	case <-p.resume:
-	case <-p.k.dead:
+	case <-k.dead:
 		panic(killSentinel{})
 	}
 	if p.killed {
@@ -272,17 +470,14 @@ func (p *Proc) yield(blockedOn string) {
 	}
 }
 
-// wake schedules p to resume at time at. Dispatching a finished or killed
-// process would block the kernel forever, so the event re-checks liveness at
-// fire time (a stale wake for a process that has since completed — or that a
-// Shutdown tore down — is dropped).
+// wake schedules p to resume at time at.
 func (k *Kernel) wake(p *Proc, at Time) {
-	k.schedule(at, func() {
-		if p.done || p.killed {
-			return
-		}
-		k.dispatch(p)
-	})
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+	}
+	ev := k.alloc(at)
+	ev.proc = p
+	k.enqueue(ev)
 }
 
 // Sleep suspends the process for virtual duration d. Negative durations are
@@ -292,7 +487,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	p.k.wake(p, p.k.now.Add(d))
-	p.yield(fmt.Sprintf("sleep %v", d))
+	p.yield("sleep", "")
 }
 
 // SleepUntil suspends the process until virtual time t (no-op if t is in the
@@ -302,7 +497,7 @@ func (p *Proc) SleepUntil(t Time) {
 		t = p.k.now
 	}
 	p.k.wake(p, t)
-	p.yield(fmt.Sprintf("sleep-until %v", t))
+	p.yield("sleep-until", "")
 }
 
 // DeadlockError is returned by Run when processes remain blocked but no
@@ -324,22 +519,16 @@ func (k *Kernel) Run() error {
 		return fmt.Errorf("sim: Run on a kernel that has been shut down")
 	}
 	k.stopped = false
-	for !k.stopped {
-		ev := k.queue.pop()
-		if ev == nil {
-			break
-		}
-		if ev.at < k.now {
-			panic("sim: event queue returned time in the past")
-		}
-		k.now = ev.at
-		k.dispatched++
-		ev.fn()
+	if k.advance(nil) == advHanded {
+		// The token is cascading from process to process; it comes back
+		// here when the queue drains or Stop fires.
+		<-k.park
 	}
+	k.running = nil
 	if len(k.procs) > 0 && !k.stopped {
-		var blocked []string
-		for p := range k.procs {
-			blocked = append(blocked, fmt.Sprintf("%s(%d): %s", p.name, p.pid, p.blockedOn))
+		blocked := make([]string, 0, len(k.procs))
+		for _, p := range k.procs {
+			blocked = append(blocked, fmt.Sprintf("%s(%d): %s", p.name, p.pid, p.blockedReason()))
 		}
 		sort.Strings(blocked)
 		return &DeadlockError{At: k.now, Blocked: blocked}
@@ -368,7 +557,8 @@ func (k *Kernel) isDead() bool {
 // are created over a program's lifetime (the experiment engine runs one per
 // simulation). Shutdown wakes each live process with a terminal signal — a
 // sentinel panic raised at its current yield point and recovered in the
-// spawn wrapper — in PID order, so teardown is deterministic.
+// spawn wrapper — walking the live-process slice in spawn (= PID) order, so
+// teardown, including its trace events, is reproducible.
 //
 // Call Shutdown from the goroutine that called Run, after Run has returned.
 // It is idempotent, safe on a kernel that ran to completion (no live
@@ -381,27 +571,26 @@ func (k *Kernel) Shutdown() {
 	}
 	k.stopped = true
 	live := make([]*Proc, 0, len(k.procs))
-	for p := range k.procs {
+	for _, p := range k.procs {
 		if p.started {
 			live = append(live, p)
 		} else {
 			// The start event never fired, so no goroutine exists; the
 			// process just vanishes from the books.
 			p.done = true
-			delete(k.procs, p)
 		}
 	}
-	sort.Slice(live, func(i, j int) bool { return live[i].pid < live[j].pid })
 	for _, p := range live {
 		p.killed = true
 		p.resume <- struct{}{} // proc panics with the sentinel and unwinds
 		<-k.park               // its spawn wrapper confirms the exit
 	}
+	k.procs = nil
 	close(k.dead)
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return k.queue.len() }
+func (k *Kernel) Pending() int { return k.queue.len() + k.fifoLen }
 
 // LiveProcs reports the number of processes that have been spawned and have
 // not finished.

@@ -661,15 +661,23 @@ func TestStaleWakeAfterShutdownIsDropped(t *testing.T) {
 		t.Fatal("expected the sleeper's wake event to still be queued")
 	}
 	k.Shutdown()
-	// The queued wake references a killed proc; firing it must be a no-op.
-	// Run refuses to restart a dead kernel, so pop the check directly.
-	ev := k.queue.pop()
+	// The queued wake references a killed proc; firing it must be dropped by
+	// advance's liveness re-check, not dispatch into a dead kernel. Run
+	// refuses to restart a dead kernel, so drive the event loop directly.
+	ev := k.popEvent()
 	if ev == nil {
 		t.Fatal("no queued event")
 	}
+	if ev.proc == nil || !(ev.proc.killed || ev.proc.done) {
+		t.Fatal("queued event is not a stale wake for a torn-down proc")
+	}
+	k.enqueue(ev) // put it back and let advance make the drop decision
 	done := make(chan struct{})
 	go func() {
-		ev.fn()
+		k.stopped = false // Shutdown set it; advance must still drop the wake
+		if got := k.advance(nil); got != advDrained {
+			t.Errorf("advance = %v, want advDrained", got)
+		}
 		close(done)
 	}()
 	select {
