@@ -1,0 +1,170 @@
+// sage-conform drives the randomized end-to-end conformance subsystem: for
+// every seed in a range it generates a valid dataflow application (a layered
+// DAG of function-library ops with randomized shapes, stripings, fan-in and
+// fan-out), maps it onto a randomized platform, generates the runtime tables,
+// executes them on the simulated multicomputer, and differentially checks the
+// outputs against a single-node sequential oracle — plus the metamorphic
+// invariants (re-execution, sequential mode, optimized buffers, traced,
+// faulted with forced delivery, node-permuted mapping), all bit for bit.
+// Failing seeds are greedily shrunk and written as reproducer corpus files
+// that the test suite replays.
+//
+// Usage:
+//
+//	sage-conform -seed-range 0:200                  # the standard campaign
+//	sage-conform -seed 17                           # one seed, verbose
+//	sage-conform -seed-range 0:64 -quick -parallel 8
+//	sage-conform -seed-range 0:32 -mutate           # harness self-test
+//	sage-conform -replay internal/conformance/testdata/corpus
+//	sage-conform -seed-range 0:64 -corpus ./failing # write reproducers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	var (
+		seedRange = flag.String("seed-range", "", "half-open seed range from:to, e.g. 0:200")
+		seed      = flag.Int64("seed", -1, "check a single seed (prints the generated case summary)")
+		quick     = flag.Bool("quick", false, "bound graph and platform sizes (CI smoke runs)")
+		parallel  = flag.Int("parallel", 1, "concurrent checker workers; output is identical for any value")
+		mutate    = flag.Bool("mutate", false, "self-test: inject a runtime miscomputation; every seed must fail and shrink small")
+		corpus    = flag.String("corpus", "", "directory receiving seed-<n>.case reproducers for failing seeds")
+		replay    = flag.String("replay", "", "replay every .case reproducer in a directory instead of generating")
+		noShrink  = flag.Bool("no-shrink", false, "report raw failures without minimizing")
+		maxShrink = flag.Int("max-shrink-checks", 0, "differential check budget per shrink (0 = default)")
+	)
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		os.Exit(replayDir(*replay))
+	case *seed >= 0:
+		os.Exit(oneSeed(*seed, *quick, *mutate, *maxShrink))
+	case *seedRange != "":
+		from, to, err := parseRange(*seedRange)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-conform:", err)
+			os.Exit(2)
+		}
+		rep, err := conformance.Run(from, to, conformance.Config{
+			Quick:           *quick,
+			Parallelism:     *parallel,
+			Mutate:          *mutate,
+			CorpusDir:       *corpus,
+			MaxShrinkChecks: *maxShrink,
+			NoShrink:        *noShrink,
+		})
+		if rep != nil {
+			fmt.Print(rep.Format())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-conform:", err)
+			os.Exit(1)
+		}
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "sage-conform: one of -seed-range, -seed or -replay is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// parseRange parses "from:to" (half-open).
+func parseRange(s string) (int64, int64, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -seed-range %q, want from:to", s)
+	}
+	from, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -seed-range %q: %v", s, err)
+	}
+	to, err := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -seed-range %q: %v", s, err)
+	}
+	if to < from {
+		return 0, 0, fmt.Errorf("bad -seed-range %q: empty or reversed", s)
+	}
+	return from, to, nil
+}
+
+// oneSeed checks a single seed verbosely.
+func oneSeed(seed int64, quick, mutate bool, maxShrink int) int {
+	c, err := conformance.Generate(seed, conformance.GenConfig{Quick: quick})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sage-conform: seed %d: generator: %v\n", seed, err)
+		return 1
+	}
+	fmt.Printf("seed %d: app %s: %d tasks, %d arcs, %d nodes, platform %s, %d iterations\n",
+		seed, c.App.Name, c.Tasks(), c.Arcs(), c.Nodes, c.Platform, c.Iterations)
+	for _, f := range c.App.Functions {
+		fmt.Printf("  %-24s kind=%-18s threads=%d\n", f.Name, f.Kind, f.Threads)
+	}
+	opt := conformance.CheckOptions{MutateRuntime: mutate}
+	fail := c.Check(opt)
+	if fail == nil {
+		fmt.Printf("seed %d: PASS (oracle + all metamorphic variants agree bit for bit)\n", seed)
+		return 0
+	}
+	fmt.Printf("seed %d: FAIL %s\n", seed, fail)
+	sr := conformance.Shrink(c, opt, maxShrink)
+	fmt.Printf("seed %d: shrunk to %d tasks / %d arcs in %d checks: %s\n",
+		seed, sr.Case.Tasks(), sr.Case.Arcs(), sr.Checks, sr.Failure)
+	if err := conformance.WriteCase(os.Stdout, sr.Case); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-conform:", err)
+	}
+	return 1
+}
+
+// replayDir re-checks every committed reproducer.
+func replayDir(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sage-conform:", err)
+		return 1
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".case") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		fmt.Printf("replay %s: no .case files\n", dir)
+		return 0
+	}
+	bad := 0
+	for _, name := range files {
+		c, err := conformance.ReadCaseFile(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Printf("replay %s: UNREADABLE: %v\n", name, err)
+			bad++
+			continue
+		}
+		if fail := c.Check(conformance.CheckOptions{}); fail != nil {
+			fmt.Printf("replay %s: FAIL %s\n", name, fail)
+			bad++
+		} else {
+			fmt.Printf("replay %s: pass (%d tasks, %d nodes)\n", name, c.Tasks(), c.Nodes)
+		}
+	}
+	fmt.Printf("replay: %d/%d reproducers pass\n", len(files)-bad, len(files))
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in       string
+		from, to int64
+		ok       bool
+	}{
+		{"0:200", 0, 200, true},
+		{"5:5", 5, 5, true},
+		{" 3 : 9 ", 3, 9, true},
+		{"-4:4", -4, 4, true},
+		{"9:3", 0, 0, false},
+		{"12", 0, 0, false},
+		{"a:b", 0, 0, false},
+		{"", 0, 0, false},
+	}
+	for _, tc := range cases {
+		from, to, err := parseRange(tc.in)
+		if tc.ok && (err != nil || from != tc.from || to != tc.to) {
+			t.Errorf("parseRange(%q) = %d, %d, %v; want %d, %d", tc.in, from, to, err, tc.from, tc.to)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseRange(%q) accepted, want error", tc.in)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package alter
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// decodeFuzzCorpus extracts the single string argument from a Go fuzz corpus
+// v1 file ("go test fuzz v1\nstring(...)").
+func decodeFuzzCorpus(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("%s: not a fuzz corpus v1 file", path)
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimPrefix(body, "string(")
+	body = strings.TrimSuffix(body, ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		t.Fatalf("%s: bad string literal: %v", path, err)
+	}
+	return s
+}
+
+// TestFuzzCorpusReplay drives every committed FuzzReadAll corpus entry
+// through the reader explicitly (in addition to the automatic seeding `go
+// test` performs for fuzz targets), so the regression corpus is exercised
+// even under -run filters and stays load-bearing if the fuzz target is ever
+// renamed.
+func TestFuzzCorpusReplay(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadAll")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty fuzz corpus")
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		src := decodeFuzzCorpus(t, filepath.Join(dir, e.Name()))
+		t.Run(e.Name(), func(t *testing.T) {
+			// Must terminate without panicking; parse errors are legitimate.
+			if _, err := ReadAll(src); err != nil {
+				t.Logf("rejected (ok): %v", err)
+			}
+		})
+	}
+}

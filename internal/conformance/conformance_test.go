@@ -1,0 +1,250 @@
+package conformance
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isspl"
+	"repro/internal/model"
+)
+
+// TestSeedsPass is the randomized differential property itself: a band of
+// generated applications must clear the oracle and every metamorphic variant.
+func TestSeedsPass(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 12
+	}
+	rep, err := Run(0, n, Config{Quick: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("conformance failures:\n%s", rep.Format())
+	}
+}
+
+// TestGenerateDeterministic: the same seed must produce the byte-identical
+// case (reports and reproducers depend on it).
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 3, 17} {
+		var a, b bytes.Buffer
+		c1, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCase(&a, c1); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCase(&b, c2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+// TestReportDeterministic: the campaign report must be byte-identical for any
+// worker parallelism.
+func TestReportDeterministic(t *testing.T) {
+	r1, err := Run(0, 16, Config{Quick: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(0, 16, Config{Quick: true, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Format() != r8.Format() {
+		t.Fatalf("report differs across parallelism:\n--- parallel 1\n%s--- parallel 8\n%s",
+			r1.Format(), r8.Format())
+	}
+}
+
+// TestCaseRoundTrip: write -> read -> write must be a fixed point of the
+// corpus format.
+func TestCaseRoundTrip(t *testing.T) {
+	for _, seed := range []int64{0, 5, 23} {
+		c, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first bytes.Buffer
+		if err := WriteCase(&first, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCase(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteCase(&second, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("seed %d: round trip not a fixed point:\n--- first\n%s--- second\n%s",
+				seed, first.String(), second.String())
+		}
+	}
+}
+
+// TestMutationCaughtAndShrunk is the harness self-test demanded by the issue:
+// with an injected runtime miscomputation, every seed must FAIL, and every
+// failure must shrink to a reproducer of at most 5 tasks.
+func TestMutationCaughtAndShrunk(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 3
+	}
+	rep, err := Run(0, n, Config{Quick: true, Parallelism: 4, Mutate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Seeds {
+		r := &rep.Seeds[i]
+		if r.GenErr != "" {
+			t.Fatalf("seed %d: generator: %s", r.Seed, r.GenErr)
+		}
+		if r.Failure == nil {
+			t.Errorf("seed %d: injected miscomputation NOT caught", r.Seed)
+			continue
+		}
+		if r.ShrunkTasks > 5 {
+			t.Errorf("seed %d: shrunk reproducer still has %d tasks (want <= 5)", r.Seed, r.ShrunkTasks)
+		}
+	}
+	if !rep.OK() {
+		t.Errorf("mutate-mode report not OK:\n%s", rep.Format())
+	}
+}
+
+// TestShrinkReachesMinimalGraph: on a full-size failing case the shrinker
+// should reach the smallest possible graph — one source feeding one sink.
+func TestShrinkReachesMinimalGraph(t *testing.T) {
+	c, err := Generate(0, GenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := Shrink(c, CheckOptions{MutateRuntime: true}, 0)
+	if sr.Failure == nil {
+		t.Fatal("mutated case did not fail")
+	}
+	if sr.Case.Tasks() != 2 || sr.Case.Arcs() != 1 {
+		t.Fatalf("shrunk to %d tasks / %d arcs, want 2/1", sr.Case.Tasks(), sr.Case.Arcs())
+	}
+	if sr.Case.Nodes != 1 || sr.Case.Iterations != 1 {
+		t.Fatalf("shrunk environment nodes=%d iterations=%d, want 1/1", sr.Case.Nodes, sr.Case.Iterations)
+	}
+	// The minimized case must itself be writable and still failing when read
+	// back — exactly what a committed reproducer needs.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mutant.case")
+	if err := WriteCaseFile(path, sr.Case); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCaseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail := back.Check(CheckOptions{MutateRuntime: true}); fail == nil {
+		t.Fatal("reread reproducer no longer fails under mutation")
+	}
+	if fail := back.Check(CheckOptions{}); fail != nil {
+		t.Fatalf("reread reproducer fails without mutation: %s", fail)
+	}
+}
+
+// TestShrinkPassingCaseIsNoop: shrinking a healthy case returns it unchanged.
+func TestShrinkPassingCaseIsNoop(t *testing.T) {
+	c, err := Generate(1, GenConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := Shrink(c, CheckOptions{}, 0)
+	if sr.Failure != nil {
+		t.Fatalf("healthy case failed: %s", sr.Failure)
+	}
+	if sr.Checks != 1 {
+		t.Fatalf("shrink of a passing case spent %d checks, want 1", sr.Checks)
+	}
+	if sr.Case.Tasks() != c.Tasks() {
+		t.Fatalf("shrink of a passing case changed the graph: %d -> %d tasks", c.Tasks(), sr.Case.Tasks())
+	}
+}
+
+func TestValidPerm(t *testing.T) {
+	cases := []struct {
+		perm []int
+		n    int
+		want bool
+	}{
+		{[]int{0}, 1, true},
+		{[]int{2, 0, 1}, 3, true},
+		{[]int{0, 0}, 2, false},
+		{[]int{0, 2}, 2, false},
+		{[]int{0}, 2, false},
+		{nil, 0, true},
+	}
+	for _, tc := range cases {
+		if got := validPerm(tc.perm, tc.n); got != tc.want {
+			t.Errorf("validPerm(%v, %d) = %v, want %v", tc.perm, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestPermutedMapping(t *testing.T) {
+	m := model.NewMapping()
+	m.Set("a", 0, 1, 2)
+	m.Set("b", 2)
+	p := permutedMapping(m, []int{2, 0, 1})
+	if got := p.Assign["a"]; got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("permuted a = %v", got)
+	}
+	if got := p.Assign["b"]; got[0] != 1 {
+		t.Fatalf("permuted b = %v", got)
+	}
+	// Original untouched.
+	if m.Assign["a"][0] != 0 {
+		t.Fatal("permutedMapping mutated its input")
+	}
+}
+
+// TestOracleFanOut: a value feeding two sinks must arrive identically at
+// both, and the oracle must keep fan-out copies independent.
+func TestOracleFanOut(t *testing.T) {
+	app := model.NewApp("fanout")
+	mt, err := app.AddType(&model.DataType{Name: "m4x4", Rows: 4, Cols: 4, Elem: model.ElemComplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := app.AddFunction(&model.Function{Name: "src", Kind: "source_matrix", Threads: 1,
+		Params: map[string]any{"seed": 99}})
+	src.AddOutput("out", mt, model.Replicated)
+	for _, name := range []string{"s1", "s2"} {
+		f := app.AddFunction(&model.Function{Name: name, Kind: "sink_matrix", Threads: 1})
+		f.AddInput("in", mt, model.Replicated)
+		if _, err := app.Connect("src", "out", name, "in"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app.AssignIDs()
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Oracle(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("oracle produced %d sinks, want 2", len(out))
+	}
+	if d := compareOutputs(map[string]*isspl.Matrix{"x": out["s1"]}, map[string]*isspl.Matrix{"x": out["s2"]}); d != "" {
+		t.Fatalf("fan-out copies diverge: %s", d)
+	}
+}

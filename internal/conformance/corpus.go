@@ -1,0 +1,266 @@
+package conformance
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/funclib"
+	"repro/internal/model"
+	"repro/internal/platforms"
+)
+
+// Corpus text format. One file is one reproducer: a header of scalar fields,
+// then the model, mapping and (optionally) fault-plan sections in their own
+// native text formats, delimited by "=== <section>" lines (no native format
+// uses a line starting with "==="):
+//
+//	conform-case v1
+//	seed 42
+//	platform CSPI
+//	nodes 3
+//	iterations 2
+//	perm 2 0 1
+//	=== model
+//	app conform_42
+//	...
+//	=== mapping
+//	mapping conform_42
+//	...
+//	=== faults
+//	seed 9
+//	drop link=* rate=0.2
+//	=== end
+//
+// Failing cases are written into a corpus directory and replayed by
+// TestCorpusReplay on every `go test`, so a bug once caught stays caught.
+
+const caseMagic = "conform-case v1"
+
+// WriteCase serialises a case.
+func WriteCase(w io.Writer, c *Case) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\n", caseMagic)
+	fmt.Fprintf(bw, "seed %d\n", c.Seed)
+	fmt.Fprintf(bw, "platform %s\n", c.Platform)
+	fmt.Fprintf(bw, "nodes %d\n", c.Nodes)
+	fmt.Fprintf(bw, "iterations %d\n", c.Iterations)
+	if len(c.Perm) > 0 {
+		parts := make([]string, len(c.Perm))
+		for i, p := range c.Perm {
+			parts[i] = strconv.Itoa(p)
+		}
+		fmt.Fprintf(bw, "perm %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprintln(bw, "=== model")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := c.App.WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "=== mapping")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := c.Mapping.WriteText(w, c.App.Name); err != nil {
+		return err
+	}
+	if !c.Faults.Empty() {
+		fmt.Fprintln(bw, "=== faults")
+		fmt.Fprint(bw, c.Faults.String())
+	}
+	fmt.Fprintln(bw, "=== end")
+	return bw.Flush()
+}
+
+// ReadCase parses and validates a serialised case.
+func ReadCase(r io.Reader) (*Case, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	c := &Case{Iterations: 1}
+	lineNo := 0
+	fail := func(format string, args ...any) (*Case, error) {
+		return nil, fmt.Errorf("conformance: case line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("conformance: empty case file")
+	}
+	lineNo++
+	if strings.TrimSpace(sc.Text()) != caseMagic {
+		return fail("bad magic %q, want %q", strings.TrimSpace(sc.Text()), caseMagic)
+	}
+
+	// Header fields until the first section marker.
+	section := ""
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "=== ") {
+			section = strings.TrimSpace(strings.TrimPrefix(line, "=== "))
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "seed", "nodes", "iterations":
+			if len(fields) != 2 {
+				return fail("%s wants one integer", fields[0])
+			}
+			n, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fail("bad %s %q", fields[0], fields[1])
+			}
+			switch fields[0] {
+			case "seed":
+				c.Seed = n
+			case "nodes":
+				c.Nodes = int(n)
+			case "iterations":
+				c.Iterations = int(n)
+			}
+		case "platform":
+			if len(fields) != 2 {
+				return fail("platform wants one name")
+			}
+			c.Platform = fields[1]
+		case "perm":
+			for _, f := range fields[1:] {
+				p, err := strconv.Atoi(f)
+				if err != nil {
+					return fail("bad perm entry %q", f)
+				}
+				c.Perm = append(c.Perm, p)
+			}
+		default:
+			return fail("unknown header field %q", fields[0])
+		}
+	}
+
+	// Sections: collect raw text, then hand to the native parsers.
+	bodies := map[string]*bytes.Buffer{}
+	for section != "" && section != "end" {
+		buf := &bytes.Buffer{}
+		if _, dup := bodies[section]; dup {
+			return fail("duplicate section %q", section)
+		}
+		bodies[section] = buf
+		next := ""
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if strings.HasPrefix(strings.TrimSpace(line), "=== ") {
+				next = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "=== "))
+				break
+			}
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		}
+		if next == "" {
+			return fail("section %q not terminated by another section or '=== end'", section)
+		}
+		section = next
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	mb, ok := bodies["model"]
+	if !ok {
+		return nil, fmt.Errorf("conformance: case has no model section")
+	}
+	app, err := model.ReadText(mb)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: case model: %w", err)
+	}
+	c.App = app
+	pb, ok := bodies["mapping"]
+	if !ok {
+		return nil, fmt.Errorf("conformance: case has no mapping section")
+	}
+	mapping, _, err := model.ReadMappingText(pb)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: case mapping: %w", err)
+	}
+	c.Mapping = mapping
+	if fb, ok := bodies["faults"]; ok {
+		plan, err := fault.ParsePlan(fb.String())
+		if err != nil {
+			return nil, fmt.Errorf("conformance: case fault plan: %w", err)
+		}
+		c.Faults = plan
+	}
+
+	if _, err := platforms.ByName(c.Platform); err != nil {
+		return nil, fmt.Errorf("conformance: case: %w", err)
+	}
+	if c.Nodes < 1 {
+		return nil, fmt.Errorf("conformance: case declares %d nodes", c.Nodes)
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 1
+	}
+	if err := c.App.Validate(); err != nil {
+		return nil, fmt.Errorf("conformance: case model invalid: %w", err)
+	}
+	if err := funclib.ValidateApp(c.App); err != nil {
+		return nil, fmt.Errorf("conformance: case app invalid: %w", err)
+	}
+	if err := c.Mapping.Validate(c.App, c.Nodes); err != nil {
+		return nil, fmt.Errorf("conformance: case mapping invalid: %w", err)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("conformance: case fault plan invalid: %w", err)
+		}
+		if err := c.Faults.CheckNodes(c.Nodes); err != nil {
+			return nil, fmt.Errorf("conformance: case fault plan does not fit: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Clone deep-copies a case by round-tripping it through the corpus format —
+// the same path a committed reproducer takes, so a shrunk case is guaranteed
+// serialisable.
+func (c *Case) Clone() *Case {
+	var buf bytes.Buffer
+	if err := WriteCase(&buf, c); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	out, err := ReadCase(&buf)
+	if err != nil {
+		panic(fmt.Sprintf("conformance: case does not round-trip: %v", err))
+	}
+	return out
+}
+
+// WriteCaseFile writes a reproducer to path.
+func WriteCaseFile(path string, c *Case) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCase(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCaseFile loads a reproducer from path.
+func ReadCaseFile(path string) (*Case, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCase(f)
+}

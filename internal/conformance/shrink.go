@@ -1,0 +1,372 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/funclib"
+	"repro/internal/model"
+)
+
+// The shrinker turns an arbitrary failing case into a minimal reproducer by
+// greedy delta-debugging: propose a structurally smaller candidate, re-run the
+// full differential check, and keep the candidate whenever it still fails
+// (with any failure — chasing the smallest graph that misbehaves at all beats
+// preserving one specific symptom). Transformations, tried in order on every
+// round:
+//
+//   - drop one sink function (when more than one remains);
+//   - bypass one operator whose first input matches its output shape, wiring
+//     its consumers straight to its producer;
+//   - prune functions whose outputs nobody consumes (to fixpoint — also run
+//     after every drop/bypass, so severed upstream chains fall away with the
+//     cut);
+//   - collapse the whole case to a single node;
+//   - drop the fault plan, reduce iterations to one, set every thread count
+//     to one;
+//   - halve every matrix dimension.
+//
+// Each accepted candidate restarts the round, so transformations compound
+// (halving applies repeatedly, bypassing one op exposes the next). The
+// process is deterministic and bounded by a check budget.
+
+// ShrinkResult reports what shrinking achieved.
+type ShrinkResult struct {
+	Case    *Case    // the smallest failing case found
+	Failure *Failure // its failure
+	Checks  int      // differential checks spent
+
+	// opt re-checks candidates under the same options that produced the
+	// original failure.
+	opt CheckOptions
+}
+
+// DefaultShrinkChecks bounds the differential checks one shrink may spend.
+const DefaultShrinkChecks = 400
+
+// Shrink minimizes a failing case. The original case is not modified; every
+// candidate is a corpus-format round-trip clone. maxChecks <= 0 selects
+// DefaultShrinkChecks.
+func Shrink(c *Case, opt CheckOptions, maxChecks int) *ShrinkResult {
+	if maxChecks <= 0 {
+		maxChecks = DefaultShrinkChecks
+	}
+	res := &ShrinkResult{Case: c.Clone(), Failure: c.Check(opt), Checks: 1, opt: opt}
+	if res.Failure == nil {
+		return res // not failing; nothing to shrink
+	}
+	for res.Checks < maxChecks {
+		cand, fail := nextSmaller(res, maxChecks)
+		if cand == nil {
+			break // no transformation helps anymore: local minimum
+		}
+		res.Case, res.Failure = cand, fail
+	}
+	return res
+}
+
+// nextSmaller tries every transformation on res.Case and returns the first
+// candidate that still fails, charging every attempted check to res.Checks.
+func nextSmaller(res *ShrinkResult, maxChecks int) (*Case, *Failure) {
+	cur := res.Case
+	try := func(cand *Case) (*Case, *Failure) {
+		if cand == nil || res.Checks >= maxChecks || !cand.valid() {
+			return nil, nil
+		}
+		res.Checks++
+		if fail := cand.Check(res.opt); fail != nil {
+			return cand, fail
+		}
+		return nil, nil
+	}
+
+	// Structural reductions first: each removes whole tasks.
+	sinks := SinkNames(cur.App)
+	if len(sinks) > 1 {
+		for _, s := range sinks {
+			if cand, fail := try(dropSink(cur, s)); cand != nil {
+				return cand, fail
+			}
+		}
+	}
+	for _, f := range cur.App.Functions {
+		if cand, fail := try(bypassOp(cur, f.Name)); cand != nil {
+			return cand, fail
+		}
+	}
+	if cand, fail := try(pruneDead(cur)); cand != nil {
+		return cand, fail
+	}
+	// Environmental reductions: same graph, simpler run.
+	if cur.Nodes > 1 {
+		if cand, fail := try(oneNode(cur)); cand != nil {
+			return cand, fail
+		}
+	}
+	if !cur.Faults.Empty() {
+		cand := cur.Clone()
+		cand.Faults = nil
+		if cand, fail := try(cand); cand != nil {
+			return cand, fail
+		}
+	}
+	if cur.Iterations > 1 {
+		cand := cur.Clone()
+		cand.Iterations = 1
+		if cand, fail := try(cand); cand != nil {
+			return cand, fail
+		}
+	}
+	if cand, fail := try(oneThread(cur)); cand != nil {
+		return cand, fail
+	}
+	// Data reduction last: halve every matrix dimension.
+	if cand, fail := try(halveTypes(cur)); cand != nil {
+		return cand, fail
+	}
+	return nil, nil
+}
+
+// valid re-validates a mutated candidate end to end; transformations are
+// allowed to produce illegal models (e.g. halving below a kind's constraint)
+// and rely on this gate to discard them.
+func (c *Case) valid() bool {
+	if c.Nodes < 1 || c.Iterations < 1 {
+		return false
+	}
+	if err := c.App.Validate(); err != nil {
+		return false
+	}
+	if err := funclib.ValidateApp(c.App); err != nil {
+		return false
+	}
+	if err := c.Mapping.Validate(c.App, c.Nodes); err != nil {
+		return false
+	}
+	if c.Perm != nil && !validPerm(c.Perm, c.Nodes) {
+		return false
+	}
+	if !c.Faults.Empty() {
+		if err := c.Faults.Validate(); err != nil {
+			return false
+		}
+		if err := c.Faults.CheckNodes(c.Nodes); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// removeFunction deletes fn plus every arc touching it from the case, and its
+// entry from the mapping.
+func removeFunction(c *Case, fn *model.Function) {
+	app := c.App
+	funcs := app.Functions[:0]
+	for _, f := range app.Functions {
+		if f != fn {
+			funcs = append(funcs, f)
+		}
+	}
+	app.Functions = funcs
+	arcs := app.Arcs[:0]
+	for _, a := range app.Arcs {
+		if a.From.Fn != fn && a.To.Fn != fn {
+			arcs = append(arcs, a)
+		}
+	}
+	app.Arcs = arcs
+	delete(c.Mapping.Assign, fn.Name)
+	app.AssignIDs()
+}
+
+// pruneDeadInPlace removes every function whose outputs are all unconsumed
+// (sources and operators severed from any sink), repeated to fixpoint, and
+// reports whether anything fell away.
+func pruneDeadInPlace(c *Case) bool {
+	removed := false
+	for {
+		consumed := map[*model.Port]bool{}
+		for _, a := range c.App.Arcs {
+			consumed[a.From] = true
+		}
+		var dead *model.Function
+		for _, f := range c.App.Functions {
+			if len(f.Outputs) == 0 {
+				continue // sinks are live by definition
+			}
+			live := false
+			for _, p := range f.Outputs {
+				if consumed[p] {
+					live = true
+					break
+				}
+			}
+			if !live {
+				dead = f
+				break
+			}
+		}
+		if dead == nil {
+			return removed
+		}
+		removeFunction(c, dead)
+		removed = true
+	}
+}
+
+// dropSink returns a clone with the named sink removed and the chain that
+// only fed it pruned away, or nil when the sink is absent.
+func dropSink(cur *Case, name string) *Case {
+	cand := cur.Clone()
+	f := cand.App.Function(name)
+	if f == nil {
+		return nil
+	}
+	removeFunction(cand, f)
+	pruneDeadInPlace(cand)
+	return cand
+}
+
+// bypassOp returns a clone with the named operator cut out of the graph:
+// every arc leaving it is rewired to the producer of its first input, and
+// anything the cut orphans (e.g. the second operand chain of an add2) is
+// pruned. Legal only for interior ops whose first input and single output
+// share a shape — shape-changing kinds such as fir_decimate_rows are left
+// alone. Returns nil when not applicable.
+func bypassOp(cur *Case, name string) *Case {
+	cand := cur.Clone()
+	f := cand.App.Function(name)
+	if f == nil || len(f.Inputs) == 0 || len(f.Outputs) != 1 {
+		return nil // sources and sinks are handled by other transforms
+	}
+	in, out := f.Inputs[0], f.Outputs[0]
+	if in.Type.Rows != out.Type.Rows || in.Type.Cols != out.Type.Cols {
+		return nil
+	}
+	var producer *model.Port
+	for _, a := range cand.App.Arcs {
+		if a.To == in {
+			producer = a.From
+			break
+		}
+	}
+	if producer == nil {
+		return nil
+	}
+	rewired := false
+	for _, a := range cand.App.Arcs {
+		if a.From == out {
+			a.From = producer
+			rewired = true
+		}
+	}
+	if !rewired {
+		return nil // output feeds nobody; pruneDead handles it
+	}
+	removeFunction(cand, f)
+	pruneDeadInPlace(cand)
+	return cand
+}
+
+// pruneDead returns a clone with dead chains removed, or nil when nothing was
+// dead.
+func pruneDead(cur *Case) *Case {
+	cand := cur.Clone()
+	if !pruneDeadInPlace(cand) {
+		return nil
+	}
+	return cand
+}
+
+// oneNode collapses the case onto a single node: all threads on node 0, the
+// permutation trivial, and the fault plan dropped when it addresses nodes
+// that no longer exist.
+func oneNode(cur *Case) *Case {
+	cand := cur.Clone()
+	cand.Nodes = 1
+	for _, nodes := range cand.Mapping.Assign {
+		for i := range nodes {
+			nodes[i] = 0
+		}
+	}
+	cand.Perm = []int{0}
+	if !cand.Faults.Empty() && cand.Faults.CheckNodes(1) != nil {
+		cand.Faults = nil
+	}
+	return cand
+}
+
+// oneThread sets every function to a single thread, or nil when all already
+// are.
+func oneThread(cur *Case) *Case {
+	cand := cur.Clone()
+	changed := false
+	for _, f := range cand.App.Functions {
+		if f.Threads > 1 {
+			f.Threads = 1
+			cand.Mapping.Assign[f.Name] = cand.Mapping.Assign[f.Name][:1]
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return cand
+}
+
+// halveTypes halves every matrix dimension (floor, min 1), re-interning the
+// shrunken types (several shapes may collapse onto one) and clamping thread
+// counts to the new striped extents. Returns nil when every type is already
+// 1x1. Kind constraints (power-of-two FFT extents, decimation divisibility)
+// may break; the validity gate discards those candidates.
+func halveTypes(cur *Case) *Case {
+	cand := cur.Clone()
+	changed := false
+	halve := func(d int) int {
+		if d > 1 {
+			return d / 2
+		}
+		return d
+	}
+	canon := map[string]*model.DataType{}
+	repoint := func(p *model.Port) {
+		nr, nc := halve(p.Type.Rows), halve(p.Type.Cols)
+		if nr != p.Type.Rows || nc != p.Type.Cols {
+			changed = true
+		}
+		name := fmt.Sprintf("m%dx%d", nr, nc)
+		t, ok := canon[name]
+		if !ok {
+			t = &model.DataType{Name: name, Rows: nr, Cols: nc, Elem: p.Type.Elem}
+			canon[name] = t
+		}
+		p.Type = t
+	}
+	for _, f := range cand.App.Functions {
+		for _, p := range f.Inputs {
+			repoint(p)
+		}
+		for _, p := range f.Outputs {
+			repoint(p)
+		}
+	}
+	if !changed {
+		return nil
+	}
+	cand.App.Types = canon
+	for _, f := range cand.App.Functions {
+		maxT := f.Threads
+		for _, p := range append(append([]*model.Port{}, f.Inputs...), f.Outputs...) {
+			switch p.Striping {
+			case model.ByRows:
+				maxT = min(maxT, p.Type.Rows)
+			case model.ByCols:
+				maxT = min(maxT, p.Type.Cols)
+			}
+		}
+		if maxT < f.Threads {
+			f.Threads = maxT
+			cand.Mapping.Assign[f.Name] = cand.Mapping.Assign[f.Name][:maxT]
+		}
+	}
+	return cand
+}

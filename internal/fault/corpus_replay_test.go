@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// decodeFuzzCorpus extracts the single string argument from a Go fuzz corpus
+// v1 file ("go test fuzz v1\nstring(...)").
+func decodeFuzzCorpus(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("%s: not a fuzz corpus v1 file", path)
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimPrefix(body, "string(")
+	body = strings.TrimSuffix(body, ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		t.Fatalf("%s: bad string literal: %v", path, err)
+	}
+	return s
+}
+
+// TestFuzzCorpusReplay drives every committed FuzzParsePlan corpus entry
+// through the fault-plan parser explicitly; any plan that parses must
+// validate-or-reject and round-trip through String.
+func TestFuzzCorpusReplay(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzParsePlan")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty fuzz corpus")
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		src := decodeFuzzCorpus(t, filepath.Join(dir, e.Name()))
+		t.Run(e.Name(), func(t *testing.T) {
+			plan, err := ParsePlan(src)
+			if err != nil {
+				t.Logf("rejected (ok): %v", err)
+				return
+			}
+			if err := plan.Validate(); err != nil {
+				t.Logf("validate rejected (ok): %v", err)
+				return
+			}
+			// A valid plan's text form must re-parse to an equivalent plan.
+			back, err := ParsePlan(plan.String())
+			if err != nil {
+				t.Fatalf("normalised plan does not re-parse: %v\n%s", err, plan.String())
+			}
+			if back.String() != plan.String() {
+				t.Fatalf("plan text not stable:\n--- first\n%s--- second\n%s", plan.String(), back.String())
+			}
+		})
+	}
+}

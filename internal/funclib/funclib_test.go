@@ -11,8 +11,8 @@ import (
 )
 
 func TestKindsRegistered(t *testing.T) {
-	want := []string{"fft_cols", "fft_rows", "fir_decimate_rows", "fir_rows", "identity", "mag2",
-		"scale", "sink_matrix", "source_matrix", "transpose_block", "window_rows"}
+	want := []string{"add2", "fft_cols", "fft_rows", "fir_decimate_rows", "fir_rows", "identity",
+		"mag2", "scale", "sink_matrix", "source_matrix", "transpose_block", "window_rows"}
 	got := Kinds()
 	if len(got) != len(want) {
 		t.Fatalf("kinds = %v, want %v", got, want)

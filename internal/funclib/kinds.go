@@ -42,6 +42,27 @@ func FillSource(b *Block, seed int64, iteration int) {
 
 func blockBytes(b *Block) int { return b.Region.Elems() * 8 } // single-precision wire size
 
+// checkMatchedPorts is the cross-port Check shared by every kind that
+// computes thread-locally and elementwise (or row/column-wise) from one port
+// onto another of the same shape: both ports must carry the same striping,
+// or a thread's input and output regions diverge and the computation is not
+// expressible locally. Striping *changes* belong on arcs (redistribution by
+// the runtime), not across a single function.
+func checkMatchedPorts(in, out string) func(f *model.Function) error {
+	return func(f *model.Function) error {
+		ip, op := f.Port(in), f.Port(out)
+		if ip.Type.Rows != op.Type.Rows || ip.Type.Cols != op.Type.Cols || ip.Type.Elem != op.Type.Elem {
+			return fmt.Errorf("funclib: %s (kind %s): ports %s and %s must share one shape, got %dx%d vs %dx%d",
+				f.Name, f.Kind, in, out, ip.Type.Rows, ip.Type.Cols, op.Type.Rows, op.Type.Cols)
+		}
+		if ip.Striping != op.Striping {
+			return fmt.Errorf("funclib: %s (kind %s): ports %s and %s must share one striping (got %q -> %q); express redistribution on the arc, not across the function",
+				f.Name, f.Kind, in, out, ip.Striping, op.Striping)
+		}
+		return nil
+	}
+}
+
 func init() {
 	register(&Impl{
 		Kind: "source_matrix",
@@ -76,10 +97,11 @@ func init() {
 	})
 
 	register(&Impl{
-		Kind: "identity",
-		Doc:  "Copies input to output unchanged (pipeline plumbing).",
-		In:   []PortReq{{Name: "in", Stripes: anyStripe()}},
-		Out:  []PortReq{{Name: "out", Stripes: anyStripe()}},
+		Kind:  "identity",
+		Doc:   "Copies input to output unchanged (pipeline plumbing).",
+		In:    []PortReq{{Name: "in", Stripes: anyStripe()}},
+		Out:   []PortReq{{Name: "out", Stripes: anyStripe()}},
+		Check: checkMatchedPorts("in", "out"),
 		Compute: func(ctx *Context, in, out map[string]*Block) error {
 			if in["in"].Region != out["out"].Region {
 				return fmt.Errorf("funclib: %s: identity regions differ: %v vs %v",
@@ -94,11 +116,16 @@ func init() {
 	})
 
 	register(&Impl{
-		Kind: "scale",
-		Doc:  "Multiplies every sample by the real parameter factor.",
-		In:   []PortReq{{Name: "in", Stripes: anyStripe()}},
-		Out:  []PortReq{{Name: "out", Stripes: anyStripe()}},
+		Kind:  "scale",
+		Doc:   "Multiplies every sample by the real parameter factor.",
+		In:    []PortReq{{Name: "in", Stripes: anyStripe()}},
+		Out:   []PortReq{{Name: "out", Stripes: anyStripe()}},
+		Check: checkMatchedPorts("in", "out"),
 		Compute: func(ctx *Context, in, out map[string]*Block) error {
+			if in["in"].Region != out["out"].Region {
+				return fmt.Errorf("funclib: %s: scale regions differ: %v vs %v",
+					ctx.FuncName, in["in"].Region, out["out"].Region)
+			}
 			f := complex(ctx.FloatParam("factor", 1), 0)
 			isspl.VScale(out["out"].Data, in["in"].Data, f)
 			return nil
@@ -109,11 +136,16 @@ func init() {
 	})
 
 	register(&Impl{
-		Kind: "mag2",
-		Doc:  "Writes |x|^2 into the real part of the output (detection stage).",
-		In:   []PortReq{{Name: "in", Stripes: anyStripe()}},
-		Out:  []PortReq{{Name: "out", Stripes: anyStripe()}},
+		Kind:  "mag2",
+		Doc:   "Writes |x|^2 into the real part of the output (detection stage).",
+		In:    []PortReq{{Name: "in", Stripes: anyStripe()}},
+		Out:   []PortReq{{Name: "out", Stripes: anyStripe()}},
+		Check: checkMatchedPorts("in", "out"),
 		Compute: func(ctx *Context, in, out map[string]*Block) error {
+			if in["in"].Region != out["out"].Region {
+				return fmt.Errorf("funclib: %s: mag2 regions differ: %v vs %v",
+					ctx.FuncName, in["in"].Region, out["out"].Region)
+			}
 			src, dst := in["in"].Data, out["out"].Data
 			for i := range src {
 				re, im := real(src[i]), imag(src[i])
@@ -127,10 +159,11 @@ func init() {
 	})
 
 	register(&Impl{
-		Kind: "fft_rows",
-		Doc:  "In-order FFT of every local row (row-striped matrix FFT stage).",
-		In:   []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
-		Out:  []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Kind:  "fft_rows",
+		Doc:   "In-order FFT of every local row (row-striped matrix FFT stage).",
+		In:    []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Out:   []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Check: checkMatchedPorts("in", "out"),
 		Compute: func(ctx *Context, in, out map[string]*Block) error {
 			ib, ob := in["in"], out["out"]
 			if ib.Region != ob.Region {
@@ -150,10 +183,11 @@ func init() {
 	})
 
 	register(&Impl{
-		Kind: "fft_cols",
-		Doc:  "FFT of every local column of a column-striped block (strided transforms on row-major storage).",
-		In:   []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByCols, model.Replicated}}},
-		Out:  []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByCols, model.Replicated}}},
+		Kind:  "fft_cols",
+		Doc:   "FFT of every local column of a column-striped block (strided transforms on row-major storage).",
+		In:    []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByCols, model.Replicated}}},
+		Out:   []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByCols, model.Replicated}}},
+		Check: checkMatchedPorts("in", "out"),
 		Compute: func(ctx *Context, in, out map[string]*Block) error {
 			ib, ob := in["in"], out["out"]
 			if ib.Region != ob.Region {
@@ -203,10 +237,11 @@ func init() {
 	})
 
 	register(&Impl{
-		Kind: "window_rows",
-		Doc:  "Applies a tapering window (param window: rect|hann|hamming|blackman|kaiser) across every local row.",
-		In:   []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
-		Out:  []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Kind:  "window_rows",
+		Doc:   "Applies a tapering window (param window: rect|hann|hamming|blackman|kaiser) across every local row.",
+		In:    []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Out:   []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Check: checkMatchedPorts("in", "out"),
 		Compute: func(ctx *Context, in, out map[string]*Block) error {
 			ib, ob := in["in"], out["out"]
 			if ib.Region != ob.Region {
@@ -228,10 +263,11 @@ func init() {
 	})
 
 	register(&Impl{
-		Kind: "fir_rows",
-		Doc:  "FIR-filters every local row with a generated lowpass (param ntaps).",
-		In:   []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
-		Out:  []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Kind:  "fir_rows",
+		Doc:   "FIR-filters every local row with a generated lowpass (param ntaps).",
+		In:    []PortReq{{Name: "in", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Out:   []PortReq{{Name: "out", Stripes: []model.StripeKind{model.ByRows, model.Replicated}}},
+		Check: checkMatchedPorts("in", "out"),
 		Compute: func(ctx *Context, in, out map[string]*Block) error {
 			ib, ob := in["in"], out["out"]
 			if ib.Region != ob.Region {
@@ -295,6 +331,41 @@ func init() {
 		},
 		Cost: func(ctx *Context, in, out map[string]*Block) Cost {
 			return Cost{Flops: isspl.FIRFlops(out["out"].Region.Elems(), ctx.IntParam("ntaps", 8))}
+		},
+	})
+}
+
+func init() {
+	register(&Impl{
+		Kind: "add2",
+		Doc:  "Elementwise sum of two equally-typed inputs (fan-in combiner for DAG applications).",
+		In:   []PortReq{{Name: "a", Stripes: anyStripe()}, {Name: "b", Stripes: anyStripe()}},
+		Out:  []PortReq{{Name: "out", Stripes: anyStripe()}},
+		Check: func(f *model.Function) error {
+			a, b, out := f.Port("a"), f.Port("b"), f.Port("out")
+			for _, p := range []*model.Port{b, out} {
+				if p.Type.Rows != a.Type.Rows || p.Type.Cols != a.Type.Cols || p.Type.Elem != a.Type.Elem {
+					return fmt.Errorf("funclib: %s: add2 ports must share one shape, got %dx%d vs %dx%d",
+						f.Name, a.Type.Rows, a.Type.Cols, p.Type.Rows, p.Type.Cols)
+				}
+				if p.Striping != a.Striping {
+					return fmt.Errorf("funclib: %s: add2 ports must share one striping (threads combine their local regions), got %q vs %q",
+						f.Name, a.Striping, p.Striping)
+				}
+			}
+			return nil
+		},
+		Compute: func(ctx *Context, in, out map[string]*Block) error {
+			a, b, ob := in["a"], in["b"], out["out"]
+			if a.Region != ob.Region || b.Region != ob.Region {
+				return fmt.Errorf("funclib: %s: add2 regions differ: a %v b %v out %v",
+					ctx.FuncName, a.Region, b.Region, ob.Region)
+			}
+			isspl.VAdd(ob.Data, a.Data, b.Data)
+			return nil
+		},
+		Cost: func(ctx *Context, in, out map[string]*Block) Cost {
+			return Cost{Flops: isspl.VectorOpFlops(out["out"].Region.Elems())}
 		},
 	})
 }
