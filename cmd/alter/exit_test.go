@@ -1,0 +1,42 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: dash-prefixed pseudo-flags exit 2,
+// read or evaluation failures exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "ok.alter")
+	if err := os.WriteFile(good, []byte("(+ 1 2)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.alter")
+	if err := os.WriteFile(bad, []byte("(undefined-op)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "no-such.alter")
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"missing script", []string{missing}, cli.ExitFailure},
+		{"evaluation error", []string{bad}, cli.ExitFailure},
+		{"good script", []string{good}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -19,10 +19,16 @@ import (
 	"strings"
 
 	"repro/internal/alter"
+	"repro/internal/cli"
 )
 
-func main() {
-	args := os.Args[1:]
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain runs the interpreter over script files (or stdin with "-") and maps
+// errors to the shared exit-code discipline: alter takes no flags, so any
+// dash-prefixed argument other than "-" is a usage mistake (exit 2); read or
+// evaluation failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
 	in := alter.New()
 	// Scripts get (display ...) and (newline) for output; the gluegen
 	// embedding replaces these with emit streams.
@@ -37,9 +43,15 @@ func main() {
 		return nil, nil
 	})
 
+	for _, path := range args {
+		if strings.HasPrefix(path, "-") && path != "-" {
+			fmt.Fprintf(stderr, "alter: unknown flag %q\nusage: alter [script.alter ... | -]\n", path)
+			return cli.ExitUsage
+		}
+	}
 	if len(args) == 0 {
 		repl(in)
-		return
+		return cli.ExitOK
 	}
 	for _, path := range args {
 		var src []byte
@@ -50,14 +62,15 @@ func main() {
 			src, err = os.ReadFile(path)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "alter:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "alter:", err)
+			return cli.ExitFailure
 		}
 		if _, err := in.RunString(string(src)); err != nil {
-			fmt.Fprintln(os.Stderr, "alter:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "alter:", err)
+			return cli.ExitFailure
 		}
 	}
+	return cli.ExitOK
 }
 
 // repl reads balanced forms from stdin and prints each result.

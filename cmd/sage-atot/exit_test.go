@@ -1,0 +1,57 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cli"
+)
+
+// writeModel generates a small FFT2D model file for the success cases.
+func writeModel(t *testing.T) string {
+	t.Helper()
+	app, err := apps.FFT2D(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fft2d.sage")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.WriteText(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, mapping
+// failures exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	model := writeModel(t)
+	missing := filepath.Join(t.TempDir(), "no-such.sage")
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"missing -model", nil, cli.ExitUsage},
+		{"unknown strategy", []string{"-model", model, "-strategy", "anneal"}, cli.ExitUsage},
+		{"missing model file", []string{"-model", missing}, cli.ExitFailure},
+		{"roundrobin mapping", []string{"-model", model, "-strategy", "roundrobin", "-nodes", "4"}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

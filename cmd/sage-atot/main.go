@@ -13,35 +13,45 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/atot"
+	"repro/internal/cli"
 	"repro/internal/funclib"
 	"repro/internal/model"
 	"repro/internal/platforms"
 )
 
-func main() {
-	modelFile := flag.String("model", "", "model file (required)")
-	platformName := flag.String("platform", "CSPI", "target platform")
-	nodes := flag.Int("nodes", 8, "processor count")
-	strategy := flag.String("strategy", "ga", "mapping strategy: ga | greedy | roundrobin | spread")
-	pop := flag.Int("pop", 64, "GA population")
-	gens := flag.Int("gens", 150, "GA generations")
-	seed := flag.Int64("seed", 1, "GA seed")
-	schedule := flag.Bool("schedule", false, "print the estimated execution schedule")
-	out := flag.String("o", "", "write the mapping file")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
 
-	if err := run(*modelFile, *platformName, *nodes, *strategy, *pop, *gens, *seed, *schedule, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-atot:", err)
-		os.Exit(1)
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, mapping failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-atot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelFile := fs.String("model", "", "model file (required)")
+	platformName := fs.String("platform", "CSPI", "target platform")
+	nodes := fs.Int("nodes", 8, "processor count")
+	strategy := fs.String("strategy", "ga", "mapping strategy: ga | greedy | roundrobin | spread")
+	pop := fs.Int("pop", 64, "GA population")
+	gens := fs.Int("gens", 150, "GA generations")
+	seed := fs.Int64("seed", 1, "GA seed")
+	schedule := fs.Bool("schedule", false, "print the estimated execution schedule")
+	out := fs.String("o", "", "write the mapping file")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
+	if err := run(*modelFile, *platformName, *nodes, *strategy, *pop, *gens, *seed, *schedule, *out); err != nil {
+		fmt.Fprintln(stderr, "sage-atot:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
 }
 
 func run(modelFile, platformName string, nodes int, strategy string, pop, gens int, seed int64, schedule bool, out string) error {
 	if modelFile == "" {
-		return fmt.Errorf("-model is required")
+		return cli.Usagef("-model is required")
 	}
 	f, err := os.Open(modelFile)
 	if err != nil {
@@ -85,7 +95,7 @@ func run(modelFile, platformName string, nodes int, strategy string, pop, gens i
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return cli.Usagef("unknown strategy %q", strategy)
 	}
 
 	cost, err := ev.Evaluate(mapping, atot.Weights{})

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, runtime
+// failures exit 1. (Successful experiments are covered by main_test.go.)
+func TestExitCodes(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such.json")
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"unknown experiment", []string{"-experiment", "warpdrive"}, cli.ExitUsage},
+		{"missing benchcheck file", []string{"-benchcheck", missing}, cli.ExitFailure},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

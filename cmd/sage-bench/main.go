@@ -35,50 +35,61 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps"
 	"repro/internal/atot"
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/platforms"
 	"repro/internal/trace"
 )
 
-func main() {
-	exp := flag.String("experiment", "table1", "experiment to run (table1|twonode|aggregate|crossvendor|portability|genstudy|pipeline|mapping|heterogeneous|realtime|scaling|faultsweep|all)")
-	quick := flag.Bool("quick", false, "reduced sizes and protocol for a fast smoke run")
-	paper := flag.Bool("paper", false, "use the literal §3.3 protocol (10 executions x 100 iterations); slow, and — the simulator being deterministic — numerically identical to the default reduced protocol")
-	parallel := flag.Int("parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every simulation run to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print a per-node/per-link trace summary (requires or implies tracing)")
-	faultsPath := flag.String("faults", "", "fault-plan file injected into every simulated run (validate with sage-faultcheck)")
-	benchJSON := flag.String("benchjson", "", "run the fixed benchmark matrix and write the BENCH JSON report to this file (ignores -experiment)")
-	benchQuick := flag.Bool("bench-quick", false, "with -benchjson: tiny matrix sizes for CI smoke runs")
-	benchCheck := flag.String("benchcheck", "", "validate an existing BENCH JSON report and print its deterministic fingerprint")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, experiment failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("experiment", "table1", "experiment to run (table1|twonode|aggregate|crossvendor|portability|genstudy|pipeline|mapping|heterogeneous|realtime|scaling|faultsweep|all)")
+	quick := fs.Bool("quick", false, "reduced sizes and protocol for a fast smoke run")
+	paper := fs.Bool("paper", false, "use the literal §3.3 protocol (10 executions x 100 iterations); slow, and — the simulator being deterministic — numerically identical to the default reduced protocol")
+	parallel := fs.Int("parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of every simulation run to this file")
+	traceSummary := fs.Bool("trace-summary", false, "print a per-node/per-link trace summary (requires or implies tracing)")
+	faultsPath := fs.String("faults", "", "fault-plan file injected into every simulated run (validate with sage-faultcheck)")
+	benchJSON := fs.String("benchjson", "", "run the fixed benchmark matrix and write the BENCH JSON report to this file (ignores -experiment)")
+	benchQuick := fs.Bool("bench-quick", false, "with -benchjson: tiny matrix sizes for CI smoke runs")
+	benchCheck := fs.String("benchcheck", "", "validate an existing BENCH JSON report and print its deterministic fingerprint")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
 
 	if *benchCheck != "" {
 		r, err := bench.ReadFile(*benchCheck)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sage-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sage-bench:", err)
+			return cli.ExitCode(err)
 		}
 		fmt.Print(r.Fingerprint())
-		return
+		return cli.ExitOK
 	}
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *benchQuick); err != nil {
-			fmt.Fprintln(os.Stderr, "sage-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sage-bench:", err)
+			return cli.ExitCode(err)
 		}
-		return
+		return cli.ExitOK
 	}
 	if err := run(*exp, *quick, *paper, *parallel, *tracePath, *traceSummary, *faultsPath); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-bench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sage-bench:", err)
+		return cli.ExitCode(err)
 	}
+	return cli.ExitOK
 }
 
 // runBench executes the fixed performance matrix and writes the report.
@@ -246,7 +257,7 @@ func run(exp string, quick, paper bool, parallel int, tracePath string, traceSum
 			}
 			fmt.Println(rt.Format())
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return cli.Usagef("unknown experiment %q", name)
 		}
 		return nil
 	}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, conformance
+// failures exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"no mode selected", nil, cli.ExitUsage},
+		{"bad range", []string{"-seed-range", "7"}, cli.ExitUsage},
+		{"reversed range", []string{"-seed-range", "9:3"}, cli.ExitUsage},
+		{"empty range passes", []string{"-seed-range", "0:0"}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -22,39 +22,49 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/conformance"
 )
 
-func main() {
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, conformance failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-conform", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seedRange = flag.String("seed-range", "", "half-open seed range from:to, e.g. 0:200")
-		seed      = flag.Int64("seed", -1, "check a single seed (prints the generated case summary)")
-		quick     = flag.Bool("quick", false, "bound graph and platform sizes (CI smoke runs)")
-		parallel  = flag.Int("parallel", 1, "concurrent checker workers; output is identical for any value")
-		mutate    = flag.Bool("mutate", false, "self-test: inject a runtime miscomputation; every seed must fail and shrink small")
-		corpus    = flag.String("corpus", "", "directory receiving seed-<n>.case reproducers for failing seeds")
-		replay    = flag.String("replay", "", "replay every .case reproducer in a directory instead of generating")
-		noShrink  = flag.Bool("no-shrink", false, "report raw failures without minimizing")
-		maxShrink = flag.Int("max-shrink-checks", 0, "differential check budget per shrink (0 = default)")
+		seedRange = fs.String("seed-range", "", "half-open seed range from:to, e.g. 0:200")
+		seed      = fs.Int64("seed", -1, "check a single seed (prints the generated case summary)")
+		quick     = fs.Bool("quick", false, "bound graph and platform sizes (CI smoke runs)")
+		parallel  = fs.Int("parallel", 1, "concurrent checker workers; output is identical for any value")
+		mutate    = fs.Bool("mutate", false, "self-test: inject a runtime miscomputation; every seed must fail and shrink small")
+		corpus    = fs.String("corpus", "", "directory receiving seed-<n>.case reproducers for failing seeds")
+		replay    = fs.String("replay", "", "replay every .case reproducer in a directory instead of generating")
+		noShrink  = fs.Bool("no-shrink", false, "report raw failures without minimizing")
+		maxShrink = fs.Int("max-shrink-checks", 0, "differential check budget per shrink (0 = default)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
 
 	switch {
 	case *replay != "":
-		os.Exit(replayDir(*replay))
+		return replayDir(*replay)
 	case *seed >= 0:
-		os.Exit(oneSeed(*seed, *quick, *mutate, *maxShrink))
+		return oneSeed(*seed, *quick, *mutate, *maxShrink)
 	case *seedRange != "":
 		from, to, err := parseRange(*seedRange)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sage-conform:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "sage-conform:", err)
+			return cli.ExitUsage
 		}
 		rep, err := conformance.Run(from, to, conformance.Config{
 			Quick:           *quick,
@@ -68,16 +78,17 @@ func main() {
 			fmt.Print(rep.Format())
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sage-conform:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sage-conform:", err)
+			return cli.ExitFailure
 		}
 		if !rep.OK() {
-			os.Exit(1)
+			return cli.ExitFailure
 		}
+		return cli.ExitOK
 	default:
-		fmt.Fprintln(os.Stderr, "sage-conform: one of -seed-range, -seed or -replay is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sage-conform: one of -seed-range, -seed or -replay is required")
+		fs.Usage()
+		return cli.ExitUsage
 	}
 }
 

@@ -11,31 +11,41 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/cli"
 	"repro/internal/funclib"
 	"repro/internal/model"
 	"repro/internal/platforms"
 )
 
-func main() {
-	newApp := flag.String("new", "", "create a benchmark model: fft2d | cornerturn | stap")
-	n := flag.Int("n", 1024, "matrix edge for -new (power of two)")
-	threads := flag.Int("threads", 8, "worker thread count for -new")
-	out := flag.String("o", "", "output file for -new (default stdout)")
-	modelFile := flag.String("model", "", "model file to load")
-	summary := flag.Bool("summary", false, "print a model summary")
-	kinds := flag.Bool("kinds", false, "list the function library (software shelf)")
-	newHW := flag.String("new-hw", "", "emit a hardware design from a registry platform (CSPI|Mercury|SKY|SIGI|Workstations)")
-	boards := flag.Int("boards", 2, "board count for -new-hw")
-	hwFile := flag.String("hw", "", "hardware design file to validate and summarise")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
 
-	if err := run(*newApp, *n, *threads, *out, *modelFile, *summary, *kinds, *newHW, *boards, *hwFile); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-designer:", err)
-		os.Exit(1)
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, load/validation failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-designer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	newApp := fs.String("new", "", "create a benchmark model: fft2d | cornerturn | stap")
+	n := fs.Int("n", 1024, "matrix edge for -new (power of two)")
+	threads := fs.Int("threads", 8, "worker thread count for -new")
+	out := fs.String("o", "", "output file for -new (default stdout)")
+	modelFile := fs.String("model", "", "model file to load")
+	summary := fs.Bool("summary", false, "print a model summary")
+	kinds := fs.Bool("kinds", false, "list the function library (software shelf)")
+	newHW := fs.String("new-hw", "", "emit a hardware design from a registry platform (CSPI|Mercury|SKY|SIGI|Workstations)")
+	boards := fs.Int("boards", 2, "board count for -new-hw")
+	hwFile := fs.String("hw", "", "hardware design file to validate and summarise")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
+	if err := run(*newApp, *n, *threads, *out, *modelFile, *summary, *kinds, *newHW, *boards, *hwFile); err != nil {
+		fmt.Fprintln(stderr, "sage-designer:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
 }
 
 func run(newApp string, n, threads int, out, modelFile string, summary, kinds bool, newHW string, boards int, hwFile string) error {
@@ -97,7 +107,7 @@ func run(newApp string, n, threads int, out, modelFile string, summary, kinds bo
 		case "stap":
 			app, err = apps.STAP(n, threads)
 		default:
-			return fmt.Errorf("unknown benchmark %q (want fft2d, cornerturn or stap)", newApp)
+			return cli.Usagef("unknown benchmark %q (want fft2d, cornerturn or stap)", newApp)
 		}
 		if err != nil {
 			return err
@@ -114,7 +124,7 @@ func run(newApp string, n, threads int, out, modelFile string, summary, kinds bo
 		return app.WriteText(w)
 	}
 	if modelFile == "" {
-		return fmt.Errorf("nothing to do: pass -new, -model or -kinds")
+		return cli.Usagef("nothing to do: pass -new, -model or -kinds")
 	}
 	f, err := os.Open(modelFile)
 	if err != nil {

@@ -15,25 +15,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/fault"
 )
 
-func main() {
-	nodes := flag.Int("nodes", 0, "machine size to check node/link references against (0 = skip)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sage-faultcheck [-nodes N] plan.txt")
-		os.Exit(2)
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, validation failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-faultcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodes := fs.Int("nodes", 0, "machine size to check node/link references against (0 = skip)")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
-	if err := run(os.Stdout, flag.Arg(0), *nodes); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-faultcheck:", err)
-		os.Exit(1)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sage-faultcheck [-nodes N] plan.txt")
+		return cli.ExitUsage
 	}
+	if err := run(os.Stdout, fs.Arg(0), *nodes); err != nil {
+		fmt.Fprintln(stderr, "sage-faultcheck:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
 }
 
-func run(w *os.File, path string, nodes int) error {
+func run(w io.Writer, path string, nodes int) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, generation
+// failures exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such.sage")
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"missing required", nil, cli.ExitUsage},
+		{"missing model file", []string{"-model", missing, "-mapping", missing}, cli.ExitFailure},
+		{"print script", []string{"-print-script"}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -13,28 +13,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/gluegen"
 	"repro/internal/model"
 	"repro/internal/platforms"
 )
 
-func main() {
-	modelFile := flag.String("model", "", "model file (required)")
-	mappingFile := flag.String("mapping", "", "mapping file (required)")
-	platformName := flag.String("platform", "CSPI", "target platform")
-	nodes := flag.Int("nodes", 8, "processor count")
-	scriptFile := flag.String("script", "", "custom Alter generator script (default: built-in standard script)")
-	tablesOut := flag.String("tables", "", "write the runtime table source (default stdout)")
-	glueOut := flag.String("glue", "", "write the human-readable glue listing")
-	printScript := flag.Bool("print-script", false, "print the built-in Alter generator script and exit")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
 
-	if err := run(*modelFile, *mappingFile, *platformName, *nodes, *scriptFile, *tablesOut, *glueOut, *printScript); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-gluegen:", err)
-		os.Exit(1)
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, generation failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-gluegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelFile := fs.String("model", "", "model file (required)")
+	mappingFile := fs.String("mapping", "", "mapping file (required)")
+	platformName := fs.String("platform", "CSPI", "target platform")
+	nodes := fs.Int("nodes", 8, "processor count")
+	scriptFile := fs.String("script", "", "custom Alter generator script (default: built-in standard script)")
+	tablesOut := fs.String("tables", "", "write the runtime table source (default stdout)")
+	glueOut := fs.String("glue", "", "write the human-readable glue listing")
+	printScript := fs.Bool("print-script", false, "print the built-in Alter generator script and exit")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
+	if err := run(*modelFile, *mappingFile, *platformName, *nodes, *scriptFile, *tablesOut, *glueOut, *printScript); err != nil {
+		fmt.Fprintln(stderr, "sage-gluegen:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
 }
 
 func run(modelFile, mappingFile, platformName string, nodes int, scriptFile, tablesOut, glueOut string, printScript bool) error {
@@ -43,7 +53,7 @@ func run(modelFile, mappingFile, platformName string, nodes int, scriptFile, tab
 		return nil
 	}
 	if modelFile == "" || mappingFile == "" {
-		return fmt.Errorf("-model and -mapping are required")
+		return cli.Usagef("-model and -mapping are required")
 	}
 	mf, err := os.Open(modelFile)
 	if err != nil {

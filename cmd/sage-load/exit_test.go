@@ -1,0 +1,55 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, an
+// unreachable daemon exits 1. (The load path against a live daemon is
+// covered by CI's serve-smoke job.)
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"missing addr", nil, cli.ExitUsage},
+		{"bad counts", []string{"-addr", "http://127.0.0.1:1", "-n", "0"}, cli.ExitUsage},
+		{"unreachable daemon", []string{"-addr", "http://127.0.0.1:1", "-wait", "50ms"}, cli.ExitFailure},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMixDeterministic: the same seed must replay the same request bytes —
+// CI's cached-vs-fresh comparison depends on it.
+func TestMixDeterministic(t *testing.T) {
+	a, b := mix(7, 16), mix(7, 16)
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("mix sizes %d/%d, want 16", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Errorf("request %d differs between identically seeded mixes", i)
+		}
+	}
+	c := mix(8, 16)
+	same := 0
+	for i := range a {
+		if string(a[i]) == string(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced an identical mix")
+	}
+}

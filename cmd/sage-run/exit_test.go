@@ -1,0 +1,33 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, run failures
+// exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	model := writeModel(t, t.TempDir())
+	missing := filepath.Join(t.TempDir(), "no-such.sage")
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"missing -model/-tables", nil, cli.ExitUsage},
+		{"missing model file", []string{"-model", missing}, cli.ExitFailure},
+		{"small run", []string{"-model", model, "-nodes", "4", "-iterations", "1"}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

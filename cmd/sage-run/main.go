@@ -17,9 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/gluegen"
 	"repro/internal/machine"
 	"repro/internal/model"
@@ -37,28 +39,36 @@ type options struct {
 	latencyBound                                             time.Duration
 }
 
-func main() {
-	var o options
-	flag.StringVar(&o.modelFile, "model", "", "model file (or use -tables)")
-	flag.StringVar(&o.mappingFile, "mapping", "", "mapping file (default: spread mapping)")
-	flag.StringVar(&o.platformName, "platform", "CSPI", "target platform from the registry")
-	flag.StringVar(&o.hwFile, "hw", "", "custom hardware design file (overrides -platform)")
-	flag.StringVar(&o.tablesFile, "tables", "", "pre-generated runtime table source to execute (skips generation)")
-	flag.IntVar(&o.nodes, "nodes", 8, "processor count (ignored with -tables)")
-	flag.IntVar(&o.iterations, "iterations", 10, "data sets to process")
-	flag.BoolVar(&o.sequential, "sequential", false, "process one data set at a time (no pipelining)")
-	flag.BoolVar(&o.optimized, "optimized-buffers", false, "enable the future-work buffer optimisation")
-	flag.BoolVar(&o.vizReport, "viz", false, "print the Visualizer report")
-	flag.StringVar(&o.traceCSV, "trace-csv", "", "export probe events as CSV")
-	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
-	flag.StringVar(&o.svgOut, "svg", "", "export the execution timeline as SVG")
-	flag.DurationVar(&o.latencyBound, "latency-threshold", 0, "flag iterations over this latency")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
 
-	if err := run(o); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-run:", err)
-		os.Exit(1)
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, run failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.modelFile, "model", "", "model file (or use -tables)")
+	fs.StringVar(&o.mappingFile, "mapping", "", "mapping file (default: spread mapping)")
+	fs.StringVar(&o.platformName, "platform", "CSPI", "target platform from the registry")
+	fs.StringVar(&o.hwFile, "hw", "", "custom hardware design file (overrides -platform)")
+	fs.StringVar(&o.tablesFile, "tables", "", "pre-generated runtime table source to execute (skips generation)")
+	fs.IntVar(&o.nodes, "nodes", 8, "processor count (ignored with -tables)")
+	fs.IntVar(&o.iterations, "iterations", 10, "data sets to process")
+	fs.BoolVar(&o.sequential, "sequential", false, "process one data set at a time (no pipelining)")
+	fs.BoolVar(&o.optimized, "optimized-buffers", false, "enable the future-work buffer optimisation")
+	fs.BoolVar(&o.vizReport, "viz", false, "print the Visualizer report")
+	fs.StringVar(&o.traceCSV, "trace-csv", "", "export probe events as CSV")
+	fs.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&o.svgOut, "svg", "", "export the execution timeline as SVG")
+	fs.DurationVar(&o.latencyBound, "latency-threshold", 0, "flag iterations over this latency")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(stderr, "sage-run:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
 }
 
 // resolvePlatform picks the hardware: a custom design file or the registry.
@@ -97,7 +107,7 @@ func loadTables(o options, pl machine.Platform, nodes int) (*gluegen.Tables, str
 		return tables, tables.AppName, nil
 	}
 	if o.modelFile == "" {
-		return nil, "", fmt.Errorf("pass -model or -tables")
+		return nil, "", cli.Usagef("pass -model or -tables")
 	}
 	mf, err := os.Open(o.modelFile)
 	if err != nil {

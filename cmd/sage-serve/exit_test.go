@@ -1,0 +1,30 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, listen
+// failures exit 1. (The serving path is covered by CI's serve-smoke job and
+// internal/serve's tests.)
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"empty addr", []string{"-addr", ""}, cli.ExitUsage},
+		{"unlistenable addr", []string{"-addr", "256.256.256.256:1"}, cli.ExitFailure},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, validation
+// failures exit 1.
+func TestExitCodes(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such.json")
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"no trace argument", nil, cli.ExitUsage},
+		{"two trace arguments", []string{"a.json", "b.json"}, cli.ExitUsage},
+		{"missing trace file", []string{missing}, cli.ExitFailure},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

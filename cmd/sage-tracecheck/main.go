@@ -13,23 +13,34 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/trace"
 )
 
-func main() {
-	require := flag.String("require", "", "comma-separated trace categories (layers) that must appear, e.g. sim,sagert,mpi")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sage-tracecheck [-require layers] trace.json")
-		os.Exit(2)
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
+
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, validation failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	require := fs.String("require", "", "comma-separated trace categories (layers) that must appear, e.g. sim,sagert,mpi")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
-	if err := run(flag.Arg(0), *require); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-tracecheck:", err)
-		os.Exit(1)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sage-tracecheck [-require layers] trace.json")
+		return cli.ExitUsage
 	}
+	if err := run(fs.Arg(0), *require); err != nil {
+		fmt.Fprintln(stderr, "sage-tracecheck:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
 }
 
 func run(path, require string) error {

@@ -10,27 +10,37 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/viz"
 )
 
-func main() {
-	traceFile := flag.String("trace", "", "probe-event CSV file (required)")
-	width := flag.Int("width", 100, "timeline width in columns")
-	csvOnly := flag.Bool("breakdown", false, "print only the per-function breakdown")
-	svgOut := flag.String("svg", "", "write the timeline as an SVG file")
-	flag.Parse()
+func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
 
-	if err := run(*traceFile, *width, *csvOnly, *svgOut); err != nil {
-		fmt.Fprintln(os.Stderr, "sage-viz:", err)
-		os.Exit(1)
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, render failures exit 1.
+func cliMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-viz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	traceFile := fs.String("trace", "", "probe-event CSV file (required)")
+	width := fs.Int("width", 100, "timeline width in columns")
+	csvOnly := fs.Bool("breakdown", false, "print only the per-function breakdown")
+	svgOut := fs.String("svg", "", "write the timeline as an SVG file")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
 	}
+	if err := run(*traceFile, *width, *csvOnly, *svgOut); err != nil {
+		fmt.Fprintln(stderr, "sage-viz:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
 }
 
 func run(traceFile string, width int, breakdownOnly bool, svgOut string) error {
 	if traceFile == "" {
-		return fmt.Errorf("-trace is required")
+		return cli.Usagef("-trace is required")
 	}
 	f, err := os.Open(traceFile)
 	if err != nil {

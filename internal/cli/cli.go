@@ -1,0 +1,54 @@
+// Package cli fixes the exit-code discipline shared by every SAGE command:
+//
+//	0 — success
+//	1 — runtime or validation failure (a simulation failed, a file was
+//	    unreadable, a check did not pass)
+//	2 — usage error (bad flags, missing required arguments)
+//
+// Before this discipline the tools mixed the two failure classes — several
+// exited 1 for a typo'd flag and 1 for a real failure, and some printed
+// errors without any failing status — which makes them unscriptable: CI jobs
+// and the serve smoke tests need to distinguish "you called me wrong" from
+// "the thing you asked for went wrong".
+//
+// Commands mark command-line mistakes with Usagef (or wrap ErrUsage) and let
+// every other error default to a failure exit; ExitCode maps an error to the
+// right code.
+package cli
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Exit codes shared by all SAGE commands.
+const (
+	ExitOK      = 0
+	ExitFailure = 1
+	ExitUsage   = 2
+)
+
+// ErrUsage marks an error as a command-line usage mistake. Wrap it
+// (fmt.Errorf("...: %w", cli.ErrUsage)) or use Usagef.
+var ErrUsage = errors.New("usage error")
+
+// Usagef builds a usage error: ExitCode returns ExitUsage for it.
+func Usagef(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrUsage)...)
+}
+
+// IsUsage reports whether err is (or wraps) a usage error.
+func IsUsage(err error) bool { return errors.Is(err, ErrUsage) }
+
+// ExitCode maps an error to the command's exit code: nil is success, usage
+// errors exit 2, everything else exits 1.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsUsage(err):
+		return ExitUsage
+	default:
+		return ExitFailure
+	}
+}

@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	wrapped := fmt.Errorf("context: %w", Usagef("missing -model"))
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"plain", errors.New("boom"), ExitFailure},
+		{"usage", Usagef("bad -n %d", 3), ExitUsage},
+		{"wrapped-usage", wrapped, ExitUsage},
+		{"sentinel", ErrUsage, ExitUsage},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+func TestUsagefMessage(t *testing.T) {
+	err := Usagef("bad -seed-range %q", "x")
+	if !IsUsage(err) {
+		t.Fatal("Usagef error not recognized")
+	}
+	if want := `bad -seed-range "x"`; len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Fatalf("message = %q, want prefix %q", err.Error(), want)
+	}
+}

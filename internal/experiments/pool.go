@@ -3,6 +3,7 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -21,6 +22,15 @@ import (
 // tests compare against). When several jobs fail, the error of the lowest
 // input index is returned — the same error a sequential loop would hit
 // first.
+//
+// The first failure cancels the rest of the batch: the dispatcher stops
+// handing out new indices, so a long sweep does not burn hours simulating
+// cells whose results will be discarded. (A daemon putting a deadline on a
+// request relies on this: one canceled run must stop the whole batch.)
+// Indices already handed out run to completion, and dispatch is in input
+// order, so the dispatched set is always a prefix 0..k that covers every
+// index a sequential loop would have reached before its first error — the
+// lowest-index-error contract is unaffected by cancellation.
 func runPool[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -41,6 +51,7 @@ func runPool[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error)
 	}
 	errs := make([]error, n)
 	jobs := make(chan int)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
@@ -48,10 +59,13 @@ func runPool[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error)
 			defer wg.Done()
 			for i := range jobs {
 				results[i], errs[i] = job(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		jobs <- i
 	}
 	close(jobs)
@@ -62,6 +76,15 @@ func runPool[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error)
 		}
 	}
 	return results, nil
+}
+
+// RunPool exposes the experiment worker pool to other packages — the serve
+// daemon drives each request's repetition batch through it. Semantics are
+// exactly runPool's: results in input order, the lowest-index error wins,
+// and the first failure stops further dispatch (which is how a canceled
+// repetition aborts the rest of a request's batch).
+func RunPool[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
+	return runPool(parallelism, n, job)
 }
 
 // mergeTrace folds the per-run collectors produced by pooled jobs into the

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunPoolPreservesInputOrder(t *testing.T) {
@@ -49,6 +50,55 @@ func TestRunPoolRunsEveryJobExactlyOnce(t *testing.T) {
 		if c != 1 {
 			t.Fatalf("job %d ran %d times", i, c)
 		}
+	}
+}
+
+// TestRunPoolEarlyCancelStopsDispatch is the regression test for the
+// first-error cancellation: one failing job must stop the dispatcher from
+// handing out the rest of a large batch. Workers that already hold an index
+// finish it, so at most a few jobs beyond the failure ever execute.
+func TestRunPoolEarlyCancelStopsDispatch(t *testing.T) {
+	const n, par = 1000, 4
+	var executed atomic.Int32
+	_, err := runPool(par, n, func(i int) (int, error) {
+		executed.Add(1)
+		if i == 0 {
+			return 0, errors.New("job 0 failed")
+		}
+		time.Sleep(50 * time.Millisecond)
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 0 failed" {
+		t.Fatalf("err = %v, want job 0's error", err)
+	}
+	// Without cancellation all n jobs run. With it, only the jobs dispatched
+	// before the failure became visible can run: the failing job, the workers'
+	// in-flight indices, and at most one send completed concurrently with the
+	// failure — comfortably under 2*parallelism.
+	if got := executed.Load(); got > 2*par {
+		t.Fatalf("executed %d jobs after an early failure, want <= %d", got, 2*par)
+	}
+}
+
+// TestRunPoolEarlyCancelKeepsLowestIndexError: cancellation must not change
+// which error is reported. A slow failure at index 0 and an instant failure
+// at index 1 race; the batch still reports index 0's error, exactly as a
+// sequential loop would.
+func TestRunPoolEarlyCancelKeepsLowestIndexError(t *testing.T) {
+	_, err := runPool(2, 100, func(i int) (int, error) {
+		switch i {
+		case 0:
+			time.Sleep(20 * time.Millisecond)
+			return 0, errors.New("job 0 failed")
+		case 1:
+			return 0, errors.New("job 1 failed")
+		default:
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}
+	})
+	if err == nil || err.Error() != "job 0 failed" {
+		t.Fatalf("err = %v, want the lowest-index (job 0) error", err)
 	}
 }
 

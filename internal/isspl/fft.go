@@ -26,35 +26,119 @@ func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 // so the cache is guarded by a lock; the tables themselves are immutable
 // once published. (The cache is an implementation detail; clear with
 // ResetTwiddleCache in memory-sensitive tests.)
+//
+// The cache is bounded: a long-lived process (the sage-serve daemon) sees an
+// unbounded variety of transform sizes over its lifetime, and an uncapped
+// per-size map is a slow memory leak. When the cached tables exceed
+// twiddleCacheMaxElems complex values, the least-recently-used sizes are
+// evicted. Eviction is invisible to callers: a table is a pure function of
+// its size, so a recomputed table is bitwise identical to the evicted one.
 var (
 	twiddleMu    sync.RWMutex
-	twiddleCache = map[int][]complex128{}
+	twiddleCache = map[int]*twiddleEntry{}
+	twiddleElems int    // total complex128 values across cached tables
+	twiddleTick  uint64 // logical clock for LRU ordering
+	twiddleStats CacheStats
 )
+
+// twiddleCacheMaxElems bounds the cache to 1<<20 complex128 values (16 MiB).
+// Large enough to hold every size the benchmark applications use
+// simultaneously; small enough that a daemon serving adversarial size mixes
+// stays flat. A variable so the bounded-soak test can shrink it.
+var twiddleCacheMaxElems = 1 << 20
+
+type twiddleEntry struct {
+	w    []complex128
+	used uint64 // twiddleTick at last access
+}
+
+// CacheStats describes the twiddle cache; served by the daemon's /v1/stats.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Elems     int    `json:"elems"` // complex128 values held (16 bytes each)
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
 
 // twiddles returns the first n/2 forward twiddle factors e^{-2πik/n}.
 func twiddles(n int) []complex128 {
 	twiddleMu.RLock()
-	w, ok := twiddleCache[n]
+	e, ok := twiddleCache[n]
 	twiddleMu.RUnlock()
 	if ok {
-		return w
+		// The LRU stamp is refreshed under the write lock; the table slice
+		// itself is immutable and safe to return before that.
+		twiddleMu.Lock()
+		twiddleTick++
+		e.used = twiddleTick
+		twiddleStats.Hits++
+		twiddleMu.Unlock()
+		return e.w
 	}
-	w = make([]complex128, n/2)
+	w := make([]complex128, n/2)
 	for k := range w {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		w[k] = complex(math.Cos(ang), math.Sin(ang))
 	}
 	twiddleMu.Lock()
-	twiddleCache[n] = w
-	twiddleMu.Unlock()
+	defer twiddleMu.Unlock()
+	twiddleStats.Misses++
+	if e, ok := twiddleCache[n]; ok {
+		// Another goroutine published the same size while we computed; both
+		// tables are bitwise identical, keep the published one.
+		twiddleTick++
+		e.used = twiddleTick
+		return e.w
+	}
+	// Oversized tables bypass the cache entirely rather than flushing it.
+	if len(w) > twiddleCacheMaxElems {
+		return w
+	}
+	for twiddleElems+len(w) > twiddleCacheMaxElems {
+		evictOldestTwiddleLocked()
+	}
+	twiddleTick++
+	twiddleCache[n] = &twiddleEntry{w: w, used: twiddleTick}
+	twiddleElems += len(w)
 	return w
 }
 
-// ResetTwiddleCache drops all cached twiddle tables.
+// evictOldestTwiddleLocked removes the least-recently-used table. Caller
+// holds twiddleMu.
+func evictOldestTwiddleLocked() {
+	oldest, found := 0, false
+	for n, e := range twiddleCache {
+		if !found || e.used < twiddleCache[oldest].used {
+			oldest, found = n, true
+		}
+	}
+	if !found {
+		return
+	}
+	twiddleElems -= len(twiddleCache[oldest].w)
+	delete(twiddleCache, oldest)
+	twiddleStats.Evictions++
+}
+
+// ResetTwiddleCache drops all cached twiddle tables and zeroes the stats.
 func ResetTwiddleCache() {
 	twiddleMu.Lock()
-	twiddleCache = map[int][]complex128{}
+	twiddleCache = map[int]*twiddleEntry{}
+	twiddleElems = 0
+	twiddleTick = 0
+	twiddleStats = CacheStats{}
 	twiddleMu.Unlock()
+}
+
+// TwiddleCacheStats reports the cache's current occupancy and hit counters.
+func TwiddleCacheStats() CacheStats {
+	twiddleMu.RLock()
+	defer twiddleMu.RUnlock()
+	s := twiddleStats
+	s.Entries = len(twiddleCache)
+	s.Elems = twiddleElems
+	return s
 }
 
 // FFT computes the in-place forward discrete Fourier transform of x using an

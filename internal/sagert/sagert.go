@@ -22,6 +22,7 @@
 package sagert
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -93,7 +94,24 @@ type Options struct {
 	// Resilience tunes the resilient mode's timeouts and overcommit budget;
 	// zero fields take fault.Resilience defaults. Ignored without Faults.
 	Resilience fault.Resilience
+	// Cancel, when non-nil, aborts the run as soon as the channel is closed:
+	// the kernel polls it between dispatched events (sim.Kernel.SetCancel),
+	// halts, and Run returns ErrCanceled instead of a result. The deferred
+	// Kernel.Shutdown then releases every parked process goroutine, so a
+	// canceled run leaks nothing and a fresh kernel afterwards produces
+	// byte-identical results — the mid-run-abort contract the sage-serve
+	// daemon's per-request deadlines rely on. Polling happens outside
+	// virtual time, so arming cancellation changes no reported measurement,
+	// not even Result.Dispatches.
+	Cancel <-chan struct{}
+	// CancelEvery is the dispatched-event interval between cancellation
+	// polls. Zero selects sim.DefaultCancelEvery. Ignored without Cancel.
+	CancelEvery int
 }
+
+// ErrCanceled is returned (wrapped) by Run when Options.Cancel aborted the
+// run before completion. Test with errors.Is.
+var ErrCanceled = errors.New("sagert: run canceled")
 
 // DefaultDispatchOverhead is the table-dispatch cost used when Options does
 // not override it (calibrated to a 1999-era RTOS task activation).
@@ -245,8 +263,14 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 		r.iterBarrier = sim.NewBarrier(k, "iteration", len(r.plans))
 	}
 	r.spawn(k)
+	if o.Cancel != nil {
+		k.SetCancel(o.Cancel, o.CancelEvery)
+	}
 	if err := k.Run(); err != nil {
 		return nil, fmt.Errorf("sagert: execution failed: %w", err)
+	}
+	if k.Canceled() {
+		return nil, fmt.Errorf("%w at virtual time %v", ErrCanceled, k.Now())
 	}
 	if r.err != nil {
 		return nil, r.err

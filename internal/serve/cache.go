@@ -1,0 +1,76 @@
+package serve
+
+import "sync"
+
+// respCache is the content-addressed response cache: canonical request hash
+// -> the exact bytes a fresh execution produced. Entries are immutable, so a
+// hit can hand out the stored slice without copying, and cached and fresh
+// responses are byte-identical by construction. Bounded by entry count with
+// least-recently-used eviction (logical-clock stamps, linear min scan — the
+// map stays small enough that a heap would be ceremony).
+type respCache struct {
+	mu   sync.Mutex
+	max  int
+	tick uint64
+	m    map[string]*cacheEntry
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	body []byte
+	used uint64
+}
+
+func newRespCache(max int) *respCache {
+	return &respCache{max: max, m: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached bytes for key, refreshing its LRU stamp.
+func (c *respCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.tick++
+	e.used = c.tick
+	c.hits++
+	return e.body, true
+}
+
+// put stores body under key, evicting least-recently-used entries to stay
+// within the bound. The caller must not mutate body afterwards.
+func (c *respCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return // a concurrent worker published the identical bytes first
+	}
+	for len(c.m) >= c.max {
+		var oldKey string
+		var oldUsed uint64
+		first := true
+		for k, e := range c.m {
+			if first || e.used < oldUsed {
+				oldKey, oldUsed, first = k, e.used, false
+			}
+		}
+		delete(c.m, oldKey)
+		c.evictions++
+	}
+	c.tick++
+	c.m[key] = &cacheEntry{body: body, used: c.tick}
+}
+
+// cacheCounters is a consistent snapshot for /v1/stats.
+func (c *respCache) counters() (entries int, hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m), c.hits, c.misses, c.evictions
+}

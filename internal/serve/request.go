@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/atot"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/funclib"
+	"repro/internal/gluegen"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/platforms"
+	"repro/internal/sagert"
+	"repro/internal/trace"
+)
+
+// errBadRequest marks validation failures the client caused; the handler
+// maps it to HTTP 400 where everything else in the execution path is a 500.
+var errBadRequest = errors.New("bad request")
+
+// badf builds a client-error with errBadRequest in its chain.
+func badf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, errBadRequest)...)
+}
+
+// Request is the body of POST /v1/run: a model (a named benchmark or inline
+// model text), a platform, a mapping strategy with its seed, and the
+// execution protocol. Every field that influences the simulated result is
+// part of the cache key; TimeoutMs is the one knob that is not — it bounds
+// wall-clock patience, never virtual-time results.
+type Request struct {
+	// App selects a generated benchmark model: fft2d | cornerturn | stap.
+	App string `json:"app,omitempty"`
+	// N is the benchmark matrix edge (power of two; default 256).
+	N int `json:"n,omitempty"`
+	// Threads is the benchmark worker-thread count (default 4).
+	Threads int `json:"threads,omitempty"`
+	// Source is inline model text (the sage-designer format); when set it
+	// replaces App/N/Threads.
+	Source string `json:"source,omitempty"`
+	// Platform is a registry platform name (default CSPI).
+	Platform string `json:"platform,omitempty"`
+	// Nodes is the processor count (default 8).
+	Nodes int `json:"nodes,omitempty"`
+	// Mapping is the strategy: spread | roundrobin | greedy | ga
+	// (default spread).
+	Mapping string `json:"mapping,omitempty"`
+	// Seed drives the GA mapper; it is part of the cache key for every
+	// strategy so clients can force distinct cache entries.
+	Seed int64 `json:"seed,omitempty"`
+	// Protocol is the execution protocol (§3.3 shape).
+	Protocol Protocol `json:"protocol,omitempty"`
+	// Faults is an optional fault-plan text (the sage-faultcheck format)
+	// injected into every repetition.
+	Faults string `json:"faults,omitempty"`
+	// TraceSummary asks for the per-node/per-link trace summary of the
+	// first repetition in the response.
+	TraceSummary bool `json:"trace_summary,omitempty"`
+	// TimeoutMs lowers the server's per-request deadline for this request.
+	// It is excluded from the cache key: patience is not a simulation
+	// parameter, and cached bytes must not depend on it.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Protocol mirrors the experiments protocol: repetitions of a fixed
+// iteration count. The simulator is deterministic, so repetitions reproduce
+// identical virtual results; they exist to exercise the batch path.
+type Protocol struct {
+	Iterations       int  `json:"iterations,omitempty"`        // default 5
+	Repetitions      int  `json:"repetitions,omitempty"`       // default 1
+	Sequential       bool `json:"sequential,omitempty"`        // no pipelining
+	OptimizedBuffers bool `json:"optimized_buffers,omitempty"` // future-work optimisation
+}
+
+// Response is the body of a successful /v1/run. Every field is derived from
+// virtual time or deterministic mapping output — no wall-clock values — so
+// the encoded bytes are identical for a given request at any worker count,
+// which is what makes the content-addressed cache sound.
+type Response struct {
+	App          string           `json:"app"`
+	Platform     string           `json:"platform"`
+	Nodes        int              `json:"nodes"`
+	Mapping      string           `json:"mapping"`
+	Seed         int64            `json:"seed"`
+	Iterations   int              `json:"iterations"`
+	Repetitions  int              `json:"repetitions"`
+	Period       string           `json:"period"`
+	PeriodNs     int64            `json:"period_ns"`
+	AvgLatency   string           `json:"avg_latency"`
+	AvgLatencyNs int64            `json:"avg_latency_ns"`
+	Elapsed      string           `json:"elapsed"`
+	ElapsedNs    int64            `json:"elapsed_ns"`
+	Dispatches   uint64           `json:"dispatches"`
+	NodeStats    []NodeStat       `json:"node_stats"`
+	Assignment   map[string][]int `json:"assignment"`
+	GA           *GASummary       `json:"ga,omitempty"`
+	TraceSummary string           `json:"trace_summary,omitempty"`
+	FaultSummary string           `json:"fault_summary,omitempty"`
+}
+
+// NodeStat is one node's busy-time breakdown in nanoseconds of virtual time.
+type NodeStat struct {
+	Node        int     `json:"node"`
+	ComputeNs   int64   `json:"compute_ns"`
+	CopyNs      int64   `json:"copy_ns"`
+	CommNs      int64   `json:"comm_ns"`
+	Utilization float64 `json:"utilization"`
+}
+
+// GASummary reports the genetic mapper's work when mapping=ga.
+type GASummary struct {
+	Generations int     `json:"generations"`
+	Evaluations int     `json:"evaluations"`
+	Best        float64 `json:"best"`
+}
+
+// normalize applies defaults and validates everything that can be checked
+// without building the model. It must be called before cacheKey so that
+// spelled-out and defaulted requests share an entry.
+func (r *Request) normalize() error {
+	if r.Source == "" && r.App == "" {
+		return badf("pass app or source")
+	}
+	if r.Source != "" {
+		r.App, r.N, r.Threads = "", 0, 0
+	} else {
+		switch r.App {
+		case "fft2d", "cornerturn", "stap":
+		default:
+			return badf("unknown app %q (want fft2d, cornerturn or stap)", r.App)
+		}
+		if r.N == 0 {
+			r.N = 256
+		}
+		if r.N < 0 {
+			return badf("n must be positive")
+		}
+		if r.Threads == 0 {
+			r.Threads = 4
+		}
+		if r.Threads < 0 {
+			return badf("threads must be positive")
+		}
+	}
+	if r.Platform == "" {
+		r.Platform = "CSPI"
+	}
+	if _, err := platforms.ByName(r.Platform); err != nil {
+		return badf("%v (have %s)", err, strings.Join(platforms.Names(), ", "))
+	}
+	if r.Nodes == 0 {
+		r.Nodes = 8
+	}
+	if r.Nodes < 0 {
+		return badf("nodes must be positive")
+	}
+	if r.Mapping == "" {
+		r.Mapping = "spread"
+	}
+	switch r.Mapping {
+	case "spread", "roundrobin", "greedy", "ga":
+	default:
+		return badf("unknown mapping %q (want spread, roundrobin, greedy or ga)", r.Mapping)
+	}
+	if r.Protocol.Iterations == 0 {
+		r.Protocol.Iterations = 5
+	}
+	if r.Protocol.Iterations < 0 {
+		return badf("iterations must be positive")
+	}
+	if r.Protocol.Repetitions == 0 {
+		r.Protocol.Repetitions = 1
+	}
+	if r.Protocol.Repetitions < 0 {
+		return badf("repetitions must be positive")
+	}
+	if r.TimeoutMs < 0 {
+		return badf("timeout_ms must be non-negative")
+	}
+	if r.Faults != "" {
+		plan, err := fault.ParsePlan(r.Faults)
+		if err != nil {
+			return badf("faults: %v", err)
+		}
+		if err := plan.Validate(); err != nil {
+			return badf("faults: %v", err)
+		}
+	}
+	return nil
+}
+
+// cacheKey returns the content address of a normalized request: the sha256
+// of its canonical JSON with the wall-clock-only fields zeroed. Two requests
+// with the same key ask for the same deterministic computation, so serving
+// one's cached bytes for the other is exact, not approximate.
+func (r *Request) cacheKey() string {
+	c := *r
+	c.TimeoutMs = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// A Request is plain data; Marshal cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// buildCase turns a normalized request into executable runtime tables.
+// Every error here is the client's (bad model text, shape constraints,
+// unmappable graphs) and is wrapped as errBadRequest.
+func buildCase(r *Request) (*gluegen.Tables, machine.Platform, *Response, error) {
+	var app *model.App
+	var err error
+	if r.Source != "" {
+		app, err = model.ReadText(strings.NewReader(r.Source))
+		if err != nil {
+			return nil, machine.Platform{}, nil, badf("source: %v", err)
+		}
+		if err := funclib.ValidateApp(app); err != nil {
+			return nil, machine.Platform{}, nil, badf("source: %v", err)
+		}
+	} else {
+		switch r.App {
+		case "fft2d":
+			app, err = apps.FFT2D(r.N, r.Threads)
+		case "cornerturn":
+			app, err = apps.CornerTurn(r.N, r.Threads)
+		case "stap":
+			app, err = apps.STAP(r.N, r.Threads)
+		}
+		if err != nil {
+			return nil, machine.Platform{}, nil, badf("%s: %v", r.App, err)
+		}
+	}
+	pl, err := platforms.ByName(r.Platform)
+	if err != nil {
+		return nil, machine.Platform{}, nil, badf("%v", err)
+	}
+
+	resp := &Response{
+		App:         app.Name,
+		Platform:    pl.Name,
+		Nodes:       r.Nodes,
+		Mapping:     r.Mapping,
+		Seed:        r.Seed,
+		Iterations:  r.Protocol.Iterations,
+		Repetitions: r.Protocol.Repetitions,
+	}
+
+	var mapping *model.Mapping
+	switch r.Mapping {
+	case "spread":
+		mapping, err = model.SpreadParallel(app, r.Nodes)
+	case "roundrobin":
+		mapping = model.RoundRobin(app, r.Nodes)
+	case "greedy", "ga":
+		ev, everr := atot.NewEvaluator(app, pl, r.Nodes)
+		if everr != nil {
+			return nil, machine.Platform{}, nil, badf("%v", everr)
+		}
+		if r.Mapping == "greedy" {
+			mapping, err = atot.MapGreedy(ev)
+		} else {
+			var stats *atot.GAStats
+			// Small fixed GA budget: the daemon answers interactively, and
+			// the seed (cache-keyed) makes the search reproducible.
+			mapping, stats, err = atot.MapGA(ev, atot.GAConfig{Population: 32, Generations: 40, Seed: r.Seed})
+			if stats != nil {
+				resp.GA = &GASummary{Generations: stats.Generations, Evaluations: stats.Evaluations, Best: stats.Best.Total}
+			}
+		}
+	}
+	if err != nil {
+		return nil, machine.Platform{}, nil, badf("mapping: %v", err)
+	}
+	resp.Assignment = mapping.Assign
+
+	out, err := gluegen.Generate(gluegen.Input{App: app, Mapping: mapping, Platform: pl, NumNodes: r.Nodes})
+	if err != nil {
+		return nil, machine.Platform{}, nil, badf("gluegen: %v", err)
+	}
+	return out.Tables, pl, resp, nil
+}
+
+// execute runs a normalized request end to end. The context's deadline is
+// wired into the kernel's cancellation poll (sagert.Options.Cancel): a
+// deadline mid-run aborts between dispatched events and sagert's deferred
+// Kernel.Shutdown releases the parked process goroutines, so a canceled
+// request leaks nothing. Repetitions fan out on the experiments pool; its
+// first-failure cancellation stops the batch as soon as one repetition is
+// canceled.
+func execute(ctx context.Context, r *Request) (*Response, error) {
+	tables, pl, resp, err := buildCase(r)
+	if err != nil {
+		return nil, err
+	}
+
+	var plan *fault.Plan
+	if r.Faults != "" {
+		// Parse validated by normalize; reparse for the injector.
+		if plan, err = fault.ParsePlan(r.Faults); err != nil {
+			return nil, badf("faults: %v", err)
+		}
+		if err := plan.CheckNodes(tables.NumNodes); err != nil {
+			return nil, badf("faults: %v", err)
+		}
+	}
+
+	reps := r.Protocol.Repetitions
+	type repOut struct {
+		res *sagert.Result
+		col *trace.Collector
+	}
+	par := reps
+	if par > 4 {
+		par = 4
+	}
+	outs, err := experiments.RunPool(par, reps, func(i int) (repOut, error) {
+		if err := ctx.Err(); err != nil {
+			return repOut{}, err
+		}
+		opts := sagert.Options{
+			Iterations:       r.Protocol.Iterations,
+			Sequential:       r.Protocol.Sequential,
+			OptimizedBuffers: r.Protocol.OptimizedBuffers,
+			Faults:           plan,
+			Cancel:           ctx.Done(),
+		}
+		var col *trace.Collector
+		if r.TraceSummary && i == 0 {
+			col = trace.New(resp.App + " on " + pl.Name)
+			opts.Collector = col
+		}
+		res, err := sagert.Run(tables, pl, opts)
+		if err != nil {
+			return repOut{}, err
+		}
+		return repOut{res: res, col: col}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := outs[0].res
+	period := time.Duration(res.Period)
+	avg := time.Duration(res.AvgLatency())
+	elapsed := time.Duration(res.Elapsed)
+	resp.Period = period.String()
+	resp.PeriodNs = int64(period)
+	resp.AvgLatency = avg.String()
+	resp.AvgLatencyNs = int64(avg)
+	resp.Elapsed = elapsed.String()
+	resp.ElapsedNs = int64(elapsed)
+	resp.Dispatches = res.Dispatches
+	for _, ns := range res.NodeStats {
+		resp.NodeStats = append(resp.NodeStats, NodeStat{
+			Node:        ns.Node,
+			ComputeNs:   int64(ns.ComputeBusy),
+			CopyNs:      int64(ns.CopyBusy),
+			CommNs:      int64(ns.CommBusy),
+			Utilization: ns.Utilization,
+		})
+	}
+	if outs[0].col != nil {
+		t := trace.NewTrace()
+		t.Add(outs[0].col)
+		var b bytes.Buffer
+		if err := t.WriteSummary(&b); err != nil {
+			return nil, fmt.Errorf("trace summary: %w", err)
+		}
+		resp.TraceSummary = b.String()
+	}
+	if plan != nil && !plan.Empty() {
+		resp.FaultSummary = fmt.Sprintf("seed %d: %d drop / %d degrade / %d stall rules applied to every repetition",
+			plan.Seed, len(plan.Drops), len(plan.Degrades), len(plan.Stalls))
+	}
+	return resp, nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// soakRequests is the request count for the long-lived-daemon soak test. The
+// race detector multiplies per-request cost by an order of magnitude, so the
+// race build (soak_race.go) runs a shorter — but otherwise identical — soak.
+const soakRequests = 100_000

@@ -1,0 +1,6 @@
+//go:build race
+
+package serve
+
+// Shorter soak under the race detector; see soak_notrace.go.
+const soakRequests = 20_000

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// soakMix builds the distinct request bodies the soak cycles through: small
+// deterministic cases across both benchmark apps, both cheap mappings, and a
+// few shapes each — enough variety to exercise mapping, gluegen and the FFT
+// cache, small enough that the cold pass stays fast.
+func soakMix() []string {
+	var out []string
+	for _, app := range []string{"fft2d", "cornerturn"} {
+		for _, n := range []int{64, 128} {
+			for _, mapping := range []string{"spread", "roundrobin"} {
+				for _, iters := range []int{1, 2, 3} {
+					out = append(out, fmt.Sprintf(
+						`{"app":%q,"n":%d,"threads":2,"nodes":4,"mapping":%q,"protocol":{"iterations":%d}}`,
+						app, n, mapping, iters))
+				}
+			}
+		}
+	}
+	return out // 24 distinct requests
+}
+
+// settle polls until the goroutine count drops to at most want, tolerating
+// runtime background goroutines that wind down asynchronously.
+func settle(t *testing.T, want int) int {
+	t.Helper()
+	var n int
+	for i := 0; i < 200; i++ {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+// TestSoakDaemonStability is the long-lived-process proof for the tentpole:
+// it pushes soakRequests mixed requests (valid and invalid) through a
+// parallel daemon and asserts
+//
+//  1. determinism at any parallelism — a 1-worker and an 8-worker fleet
+//     produce byte-identical fresh responses for every distinct request;
+//  2. bitwise response stability — every 200 over the whole soak equals the
+//     first response for that request, cached or fresh;
+//  3. zero goroutine growth while serving, and full teardown after
+//     Shutdown;
+//  4. bounded heap — post-GC heap growth across the soak stays small
+//     (caches are size-bounded, nothing per-request accumulates).
+func TestSoakDaemonStability(t *testing.T) {
+	base := settle(t, 0) // whatever the test runtime already has
+	reqs := soakMix()
+
+	// Phase 1: determinism across worker fleet sizes, fresh on both.
+	s1 := New(Config{Workers: 1})
+	s8 := New(Config{Workers: 8})
+	reference := make(map[string][]byte, len(reqs))
+	for i, body := range reqs {
+		w1 := do(s1, http.MethodPost, "/v1/run", body)
+		w8 := do(s8, http.MethodPost, "/v1/run", body)
+		if w1.Code != http.StatusOK || w8.Code != http.StatusOK {
+			t.Fatalf("request %d: statuses %d/%d (body %s)", i, w1.Code, w8.Code, w1.Body.String())
+		}
+		if !bytes.Equal(w1.Body.Bytes(), w8.Body.Bytes()) {
+			t.Fatalf("request %d: 1-worker and 8-worker responses differ", i)
+		}
+		reference[body] = w1.Body.Bytes()
+	}
+	s1.Shutdown()
+
+	// Phase 2: the soak proper, against the parallel fleet.
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g0 := runtime.NumGoroutine()
+
+	const clients = 16
+	invalid := []string{`{"app":"sonar"}`, `{"mapping":"anneal","app":"fft2d"}`}
+	var sent, mismatches, badStatus atomic.Uint64
+	var wg sync.WaitGroup
+	perClient := soakRequests / clients
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				k := c*perClient + i
+				if k%101 == 100 { // ~1% invalid requests in the mix
+					if w := do(s8, http.MethodPost, "/v1/run", invalid[k%len(invalid)]); w.Code != http.StatusBadRequest {
+						badStatus.Add(1)
+					}
+					sent.Add(1)
+					continue
+				}
+				body := reqs[k%len(reqs)]
+				w := do(s8, http.MethodPost, "/v1/run", body)
+				if w.Code != http.StatusOK {
+					badStatus.Add(1)
+				} else if !bytes.Equal(w.Body.Bytes(), reference[body]) {
+					mismatches.Add(1)
+				}
+				sent.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got := sent.Load(); got != uint64(perClient*clients) {
+		t.Fatalf("sent %d requests, expected %d", got, perClient*clients)
+	}
+	if n := mismatches.Load(); n != 0 {
+		t.Errorf("%d responses were not byte-identical to the reference", n)
+	}
+	if n := badStatus.Load(); n != 0 {
+		t.Errorf("%d requests got an unexpected status", n)
+	}
+
+	// Goroutines must not grow while the daemon serves; a long-lived process
+	// that adds even one goroutine per N requests eventually dies.
+	if g1 := settle(t, g0); g1 > g0 {
+		t.Errorf("goroutines grew during soak: %d -> %d", g0, g1)
+	}
+
+	// Post-GC heap growth across the soak stays bounded: the response cache
+	// and the FFT twiddle cache are size-limited, and requests retain
+	// nothing. Allow generous slack for allocator noise.
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	if m1.HeapAlloc > m0.HeapAlloc && m1.HeapAlloc-m0.HeapAlloc > 16<<20 {
+		t.Errorf("heap grew %d bytes across the soak (from %d to %d)",
+			m1.HeapAlloc-m0.HeapAlloc, m0.HeapAlloc, m1.HeapAlloc)
+	}
+
+	st := s8.Stats()
+	if st.CacheHits == 0 || st.Completed == 0 {
+		t.Errorf("soak exercised no cache hits or completions: %+v", st)
+	}
+	if min := uint64(soakRequests / 2); st.CacheHits < min {
+		t.Errorf("cache hits %d below expected floor %d", st.CacheHits, min)
+	}
+
+	// Teardown: after Shutdown the whole fleet must be gone.
+	s8.Shutdown()
+	if g := settle(t, base+2); g > base+2 {
+		t.Errorf("goroutines leaked after shutdown: base %d, now %d", base, g)
+	}
+	t.Logf("soak: %d requests, %d completed, %d cache hits, heap %d -> %d",
+		soakRequests, st.Completed, st.CacheHits, m0.HeapAlloc, m1.HeapAlloc)
+}

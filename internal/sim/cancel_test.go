@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSetCancelHaltsRun: a closed cancel channel halts the kernel at the
+// next poll like Stop — processes keep their state and Shutdown releases
+// them.
+func TestSetCancelHaltsRun(t *testing.T) {
+	k := NewKernel()
+	loops := 0
+	k.Spawn("looper", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Sleep(time.Microsecond)
+			loops++
+		}
+	})
+	cancel := make(chan struct{})
+	close(cancel)
+	k.SetCancel(cancel, 10)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Canceled() {
+		t.Fatal("Canceled() = false after a closed-channel run")
+	}
+	if loops >= 1000 {
+		t.Fatal("run completed despite cancellation")
+	}
+	if k.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want the parked looper", k.LiveProcs())
+	}
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatal("Shutdown left live processes")
+	}
+}
+
+// TestSetCancelArmedUnfiredIsInvisible: an armed cancel channel that never
+// fires leaves the run bit-identical — same final clock, same dispatch
+// count, Canceled() false.
+func TestSetCancelArmedUnfiredIsInvisible(t *testing.T) {
+	run := func(arm bool) (Time, uint64) {
+		k := NewKernel()
+		k.Spawn("looper", func(p *Proc) {
+			for i := 0; i < 500; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		if arm {
+			k.SetCancel(make(chan struct{}), 1)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if k.Canceled() {
+			t.Fatal("spurious cancellation")
+		}
+		return k.Now(), k.Dispatched()
+	}
+	plainT, plainD := run(false)
+	armedT, armedD := run(true)
+	if plainT != armedT || plainD != armedD {
+		t.Fatalf("armed run diverged: %v/%d vs %v/%d", armedT, armedD, plainT, plainD)
+	}
+}

@@ -147,6 +147,12 @@ type Kernel struct {
 	// dispatched counts events executed across the kernel's lifetime;
 	// exposed through Dispatched for trace collectors.
 	dispatched uint64
+	// Cancellation poll (SetCancel): every cancelEvery dispatched events the
+	// loop polls cancelCh; a closed channel stops the kernel like Stop.
+	cancelCh    <-chan struct{}
+	cancelEvery uint64
+	cancelLeft  uint64
+	canceled    bool
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -397,6 +403,17 @@ func (k *Kernel) advance(self *Proc) advResult {
 		}
 		k.now = ev.at
 		k.dispatched++
+		if k.cancelCh != nil {
+			if k.cancelLeft--; k.cancelLeft == 0 {
+				k.cancelLeft = k.cancelEvery
+				select {
+				case <-k.cancelCh:
+					k.canceled = true
+					k.stopped = true
+				default:
+				}
+			}
+		}
 		p, fn := ev.proc, ev.fn
 		k.release(ev)
 		if p == nil {
@@ -539,6 +556,36 @@ func (k *Kernel) Run() error {
 // Stop halts Run after the current event completes. Processes keep their
 // state; Run may not be resumed after Stop (create a fresh kernel instead).
 func (k *Kernel) Stop() { k.stopped = true }
+
+// DefaultCancelEvery is the dispatch-count poll interval SetCancel uses when
+// given a non-positive interval: frequent enough that a runaway simulation
+// reacts to cancellation within microseconds of wall time, sparse enough
+// that the per-event cost is a predictable branch.
+const DefaultCancelEvery = 8192
+
+// SetCancel installs a cancellation source: every `every` dispatched events
+// the kernel polls ch, and if it is closed (or carries a value) the kernel
+// halts exactly as if Stop had been called — the current event completes,
+// processes keep their state, and Run returns. Canceled reports whether the
+// poll fired. Cancellation is observed only between events, so it never
+// changes any result a completed run reports: no extra events are
+// scheduled, the clock is untouched, and Dispatched counts only real work.
+// Combine with Shutdown to release the parked processes of an aborted run —
+// the mid-run-abort contract long-lived servers rely on.
+//
+// Call before Run; every <= 0 selects DefaultCancelEvery; a nil ch disables
+// polling.
+func (k *Kernel) SetCancel(ch <-chan struct{}, every int) {
+	k.cancelCh = ch
+	if every <= 0 {
+		every = DefaultCancelEvery
+	}
+	k.cancelEvery = uint64(every)
+	k.cancelLeft = k.cancelEvery
+}
+
+// Canceled reports whether a SetCancel poll halted the kernel.
+func (k *Kernel) Canceled() bool { return k.canceled }
 
 // isDead reports whether Shutdown has completed.
 func (k *Kernel) isDead() bool {
