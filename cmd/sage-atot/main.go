@@ -8,6 +8,7 @@
 //
 //	sage-atot -model fft2d.sage -platform CSPI -nodes 8 -o fft2d.map
 //	sage-atot -model fft2d.sage -platform CSPI -nodes 8 -strategy greedy
+//	sage-atot -model fft2d.sage -platform CSPI -nodes 8 -strategy twin -topk 4
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/funclib"
 	"repro/internal/model"
 	"repro/internal/platforms"
+	"repro/internal/twin"
 )
 
 func main() { os.Exit(cliMain(os.Args[1:], os.Stderr)) }
@@ -33,23 +35,42 @@ func cliMain(args []string, stderr io.Writer) int {
 	modelFile := fs.String("model", "", "model file (required)")
 	platformName := fs.String("platform", "CSPI", "target platform")
 	nodes := fs.Int("nodes", 8, "processor count")
-	strategy := fs.String("strategy", "ga", "mapping strategy: ga | greedy | roundrobin | spread")
+	strategy := fs.String("strategy", "ga", "mapping strategy: ga | twin | greedy | roundrobin | spread")
 	pop := fs.Int("pop", 64, "GA population")
 	gens := fs.Int("gens", 150, "GA generations")
 	seed := fs.Int64("seed", 1, "GA seed")
+	topK := fs.Int("topk", 4, "twin strategy: candidates promoted to DES evaluation")
+	iters := fs.Int("iterations", 4, "twin strategy: iterations per scored run")
+	parallel := fs.Int("parallel", 0, "worker pool width for scoring (0 = all cores)")
 	schedule := fs.Bool("schedule", false, "print the estimated execution schedule")
 	out := fs.String("o", "", "write the mapping file")
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
-	if err := run(*modelFile, *platformName, *nodes, *strategy, *pop, *gens, *seed, *schedule, *out); err != nil {
+	cfg := runConfig{
+		strategy: *strategy, pop: *pop, gens: *gens, seed: *seed,
+		topK: *topK, iterations: *iters, parallel: *parallel,
+		schedule: *schedule, out: *out,
+	}
+	if err := run(*modelFile, *platformName, *nodes, cfg); err != nil {
 		fmt.Fprintln(stderr, "sage-atot:", err)
 		return cli.ExitCode(err)
 	}
 	return cli.ExitOK
 }
 
-func run(modelFile, platformName string, nodes int, strategy string, pop, gens int, seed int64, schedule bool, out string) error {
+type runConfig struct {
+	strategy   string
+	pop, gens  int
+	seed       int64
+	topK       int
+	iterations int
+	parallel   int
+	schedule   bool
+	out        string
+}
+
+func run(modelFile, platformName string, nodes int, rc runConfig) error {
 	if modelFile == "" {
 		return cli.Usagef("-model is required")
 	}
@@ -75,15 +96,32 @@ func run(modelFile, platformName string, nodes int, strategy string, pop, gens i
 	}
 
 	var mapping *model.Mapping
-	switch strategy {
+	switch rc.strategy {
 	case "ga":
 		var stats *atot.GAStats
-		mapping, stats, err = atot.MapGA(ev, atot.GAConfig{Population: pop, Generations: gens, Seed: seed})
+		mapping, stats, err = atot.MapGA(ev, atot.GAConfig{Population: rc.pop, Generations: rc.gens, Seed: rc.seed, Parallelism: rc.parallel})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("GA: %d generations, %d evaluations, best objective %.4g\n",
 			stats.Generations, stats.Evaluations, stats.Best.Total)
+	case "twin":
+		res, err := twin.MapGAPromote(app, pl, nodes, rc.topK,
+			atot.GAConfig{Population: rc.pop, Generations: rc.gens, Seed: rc.seed, Parallelism: rc.parallel},
+			twin.Options{Iterations: rc.iterations})
+		if err != nil {
+			return err
+		}
+		mapping = res.Mapping
+		fmt.Printf("twin GA: %d generations, %d twin evaluations, %d candidates promoted to DES\n",
+			res.Stats.Generations, res.Stats.Evaluations, len(res.Candidates))
+		for i, c := range res.Candidates {
+			mark := " "
+			if i == res.Winner {
+				mark = "*"
+			}
+			fmt.Printf("  %s candidate %d: twin=%v des=%v\n", mark, i, c.TwinElapsed, c.DESElapsed)
+		}
 	case "greedy":
 		if mapping, err = atot.MapGreedy(ev); err != nil {
 			return err
@@ -95,7 +133,7 @@ func run(modelFile, platformName string, nodes int, strategy string, pop, gens i
 			return err
 		}
 	default:
-		return cli.Usagef("unknown strategy %q", strategy)
+		return cli.Usagef("unknown strategy %q", rc.strategy)
 	}
 
 	cost, err := ev.Evaluate(mapping, atot.Weights{})
@@ -108,7 +146,7 @@ func run(modelFile, platformName string, nodes int, strategy string, pop, gens i
 		fmt.Printf("  %-14s -> nodes %v\n", fn.Name, mapping.Assign[fn.Name])
 	}
 
-	if schedule {
+	if rc.schedule {
 		sched, err := ev.EstimateSchedule(mapping)
 		if err != nil {
 			return err
@@ -119,8 +157,8 @@ func run(modelFile, platformName string, nodes int, strategy string, pop, gens i
 		}
 	}
 
-	if out != "" {
-		f, err := os.Create(out)
+	if rc.out != "" {
+		f, err := os.Create(rc.out)
 		if err != nil {
 			return err
 		}

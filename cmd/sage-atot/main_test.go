@@ -31,9 +31,10 @@ func writeSTAP(t *testing.T, dir string) string {
 func TestStrategiesProduceValidMappings(t *testing.T) {
 	dir := t.TempDir()
 	modelPath := writeSTAP(t, dir)
-	for _, strategy := range []string{"ga", "greedy", "roundrobin", "spread"} {
+	for _, strategy := range []string{"ga", "twin", "greedy", "roundrobin", "spread"} {
 		outPath := filepath.Join(dir, strategy+".map")
-		if err := run(modelPath, "CSPI", 8, strategy, 16, 10, 1, strategy == "ga", outPath); err != nil {
+		rc := runConfig{strategy: strategy, pop: 16, gens: 10, seed: 1, topK: 2, iterations: 2, schedule: strategy == "ga", out: outPath}
+		if err := run(modelPath, "CSPI", 8, rc); err != nil {
 			t.Fatalf("%s: %v", strategy, err)
 		}
 		f, err := os.Open(outPath)
@@ -55,15 +56,15 @@ func TestStrategiesProduceValidMappings(t *testing.T) {
 }
 
 func TestAtotErrors(t *testing.T) {
-	if err := run("", "CSPI", 8, "ga", 8, 5, 1, false, ""); err == nil {
+	if err := run("", "CSPI", 8, runConfig{strategy: "ga", pop: 8, gens: 5, seed: 1}); err == nil {
 		t.Fatal("missing model accepted")
 	}
 	dir := t.TempDir()
 	modelPath := writeSTAP(t, dir)
-	if err := run(modelPath, "Cray", 8, "ga", 8, 5, 1, false, ""); err == nil {
+	if err := run(modelPath, "Cray", 8, runConfig{strategy: "ga", pop: 8, gens: 5, seed: 1}); err == nil {
 		t.Fatal("unknown platform accepted")
 	}
-	if err := run(modelPath, "CSPI", 8, "simulated-annealing", 8, 5, 1, false, ""); err == nil {
+	if err := run(modelPath, "CSPI", 8, runConfig{strategy: "simulated-annealing", pop: 8, gens: 5, seed: 1}); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }
@@ -77,7 +78,7 @@ func TestScheduleOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(modelPath, "CSPI", 8, "spread", 8, 5, 1, true, "")
+	runErr := run(modelPath, "CSPI", 8, runConfig{strategy: "spread", pop: 8, gens: 5, seed: 1, schedule: true})
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {

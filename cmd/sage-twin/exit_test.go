@@ -1,0 +1,32 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, runtime
+// failures exit 1, successful predictions exit 0.
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"missing model", nil, cli.ExitUsage},
+		{"bad iterations", []string{"-model", "x.sage", "-iterations", "0"}, cli.ExitUsage},
+		{"bad seeds", []string{"-validate", "-seeds", "0"}, cli.ExitUsage},
+		{"missing model file", []string{"-model", "does-not-exist.sage"}, cli.ExitFailure},
+		{"validate ok", []string{"-validate", "-seeds", "24", "-quick"}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

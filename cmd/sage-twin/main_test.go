@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func writeFFT(t *testing.T, dir string) string {
+	t.Helper()
+	app, err := apps.FFT2D(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fft.sage")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := app.WriteText(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPredictAndCompare(t *testing.T) {
+	modelPath := writeFFT(t, t.TempDir())
+	var b strings.Builder
+	o := options{
+		modelFile: modelPath, platformName: "CSPI", nodes: 4, iterations: 4,
+		compare: true,
+	}
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"predicted elapsed:", "bottleneck period:", "node 0", "DES elapsed:", "twin error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepOutput(t *testing.T) {
+	modelPath := writeFFT(t, t.TempDir())
+	var b strings.Builder
+	o := options{
+		modelFile: modelPath, platformName: "Mercury", iterations: 3,
+		sweep: "4, 8,16", compare: true,
+	}
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header + 3 sweep rows, got:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "ape%") {
+		t.Fatalf("compare column missing:\n%s", out)
+	}
+}
+
+func TestValidateMode(t *testing.T) {
+	var b strings.Builder
+	o := options{doValidate: true, seedStart: 1, seeds: 24, quick: true}
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "twin-validate:") || !strings.Contains(b.String(), "PASS") {
+		t.Fatalf("validate output:\n%s", b.String())
+	}
+}
+
+func TestTwinUsageErrors(t *testing.T) {
+	if err := run(options{}, &strings.Builder{}); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	modelPath := writeFFT(t, t.TempDir())
+	if err := run(options{modelFile: modelPath, iterations: 1, sweep: "zero"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad sweep accepted")
+	}
+	if err := run(options{modelFile: modelPath, iterations: 1, sweep: "2", mappingFile: "x.map"}, &strings.Builder{}); err == nil {
+		t.Fatal("sweep with mapping accepted")
+	}
+	if err := run(options{modelFile: modelPath, platformName: "Cray", iterations: 1, nodes: 2}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}

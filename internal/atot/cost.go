@@ -368,6 +368,23 @@ func (e *Evaluator) genomeFromMapping(m *model.Mapping) (genome, error) {
 	return g, nil
 }
 
+// MappingFromAssign converts a flat thread->node assignment (App.Functions
+// order, threads ascending — the GA's genome layout, shared with
+// twin.Evaluator.PredictAssign) into a model mapping.
+func (e *Evaluator) MappingFromAssign(assign []int) (*model.Mapping, error) {
+	if len(assign) != len(e.tasks) {
+		return nil, fmt.Errorf("atot: assignment has %d entries, want %d", len(assign), len(e.tasks))
+	}
+	return e.mappingFromGenome(assign), nil
+}
+
+// AssignFromMapping flattens a mapping (which must be valid for the app)
+// into the GA's genome layout.
+func (e *Evaluator) AssignFromMapping(m *model.Mapping) ([]int, error) {
+	g, err := e.genomeFromMapping(m)
+	return g, err
+}
+
 // Evaluate prices a mapping.
 func (e *Evaluator) Evaluate(m *model.Mapping, w Weights) (Cost, error) {
 	g, err := e.genomeFromMapping(m)

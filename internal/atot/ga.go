@@ -24,6 +24,12 @@ type GAConfig struct {
 	// therefore every generation's population — is unchanged by pooling.
 	Parallelism int
 	Weights     Weights
+	// Fitness, when non-nil, replaces the memoized DES-calibrated cost model
+	// as the scoring function: each genome (a thread->node assignment in
+	// function-table order, threads ascending — see AssignFromMapping) is
+	// priced by Fitness alone. Fitness must be pure and safe for concurrent
+	// calls; the search trajectory stays deterministic at any Parallelism.
+	Fitness func(assign []int) float64
 }
 
 func (c GAConfig) withDefaults() GAConfig {
@@ -67,9 +73,111 @@ type GAStats struct {
 // together with search statistics. The search is deterministic for a given
 // seed.
 func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
+	winner, stats, err := runGA(e, cfg, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.mappingFromGenome(winner.g), stats, nil
+}
+
+// MapGAK runs the same search as MapGA and additionally returns the k best
+// distinct assignments ever scored, ordered best-first (ties by discovery
+// order). The archive is updated after each batch is scored, in batch index
+// order, so its contents are byte-identical at any Parallelism. The winning
+// mapping is always candidates[0].
+func MapGAK(e *Evaluator, cfg GAConfig, k int) ([][]int, *GAStats, error) {
+	if k < 1 {
+		k = 1
+	}
+	arch := &gaArchive{k: k, seen: make(map[string]struct{})}
+	_, stats, err := runGA(e, cfg, arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]int, len(arch.top))
+	for i, s := range arch.top {
+		out[i] = append([]int(nil), s.g...)
+	}
+	return out, stats, nil
+}
+
+type scored struct {
+	g    genome
+	cost Cost
+}
+
+// gaArchive keeps the k best distinct genomes observed during a search.
+type gaArchive struct {
+	k    int
+	top  []scored
+	seen map[string]struct{}
+}
+
+func (a *gaArchive) offer(s scored) {
+	key := genomeKey(s.g)
+	if _, dup := a.seen[key]; dup {
+		return
+	}
+	if len(a.top) == a.k && s.cost.Total >= a.top[a.k-1].cost.Total {
+		return
+	}
+	a.seen[key] = struct{}{}
+	// Insert keeping the slice sorted by cost; existing entries win ties so
+	// the archive order reflects discovery order.
+	i := len(a.top)
+	for i > 0 && a.top[i-1].cost.Total > s.cost.Total {
+		i--
+	}
+	a.top = append(a.top, scored{})
+	copy(a.top[i+1:], a.top[i:])
+	a.top[i] = scored{g: append(genome(nil), s.g...), cost: s.cost}
+	if len(a.top) > a.k {
+		evicted := a.top[a.k]
+		a.top = a.top[:a.k]
+		delete(a.seen, genomeKey(evicted.g))
+	}
+}
+
+// promote moves (or inserts) s to the head of the archive so that the
+// search's winner is always candidate 0, even when equal-cost genomes were
+// discovered earlier.
+func (a *gaArchive) promote(s scored) {
+	key := genomeKey(s.g)
+	at := -1
+	for i, t := range a.top {
+		if genomeKey(t.g) == key {
+			at = i
+			break
+		}
+	}
+	if at == -1 {
+		if len(a.top) == a.k {
+			evicted := a.top[a.k-1]
+			a.top = a.top[:a.k-1]
+			delete(a.seen, genomeKey(evicted.g))
+		}
+		a.top = append(a.top, scored{})
+		at = len(a.top) - 1
+		a.seen[key] = struct{}{}
+		a.top[at] = scored{g: append(genome(nil), s.g...), cost: s.cost}
+	}
+	head := a.top[at]
+	copy(a.top[1:at+1], a.top[:at])
+	a.top[0] = head
+}
+
+func genomeKey(g genome) string {
+	b := make([]byte, 0, len(g)*2)
+	for _, n := range g {
+		b = append(b, byte(n), byte(n>>8))
+	}
+	return string(b)
+}
+
+func runGA(e *Evaluator, cfg GAConfig, arch *gaArchive) (scored, *GAStats, error) {
 	c := cfg.withDefaults()
 	if len(e.tasks) == 0 {
-		return nil, nil, fmt.Errorf("atot: application has no tasks")
+		return scored{}, nil, fmt.Errorf("atot: application has no tasks")
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	genomeLen := len(e.tasks)
@@ -82,19 +190,25 @@ func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
 		return g
 	}
 
-	type scored struct {
-		g    genome
-		cost Cost
-	}
 	stats := &GAStats{Generations: c.Generations}
 	// scoreAll prices a batch of genomes on the worker pool. evalGenome is
-	// pure (pooled scratch, memoized tables, no rng), so scoring in parallel
-	// is safe and preserves the exact sequential trajectory.
+	// pure (pooled scratch, memoized tables, no rng) and Fitness is required
+	// to be, so scoring in parallel is safe and preserves the exact
+	// sequential trajectory. The archive is fed afterwards, sequentially.
 	scoreAll := func(batch []scored) {
 		stats.Evaluations += len(batch)
 		runPool(len(batch), c.Parallelism, func(i int) {
-			batch[i].cost = e.evalGenome(batch[i].g, c.Weights)
+			if c.Fitness != nil {
+				batch[i].cost = Cost{Total: c.Fitness(batch[i].g)}
+			} else {
+				batch[i].cost = e.evalGenome(batch[i].g, c.Weights)
+			}
 		})
+		if arch != nil {
+			for _, s := range batch {
+				arch.offer(s)
+			}
+		}
 	}
 
 	pop := make([]scored, c.Population)
@@ -184,7 +298,12 @@ func MapGA(e *Evaluator, cfg GAConfig) (*model.Mapping, *GAStats, error) {
 
 	winner := best()
 	stats.Best = winner.cost
-	return e.mappingFromGenome(winner.g), stats, nil
+	if arch != nil {
+		// The elitism-preserved winner heads the archive even if an equal-cost
+		// genome was discovered first.
+		arch.promote(winner)
+	}
+	return winner, stats, nil
 }
 
 // MapGreedy is the deterministic list-scheduling baseline: tasks are placed

@@ -1,6 +1,8 @@
 // Package bench is the repo's reproducible performance harness. It runs a
 // fixed matrix of end-to-end simulations (FFT sizes and a corner turn,
-// traced and untraced, faulted and clean) plus a kernel-scheduling
+// traced and untraced, faulted and clean), a 1024-node wide-topology pair
+// priced both by the discrete-event simulator and by the analytical twin,
+// plus a kernel-scheduling
 // microbenchmark, and reports both host-dependent measurements (wall time,
 // events/sec, allocations) and deterministic outputs (virtual elapsed time,
 // kernel dispatches) that must be identical on every machine and every run.
@@ -23,10 +25,12 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/gluegen"
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/twin"
 )
 
 // Schema identifies the report format; bump when fields change meaning.
@@ -49,6 +53,14 @@ type Case struct {
 	Iterations int
 	Traced     bool
 	Faulted    bool
+	// Threads overrides the per-function worker-thread count. Zero means
+	// threads = Nodes (the classic matrix); nonzero selects the wide-topology
+	// staggered mapping, for node counts beyond the 128-thread runtime cap.
+	Threads int
+	// Twin prices the case with the closed-form analytical twin instead of
+	// running the discrete-event simulator. VirtualNS is then the predicted
+	// elapsed time and Dispatches is zero (no events exist to dispatch).
+	Twin bool
 	// Events selects the kernel-scheduling microbenchmark (App empty):
 	// a chain of that many self-rescheduled timer events.
 	Events int
@@ -64,6 +76,11 @@ type CaseResult struct {
 	Iterations int    `json:"iterations,omitempty"`
 	Traced     bool   `json:"traced"`
 	Faulted    bool   `json:"faulted"`
+	Threads    int    `json:"threads,omitempty"`
+	// Kind is "twin" for analytically-priced cases, empty for simulated and
+	// micro cases. Twin cases carry VirtualNS (the prediction) but no
+	// dispatches or event rate: nothing was simulated.
+	Kind string `json:"kind,omitempty"`
 
 	// Deterministic: identical across hosts, runs and pool widths.
 	VirtualNS  int64  `json:"virtual_ns"`
@@ -87,8 +104,12 @@ type Report struct {
 
 // Matrix returns the fixed protocol matrix. The full matrix is the
 // committed-baseline protocol (FFT 256/512/1024 + corner turn, each traced
-// and untraced, faulted and clean, on 8 nodes); quick shrinks sizes for CI
-// smoke runs without changing the matrix shape.
+// and untraced, faulted and clean, on 8 nodes), plus a 1024-node
+// wide-topology pair pricing the same tables with the DES and with the
+// analytical twin — the committed speedup evidence for estimate-before-run
+// workflows. Quick shrinks sizes for CI smoke runs without changing the
+// matrix shape (the XL pair keeps its 1024 nodes; only the problem size
+// drops).
 func Matrix(quick bool) []Case {
 	type appCell struct {
 		app experiments.AppKind
@@ -133,6 +154,25 @@ func Matrix(quick bool) []Case {
 			}
 		}
 	}
+	// Wide-topology pair: identical tables on 1024 nodes, priced once by the
+	// DES and once by the twin. Per-function threads stay under the runtime's
+	// 128-thread cap; the staggered mapping spreads the pipeline stages into
+	// distinct node bands so the topology is genuinely wide.
+	xlN, xlThreads, xlNodes, xlIters := 1024, 128, 1024, 5
+	if quick {
+		xlN, xlThreads, xlIters = 256, 64, 3
+	}
+	for _, twin := range []bool{false, true} {
+		kind := "des"
+		if twin {
+			kind = "twin"
+		}
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("fft%d.xl%d.%s", xlN, xlNodes, kind),
+			App:  experiments.AppFFT2D, N: xlN, Threads: xlThreads, Nodes: xlNodes,
+			Iterations: xlIters, Twin: twin,
+		})
+	}
 	cases = append(cases, Case{Name: "kernel.schedule", Events: events})
 	return cases
 }
@@ -151,9 +191,12 @@ func Run(cases []Case, log io.Writer) (*Report, error) {
 			res CaseResult
 			err error
 		)
-		if c.App == "" {
+		switch {
+		case c.App == "":
 			res, err = runMicro(c)
-		} else {
+		case c.Twin:
+			res, err = runTwin(c)
+		default:
 			res, err = runSim(c)
 		}
 		if err != nil {
@@ -195,13 +238,25 @@ func finish(res *CaseResult, wallNS int64, allocs, bytes, dispatches uint64, vir
 	res.Allocs = allocs
 }
 
+// caseTables builds the generated tables for a sim or twin case. Table
+// generation happens outside measure() in both paths, so the DES and the
+// twin are timed over exactly the same remaining work: pricing the tables.
+func caseTables(c Case) (*gluegen.Output, error) {
+	pl := platforms.CSPI()
+	if c.Threads > 0 {
+		return experiments.GenerateTablesWide(c.App, pl, c.Nodes, c.Threads, c.N)
+	}
+	return experiments.GenerateTables(c.App, pl, c.Nodes, c.N)
+}
+
 func runSim(c Case) (CaseResult, error) {
 	res := CaseResult{
 		Name: c.Name, App: string(c.App), N: c.N, Nodes: c.Nodes,
 		Iterations: c.Iterations, Traced: c.Traced, Faulted: c.Faulted,
+		Threads: c.Threads,
 	}
 	pl := platforms.CSPI()
-	out, err := experiments.GenerateTables(c.App, pl, c.Nodes, c.N)
+	out, err := caseTables(c)
 	if err != nil {
 		return res, err
 	}
@@ -228,6 +283,39 @@ func runSim(c Case) (CaseResult, error) {
 		return res, err
 	}
 	finish(&res, wallNS, allocs, bytes, run.Dispatches, run.Elapsed)
+	return res, nil
+}
+
+// runTwin prices a case with the analytical twin. The evaluator — a
+// compiled, reusable view of the tables, built once and then queried
+// thousands of times by the GA fitness path and the serve estimate path —
+// is constructed outside measure() next to table generation, so the
+// measured region is one pricing query in both columns: sagert.Run for the
+// DES case, Predict here. VirtualNS records the predicted elapsed time;
+// Dispatches stays zero because no event was ever created.
+func runTwin(c Case) (CaseResult, error) {
+	res := CaseResult{
+		Name: c.Name, App: string(c.App), N: c.N, Nodes: c.Nodes,
+		Iterations: c.Iterations, Threads: c.Threads, Kind: "twin",
+	}
+	pl := platforms.CSPI()
+	out, err := caseTables(c)
+	if err != nil {
+		return res, err
+	}
+	ev, err := twin.NewEvaluator(out.Tables, pl)
+	if err != nil {
+		return res, err
+	}
+	var pred *twin.Prediction
+	wallNS, allocs, bytes, err := measure(func() error {
+		pred = ev.Predict(twin.Options{Iterations: c.Iterations})
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	finish(&res, wallNS, allocs, bytes, 0, sim.Time(pred.Elapsed))
 	return res, nil
 }
 
@@ -310,11 +398,30 @@ func Validate(r *Report) error {
 		if c.App != "" && (c.N <= 0 || c.Nodes <= 0 || c.Iterations <= 0) {
 			return fmt.Errorf("case %q: incomplete sim identity (n=%d nodes=%d iterations=%d)", c.Name, c.N, c.Nodes, c.Iterations)
 		}
-		if c.VirtualNS <= 0 || c.Dispatches == 0 {
-			return fmt.Errorf("case %q: missing deterministic outputs (virtual_ns=%d dispatches=%d)", c.Name, c.VirtualNS, c.Dispatches)
-		}
-		if c.WallNS <= 0 || c.EventsPerSec <= 0 {
-			return fmt.Errorf("case %q: missing measurements (wall_ns=%d events_per_sec=%g)", c.Name, c.WallNS, c.EventsPerSec)
+		switch c.Kind {
+		case "":
+			if c.VirtualNS <= 0 || c.Dispatches == 0 {
+				return fmt.Errorf("case %q: missing deterministic outputs (virtual_ns=%d dispatches=%d)", c.Name, c.VirtualNS, c.Dispatches)
+			}
+			if c.WallNS <= 0 || c.EventsPerSec <= 0 {
+				return fmt.Errorf("case %q: missing measurements (wall_ns=%d events_per_sec=%g)", c.Name, c.WallNS, c.EventsPerSec)
+			}
+		case "twin":
+			// Analytical cases predict virtual time without simulating: the
+			// prediction must be present, the measurement must exist, and no
+			// events may have been dispatched (that would mean a simulation
+			// leaked into the analytical path).
+			if c.VirtualNS <= 0 {
+				return fmt.Errorf("case %q: twin case missing prediction (virtual_ns=%d)", c.Name, c.VirtualNS)
+			}
+			if c.Dispatches != 0 || c.EventsPerSec != 0 {
+				return fmt.Errorf("case %q: twin case dispatched events (dispatches=%d events_per_sec=%g)", c.Name, c.Dispatches, c.EventsPerSec)
+			}
+			if c.WallNS <= 0 {
+				return fmt.Errorf("case %q: missing measurement (wall_ns=%d)", c.Name, c.WallNS)
+			}
+		default:
+			return fmt.Errorf("case %q: unknown kind %q", c.Name, c.Kind)
 		}
 		if c.AllocsPerEvent < 0 || c.BytesPerEvent < 0 {
 			return fmt.Errorf("case %q: negative allocation rate", c.Name)

@@ -8,12 +8,13 @@ import (
 )
 
 // tinyCases is a fast sub-matrix covering every case shape: clean, faulted,
-// traced, and the micro case.
+// traced, analytically priced, and the micro case.
 func tinyCases() []Case {
 	return []Case{
 		{Name: "fft64.clean", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2},
 		{Name: "fft64.faulted", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Faulted: true},
 		{Name: "ct64.clean.traced", App: experiments.AppCornerTurn, N: 64, Nodes: 4, Iterations: 2, Traced: true},
+		{Name: "fft64.twin", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Twin: true},
 		{Name: "kernel.schedule", Events: 10_000},
 	}
 }
@@ -57,7 +58,7 @@ func TestDeterministicFields(t *testing.T) {
 func TestMatrixShape(t *testing.T) {
 	for _, quick := range []bool{false, true} {
 		cases := Matrix(quick)
-		var traced, faulted, micro int
+		var traced, faulted, micro, wide, wideTwin int
 		seen := map[string]bool{}
 		for _, c := range cases {
 			if seen[c.Name] {
@@ -76,11 +77,25 @@ func TestMatrixShape(t *testing.T) {
 					t.Fatalf("micro case %q has no event count", c.Name)
 				}
 			}
+			if c.Threads > 0 {
+				wide++
+				if c.Twin {
+					wideTwin++
+				}
+				if c.Nodes < 1024 {
+					t.Fatalf("wide case %q has only %d nodes", c.Name, c.Nodes)
+				}
+			}
 		}
 		if micro != 1 {
 			t.Fatalf("quick=%v: %d micro cases, want 1", quick, micro)
 		}
-		sims := len(cases) - micro
+		// The wide-topology pair: same tables priced by the DES and the twin,
+		// at >= 1024 nodes even in the quick matrix.
+		if wide != 2 || wideTwin != 1 {
+			t.Fatalf("quick=%v: %d wide cases (%d twin), want a des+twin pair", quick, wide, wideTwin)
+		}
+		sims := len(cases) - micro - wide
 		if traced != sims/2 || faulted != sims/2 {
 			t.Fatalf("quick=%v: matrix unbalanced: %d sims, %d traced, %d faulted", quick, sims, traced, faulted)
 		}
@@ -102,6 +117,8 @@ func TestValidateRejectsBadReports(t *testing.T) {
 		{"duplicate name", func(r *Report) { r.Cases = append(r.Cases, r.Cases[0]) }},
 		{"zero dispatches", func(r *Report) { r.Cases[0].Dispatches = 0 }},
 		{"zero wall", func(r *Report) { r.Cases[0].WallNS = 0 }},
+		{"unknown kind", func(r *Report) { r.Cases[0].Kind = "oracle" }},
+		{"twin that simulated", func(r *Report) { r.Cases[0].Kind = "twin" }}, // dispatches != 0
 	}
 	for _, m := range mutate {
 		r := *good

@@ -148,6 +148,23 @@ func GenerateTables(kind AppKind, pl machine.Platform, nodes, n int) (*gluegen.O
 	return gluegen.Generate(gluegen.Input{App: app, Mapping: mapping, Platform: pl, NumNodes: nodes})
 }
 
+// GenerateTablesWide builds tables for topologies wider than one function:
+// the app gets an explicit worker-thread count (the runtime caps a single
+// function at 128 threads) and the functions are staggered across the
+// machine (model.StaggerParallel), so a 1024-node platform is genuinely
+// populated instead of piling every stage onto nodes 0..threads-1.
+func GenerateTablesWide(kind AppKind, pl machine.Platform, nodes, threads, n int) (*gluegen.Output, error) {
+	app, err := buildApp(kind, n, threads)
+	if err != nil {
+		return nil, err
+	}
+	mapping, err := model.StaggerParallel(app, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return gluegen.Generate(gluegen.Input{App: app, Mapping: mapping, Platform: pl, NumNodes: nodes})
+}
+
 // runSage generates glue code and executes it under the protocol, returning
 // the average per-data-set time. For the hand-coded comparison the runtime
 // runs in Sequential mode (one data set at a time, like the hand-coded

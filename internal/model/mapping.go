@@ -100,6 +100,30 @@ func RoundRobin(app *App, numNodes int) *Mapping {
 	return m
 }
 
+// StaggerParallel places each function's threads on its own band of nodes:
+// the first function occupies nodes 0..T0-1, the next T1..., wrapping when
+// the bands exhaust the machine. A pipeline of k functions with t threads
+// each therefore populates min(k*t, numNodes) distinct processors, whereas
+// SpreadParallel overlays every function on nodes 0..T-1 and leaves the rest
+// of a large machine idle. This is the natural hand mapping for topologies
+// much wider than any single function's thread count.
+func StaggerParallel(app *App, numNodes int) (*Mapping, error) {
+	if numNodes < 1 {
+		return nil, fmt.Errorf("model: stagger mapping needs at least one node, got %d", numNodes)
+	}
+	m := NewMapping()
+	offset := 0
+	for _, f := range app.Functions {
+		nodes := make([]int, f.Threads)
+		for i := range nodes {
+			nodes[i] = (offset + i) % numNodes
+		}
+		m.Set(f.Name, nodes...)
+		offset += f.Threads
+	}
+	return m, nil
+}
+
 // SpreadParallel maps each multi-threaded function across nodes 0..T-1 and
 // places single-threaded functions on node 0. This is the canonical manual
 // mapping for the benchmark pipelines (source and sink on node 0, worker

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+const estimateReq = `{"app":"fft2d","n":64,"threads":2,"nodes":4,"estimate":true,"protocol":{"iterations":2}}`
+
+// Estimate-only requests are answered by the analytical twin with the same
+// response shape as a run: predicted totals, per-node stats, a twin
+// breakdown, and no dispatched events.
+func TestEstimateResponseShape(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	w := do(s, http.MethodPost, "/v1/run", estimateReq)
+	if w.Code != http.StatusOK {
+		t.Fatalf("estimate: status %d, body %s", w.Code, w.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Twin == nil {
+		t.Fatal("estimate response missing twin breakdown")
+	}
+	if resp.ElapsedNs <= 0 || resp.PeriodNs <= 0 || resp.AvgLatencyNs <= 0 {
+		t.Errorf("estimate missing predictions: %+v", resp)
+	}
+	if resp.Dispatches != 0 {
+		t.Errorf("estimate simulated %d events", resp.Dispatches)
+	}
+	if len(resp.NodeStats) != 4 || len(resp.Assignment) == 0 {
+		t.Errorf("estimate missing node stats or mapping: %+v", resp)
+	}
+
+	// The prediction should be in the neighbourhood of the real run (the
+	// calibration gates in twin/validate pin this precisely; here we only
+	// guard against gross wiring mistakes like unit mixups).
+	runW := do(s, http.MethodPost, "/v1/run", smallReq)
+	if runW.Code != http.StatusOK {
+		t.Fatalf("run: status %d", runW.Code)
+	}
+	var runResp Response
+	if err := json.Unmarshal(runW.Body.Bytes(), &runResp); err != nil {
+		t.Fatal(err)
+	}
+	if runResp.Twin != nil {
+		t.Error("full run response carries a twin breakdown")
+	}
+	ratio := float64(resp.ElapsedNs) / float64(runResp.ElapsedNs)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("estimate %d ns vs run %d ns (ratio %.2f)", resp.ElapsedNs, runResp.ElapsedNs, ratio)
+	}
+}
+
+// Estimates must not occupy the worker fleet: a zero-worker daemon — and one
+// whose fleet has already shut down — still answers them, while real runs
+// are refused. This is the strongest possible form of "hits no worker-pool
+// slot" (issue satellite 4).
+func TestEstimateBypassesWorkers(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	s.Shutdown() // drain the fleet; queue consumers are gone
+
+	w := do(s, http.MethodPost, "/v1/run", estimateReq)
+	if w.Code != http.StatusOK {
+		t.Fatalf("estimate after shutdown: status %d, body %s", w.Code, w.Body.String())
+	}
+	if got := s.Stats().Estimates; got != 1 {
+		t.Errorf("Estimates counter = %d, want 1", got)
+	}
+	if got := s.Stats().BusyWorkers; got != 0 {
+		t.Errorf("estimate occupied a worker: busy=%d", got)
+	}
+
+	// A real run with the same shape is refused: the fleet is gone.
+	runW := do(s, http.MethodPost, "/v1/run", smallReq)
+	if runW.Code != http.StatusServiceUnavailable {
+		t.Fatalf("run after shutdown: status %d, want 503", runW.Code)
+	}
+}
+
+// TimeoutMs is excluded from the cache key for estimates exactly as for
+// runs, and cached estimate bytes are identical to fresh ones (issue
+// satellite 4).
+func TestEstimateCacheKeyIgnoresTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	fresh := do(s, http.MethodPost, "/v1/run", `{"app":"fft2d","n":64,"threads":2,"nodes":4,"estimate":true,"timeout_ms":60000}`)
+	if fresh.Code != http.StatusOK || fresh.Header().Get("X-Sage-Cache") != "miss" {
+		t.Fatalf("fresh estimate: status %d cache %q", fresh.Code, fresh.Header().Get("X-Sage-Cache"))
+	}
+	// Different timeout, same computation: must hit, byte-identically.
+	cached := do(s, http.MethodPost, "/v1/run", `{"app":"fft2d","n":64,"threads":2,"nodes":4,"estimate":true,"timeout_ms":5}`)
+	if cached.Code != http.StatusOK || cached.Header().Get("X-Sage-Cache") != "hit" {
+		t.Fatalf("cached estimate: status %d cache %q", cached.Code, cached.Header().Get("X-Sage-Cache"))
+	}
+	if !bytes.Equal(fresh.Body.Bytes(), cached.Body.Bytes()) {
+		t.Error("cached estimate bytes differ from fresh")
+	}
+
+	// An estimate and a run of the same request are distinct cache entries:
+	// a prediction can never shadow a measurement.
+	runW := do(s, http.MethodPost, "/v1/run", `{"app":"fft2d","n":64,"threads":2,"nodes":4}`)
+	if runW.Code != http.StatusOK || runW.Header().Get("X-Sage-Cache") != "miss" {
+		t.Fatalf("run after estimate: status %d cache %q (prediction shadowed a measurement?)",
+			runW.Code, runW.Header().Get("X-Sage-Cache"))
+	}
+}
+
+// Estimates of every protocol and mapping combination produce identical
+// bytes on repeat — the determinism the response cache relies on.
+func TestEstimateDeterministic(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheEntries: -1}) // cache off: every request computes
+	for _, req := range []string{
+		`{"app":"fft2d","n":64,"threads":2,"nodes":4,"estimate":true}`,
+		`{"app":"stap","n":64,"threads":3,"nodes":6,"estimate":true,"protocol":{"sequential":true}}`,
+		`{"app":"cornerturn","n":64,"threads":2,"nodes":2,"estimate":true,"protocol":{"optimized_buffers":true,"iterations":7}}`,
+		`{"app":"fft2d","n":64,"threads":2,"nodes":8,"estimate":true,"mapping":"ga","seed":3}`,
+	} {
+		a := do(s, http.MethodPost, "/v1/run", req)
+		b := do(s, http.MethodPost, "/v1/run", req)
+		if a.Code != http.StatusOK || b.Code != http.StatusOK {
+			t.Fatalf("%s: status %d/%d body %s", req, a.Code, b.Code, a.Body.String())
+		}
+		if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+			t.Errorf("%s: repeat estimate bytes differ", req)
+		}
+	}
+}
+
+// The twin has no fault or trace model; asking for either with an estimate
+// is a client error, stated plainly.
+func TestEstimateRejectsUnmodeledFeatures(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	for _, req := range []string{
+		`{"app":"fft2d","n":64,"threads":2,"nodes":4,"estimate":true,"faults":"seed 1\ndrop node 0 prob 0.5"}`,
+		`{"app":"fft2d","n":64,"threads":2,"nodes":4,"estimate":true,"trace_summary":true}`,
+	} {
+		w := do(s, http.MethodPost, "/v1/run", req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", req, w.Code, w.Body.String())
+		}
+	}
+}
+
+// Estimates answer under a worker fleet that is fully busy, without queueing
+// behind the running simulations.
+func TestEstimateUnderLoad(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	// Occupy the single worker with a long simulation in the background.
+	bigReq := `{"app":"fft2d","n":512,"threads":4,"nodes":8,"protocol":{"iterations":40,"repetitions":2}}`
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		do(s, http.MethodPost, "/v1/run", bigReq)
+	}()
+	// Estimates keep flowing regardless of fleet occupancy.
+	for i := 0; i < 8; i++ {
+		req := fmt.Sprintf(`{"app":"fft2d","n":64,"threads":2,"nodes":4,"estimate":true,"seed":%d}`, i)
+		w := do(s, http.MethodPost, "/v1/run", req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("estimate %d under load: status %d body %s", i, w.Code, w.Body.String())
+		}
+	}
+	<-done
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 	"repro/internal/trace"
+	"repro/internal/twin"
 )
 
 // errBadRequest marks validation failures the client caused; the handler
@@ -70,6 +71,12 @@ type Request struct {
 	// It is excluded from the cache key: patience is not a simulation
 	// parameter, and cached bytes must not depend on it.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Estimate answers with the analytical twin's closed-form prediction
+	// instead of simulating: the response carries predicted period/latency/
+	// elapsed (plus a twin breakdown) and never occupies a worker slot or a
+	// rate token. Estimates are cached like runs (Estimate is part of the
+	// key, so a prediction can never shadow a measurement).
+	Estimate bool `json:"estimate,omitempty"`
 }
 
 // Protocol mirrors the experiments protocol: repetitions of a fixed
@@ -106,6 +113,20 @@ type Response struct {
 	GA           *GASummary       `json:"ga,omitempty"`
 	TraceSummary string           `json:"trace_summary,omitempty"`
 	FaultSummary string           `json:"fault_summary,omitempty"`
+	// Twin is present on estimate-only responses: the analytical model's
+	// breakdown of the prediction the top-level fields carry.
+	Twin *TwinSummary `json:"twin,omitempty"`
+}
+
+// TwinSummary is the analytical twin's view of an estimated run.
+type TwinSummary struct {
+	FirstIterationNs   int64 `json:"first_iteration_ns"`
+	SteadyIterationNs  int64 `json:"steady_iteration_ns"`
+	BottleneckPeriodNs int64 `json:"bottleneck_period_ns"`
+	RecvNs             int64 `json:"recv_ns"`
+	DispatchNs         int64 `json:"dispatch_ns"`
+	ComputeNs          int64 `json:"compute_ns"`
+	SendNs             int64 `json:"send_ns"`
 }
 
 // NodeStat is one node's busy-time breakdown in nanoseconds of virtual time.
@@ -186,6 +207,14 @@ func (r *Request) normalize() error {
 	}
 	if r.TimeoutMs < 0 {
 		return badf("timeout_ms must be non-negative")
+	}
+	if r.Estimate {
+		if r.Faults != "" {
+			return badf("estimate: fault paths are outside the twin's model; drop faults or run a full simulation")
+		}
+		if r.TraceSummary {
+			return badf("estimate: no events are simulated, so there is no trace; drop trace_summary or run a full simulation")
+		}
 	}
 	if r.Faults != "" {
 		plan, err := fault.ParsePlan(r.Faults)
@@ -290,6 +319,59 @@ func buildCase(r *Request) (*gluegen.Tables, machine.Platform, *Response, error)
 		return nil, machine.Platform{}, nil, badf("gluegen: %v", err)
 	}
 	return out.Tables, pl, resp, nil
+}
+
+// executeEstimate answers a request from the analytical twin: same model,
+// mapping and table generation as a real run, but the execution itself is a
+// closed-form prediction — no kernel, no events, no worker occupancy. The
+// response mirrors a run response (predicted period/latency/elapsed,
+// predicted per-node busy stats, Dispatches 0) plus the twin breakdown.
+func executeEstimate(r *Request) (*Response, error) {
+	tables, pl, resp, err := buildCase(r)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := twin.NewEvaluator(tables, pl)
+	if err != nil {
+		return nil, badf("twin: %v", err)
+	}
+	pred := ev.Predict(twin.Options{
+		Iterations:       r.Protocol.Iterations,
+		Sequential:       r.Protocol.Sequential,
+		OptimizedBuffers: r.Protocol.OptimizedBuffers,
+	})
+	period := time.Duration(pred.Period)
+	avg := time.Duration(pred.AvgLatency)
+	elapsed := time.Duration(pred.Elapsed)
+	resp.Period = period.String()
+	resp.PeriodNs = int64(period)
+	resp.AvgLatency = avg.String()
+	resp.AvgLatencyNs = int64(avg)
+	resp.Elapsed = elapsed.String()
+	resp.ElapsedNs = int64(elapsed)
+	for n, nc := range pred.Nodes {
+		util := 0.0
+		if pred.Elapsed > 0 {
+			util = float64(nc.Compute+nc.Copy) / float64(pred.Elapsed)
+		}
+		resp.NodeStats = append(resp.NodeStats, NodeStat{
+			Node:        n,
+			ComputeNs:   int64(nc.Compute),
+			CopyNs:      int64(nc.Copy),
+			CommNs:      int64(nc.Comm),
+			Utilization: util,
+		})
+	}
+	resp.Twin = &TwinSummary{
+		FirstIterationNs:   int64(pred.FirstIteration),
+		SteadyIterationNs:  int64(pred.SteadyIteration),
+		BottleneckPeriodNs: int64(pred.BottleneckPeriod),
+		RecvNs:             int64(pred.Phases.Recv),
+		DispatchNs:         int64(pred.Phases.Dispatch),
+		ComputeNs:          int64(pred.Phases.Compute),
+		SendNs:             int64(pred.Phases.Send),
+	}
+	return resp, nil
 }
 
 // execute runs a normalized request end to end. The context's deadline is

@@ -105,6 +105,7 @@ type Stats struct {
 	Completed      uint64           `json:"completed"`
 	Failed         uint64           `json:"failed"`
 	Canceled       uint64           `json:"canceled"`
+	Estimates      uint64           `json:"estimates"`
 	ShedRate       uint64           `json:"shed_rate"`
 	ShedQueue      uint64           `json:"shed_queue"`
 	CacheEntries   int              `json:"cache_entries"`
@@ -133,7 +134,7 @@ type Server struct {
 	lastRefill time.Time
 
 	requests, completed, failed, canceled atomic.Uint64
-	shedRate, shedQueue                   atomic.Uint64
+	shedRate, shedQueue, estimates        atomic.Uint64
 	busy                                  atomic.Int64
 }
 
@@ -248,6 +249,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Estimate {
+		// Estimates are answered inline by the analytical twin: closed-form
+		// arithmetic, microseconds of work — they never consume a worker
+		// slot, a queue position or a rate token, and they keep working
+		// after Shutdown has drained the fleet.
+		resp, err := executeEstimate(&req)
+		if err != nil {
+			s.writeRunError(w, r.Context(), err)
+			return
+		}
+		body, err := encodeBody(resp)
+		if err != nil {
+			s.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.estimates.Add(1)
+		s.completed.Add(1)
+		s.cache.put(key, body)
+		writeBody(w, body, "miss")
+		return
+	}
+
 	if !s.admit() {
 		s.shedRate.Add(1)
 		writeError(w, http.StatusTooManyRequests, "rate limit exceeded, retry later")
@@ -343,6 +367,7 @@ func (s *Server) Stats() Stats {
 		Completed:      s.completed.Load(),
 		Failed:         s.failed.Load(),
 		Canceled:       s.canceled.Load(),
+		Estimates:      s.estimates.Load(),
 		ShedRate:       s.shedRate.Load(),
 		ShedQueue:      s.shedQueue.Load(),
 		CacheEntries:   entries,

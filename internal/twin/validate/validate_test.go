@@ -1,0 +1,99 @@
+package validate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// The calibration gates from the issue: MAPE <= 25% and Spearman >= 0.9 on
+// the fixed seeded matrix. This is the twin's contract with the DES oracle;
+// a model change that breaks it must either be fixed or re-justified here.
+func TestCalibrationGatesQuick(t *testing.T) {
+	rep, err := Validate(Config{SeedStart: 1, Seeds: 24, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if testing.Verbose() {
+		t.Log("\n" + rep.Table())
+	}
+	if rep.MAPE > GateMAPE {
+		t.Errorf("MAPE %.2f%% exceeds gate %.0f%%", rep.MAPE, GateMAPE)
+	}
+	if rep.Spearman < GateSpearman {
+		t.Errorf("Spearman %.4f below gate %.2f", rep.Spearman, GateSpearman)
+	}
+	if len(rep.Runs) != 24*4 {
+		t.Errorf("expected %d runs, got %d", 24*4, len(rep.Runs))
+	}
+}
+
+// Full-size graphs, a different seed band, fewer seeds to bound test time.
+func TestCalibrationGatesFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Validate(Config{SeedStart: 1000, Seeds: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if rep.MAPE > GateMAPE {
+		t.Errorf("MAPE %.2f%% exceeds gate %.0f%%", rep.MAPE, GateMAPE)
+	}
+	if rep.Spearman < GateSpearman {
+		t.Errorf("Spearman %.4f below gate %.2f", rep.Spearman, GateSpearman)
+	}
+}
+
+// The report must be byte-identical at any parallelism, like every other
+// pooled harness in this repo.
+func TestValidateDeterministicAtAnyParallelism(t *testing.T) {
+	var ref *Report
+	for _, par := range []int{1, 4} {
+		rep, err := Validate(Config{SeedStart: 40, Seeds: 6, Quick: true, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		if !reflect.DeepEqual(rep, ref) {
+			t.Fatalf("parallelism %d: report diverges", par)
+		}
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{[]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}, -1},
+		{[]float64{1, 2, 3, 4}, []float64{7, 7, 7, 7}, 1}, // constant: nothing misordered
+		{[]float64{1, 1, 2, 2}, []float64{1, 1, 2, 2}, 1},
+		{[]float64{1}, []float64{1}, 0}, // too short
+	}
+	for i, c := range cases {
+		if got := Spearman(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+	// Monotone nonlinear relation still ranks perfectly.
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{1, 4, 9, 16, 25, 36}
+	if got := Spearman(a, b); got != 1 {
+		t.Errorf("nonlinear monotone: got %v", got)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := ranks([]float64{3, 1, 3, 2})
+	want := []float64{3.5, 1, 3.5, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ranks: got %v want %v", got, want)
+	}
+}
