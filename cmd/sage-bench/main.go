@@ -106,6 +106,10 @@ func runBench(path string, quick bool) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bench: %d cases written to %s\n", len(r.Cases), path)
+	if s := r.Summary; s != nil {
+		fmt.Fprintf(os.Stderr, "bench: events/sec mean %.0f p50 %.0f range [%.0f, %.0f] over %d cases\n",
+			s.EventsPerSecMean, s.EventsPerSecP50, s.EventsPerSecMin, s.EventsPerSecMax, s.Cases)
+	}
 	return nil
 }
 

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, run or
+// validation failures exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such.json")
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"no scenario argument", nil, cli.ExitUsage},
+		{"conflicting modes", []string{"-compare", "-check", goldenScenario}, cli.ExitUsage},
+		{"orphan require-improved", []string{"-require-improved", goldenScenario}, cli.ExitUsage},
+		{"missing scenario file", []string{missing}, cli.ExitFailure},
+		{"good run", []string{goldenScenario}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

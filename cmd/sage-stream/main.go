@@ -1,0 +1,207 @@
+// sage-stream runs streaming SAGE scenarios: a JSON scenario file (class
+// mix, app/platform/mapping case, optional fault plan and remap policy) is
+// compiled and executed on the simulated machine, and the SLO report —
+// per-class latency percentiles, throughput, fairness, backpressure
+// high-water marks and remap events — is printed as a table or as JSON.
+// Reports are pure virtual-time artifacts: byte-identical for a given
+// scenario on every host.
+//
+// Usage:
+//
+//	sage-stream scenario.json                  run, print the SLO report
+//	sage-stream -json scenario.json            same, report as JSON
+//	sage-stream -compare scenario.json         remap vs static baseline
+//	sage-stream -compare -require-improved ... exit 1 unless remap won
+//	sage-stream -replay scenario.json          determinism check: compare at
+//	                                           -parallel 1 vs -parallel N,
+//	                                           fail on any byte difference
+//	sage-stream -check report.json             validate a report's schema
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/experiments"
+	"repro/internal/stream"
+)
+
+func main() { os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// cliMain parses flags and maps errors to the shared exit-code discipline:
+// usage mistakes exit 2, run/validation failures exit 1.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sage-stream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	compare := fs.Bool("compare", false, "run the scenario twice (remap policy off and on) and print both cells")
+	requireImproved := fs.Bool("require-improved", false, "with -compare: exit 1 unless remapping reduced late+shed frames")
+	replay := fs.Bool("replay", false, "determinism check: run the comparison at -parallel 1 and -parallel N and fail on any report byte difference")
+	check := fs.Bool("check", false, "treat the argument as a report JSON file and validate its schema")
+	asJSON := fs.Bool("json", false, "print the report as JSON instead of a table")
+	parallel := fs.Int("parallel", 1, "experiment parallelism for -compare / the second -replay leg")
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sage-stream [-compare [-require-improved] | -replay | -check] [-json] [-parallel N] file.json")
+		return cli.ExitUsage
+	}
+	if err := run(stdout, fs.Arg(0), mode{
+		compare: *compare, requireImproved: *requireImproved,
+		replay: *replay, check: *check, asJSON: *asJSON, parallel: *parallel,
+	}); err != nil {
+		fmt.Fprintln(stderr, "sage-stream:", err)
+		return cli.ExitCode(err)
+	}
+	return cli.ExitOK
+}
+
+type mode struct {
+	compare, requireImproved, replay, check, asJSON bool
+	parallel                                        int
+}
+
+func run(w io.Writer, path string, m mode) error {
+	exclusive := 0
+	for _, on := range []bool{m.compare, m.replay, m.check} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return cli.Usagef("-compare, -replay and -check are mutually exclusive")
+	}
+	if m.requireImproved && !m.compare {
+		return cli.Usagef("-require-improved only applies with -compare")
+	}
+	if m.parallel < 1 {
+		return cli.Usagef("-parallel must be >= 1 (got %d)", m.parallel)
+	}
+	if m.check {
+		return checkReport(w, path)
+	}
+	sc, err := readScenario(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case m.compare:
+		return runCompare(w, sc, m)
+	case m.replay:
+		return runReplay(w, sc, m.parallel)
+	default:
+		return runOnce(w, sc, m.asJSON)
+	}
+}
+
+func readScenario(path string) (*stream.Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := stream.ReadScenario(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// runOnce executes the scenario and prints its SLO report.
+func runOnce(w io.Writer, sc *stream.Scenario, asJSON bool) error {
+	cfg, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	res, err := stream.Run(cfg)
+	if err != nil {
+		return err
+	}
+	rep := stream.BuildReport(cfg.Classes, cfg.Seed, res)
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("report failed schema validation: %w", err)
+	}
+	if asJSON {
+		return rep.WriteJSON(w)
+	}
+	rep.Format(w)
+	return nil
+}
+
+// runCompare runs the remap-vs-static experiment and prints both cells.
+func runCompare(w io.Writer, sc *stream.Scenario, m mode) error {
+	cmp, err := experiments.RunStreamCompare(experiments.StreamCompareConfig{
+		Scenario: sc, Parallelism: m.parallel,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, cmp.Format())
+	if m.requireImproved && !cmp.Improved() {
+		return fmt.Errorf("remapping did not improve late+shed (static %d, remap %d)",
+			cmp.Static.Late+cmp.Static.Shed, cmp.Remap.Late+cmp.Remap.Shed)
+	}
+	return nil
+}
+
+// runReplay is the determinism gate CI runs: the comparison executed at
+// experiment parallelism 1 and at -parallel N must produce byte-identical
+// report JSON for both cells.
+func runReplay(w io.Writer, sc *stream.Scenario, parallel int) error {
+	render := func(p int) ([]byte, error) {
+		cmp, err := experiments.RunStreamCompare(experiments.StreamCompareConfig{
+			Scenario: sc, Parallelism: p,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var b bytes.Buffer
+		if err := cmp.Static.WriteJSON(&b); err != nil {
+			return nil, err
+		}
+		if err := cmp.Remap.WriteJSON(&b); err != nil {
+			return nil, err
+		}
+		return b.Bytes(), nil
+	}
+	seq, err := render(1)
+	if err != nil {
+		return err
+	}
+	par, err := render(parallel)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(seq, par) {
+		return fmt.Errorf("replay diverged: reports at -parallel 1 and -parallel %d differ", parallel)
+	}
+	fmt.Fprintf(w, "replay ok: reports byte-identical at -parallel 1 and -parallel %d (%d bytes)\n",
+		parallel, len(seq))
+	return nil
+}
+
+// checkReport validates a report JSON file against the schema — the gate CI
+// runs on committed sage-stream output.
+func checkReport(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep stream.Report
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "%s: ok — %s, seed %d, %d/%d frames completed, %d late, %d shed, %d remaps\n",
+		path, rep.Schema, rep.Seed, rep.Completed, rep.Offered, rep.Late, rep.Shed, len(rep.Remaps))
+	return nil
+}

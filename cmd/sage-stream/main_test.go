@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// goldenScenario is the committed remap scenario the experiments package
+// pins its golden output to — the CLI exercises the same file CI gates on.
+const goldenScenario = "../../internal/experiments/testdata/stream_remap.json"
+
+// smallScenario is a fast remap-free mix for the plain-run tests.
+const smallScenario = `{"app":"fft2d","n":32,"threads":2,"nodes":4,"seed":7,"classes":[
+{"name":"interactive","process":"poisson","rate":400,"frames":12,"slo_ms":20},
+{"name":"batch","process":"gamma","rate":100,"shape":4,"frames":4,"weight":2}]}`
+
+func writeScenario(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrintsReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, writeScenario(t, smallScenario), mode{parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"streaming run: 16 offered", "interactive", "batch", "Jain fairness"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestJSONReportValidates(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, writeScenario(t, smallScenario), mode{asJSON: true, parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var rep stream.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not a report: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("-json report fails schema: %v", err)
+	}
+	if rep.Offered != 16 || rep.Completed != 16 {
+		t.Errorf("offered %d completed %d, want 16/16", rep.Offered, rep.Completed)
+	}
+}
+
+func TestCompareGoldenImproves(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, goldenScenario, mode{compare: true, requireImproved: true, parallel: 2})
+	if err != nil {
+		t.Fatalf("-require-improved failed on the committed golden scenario: %v", err)
+	}
+	if !strings.Contains(out.String(), "remapping cut late+shed") {
+		t.Errorf("comparison verdict missing:\n%s", out.String())
+	}
+}
+
+func TestCompareNeedsRemapPolicy(t *testing.T) {
+	err := run(os.Stdout, writeScenario(t, smallScenario), mode{compare: true, parallel: 1})
+	if err == nil || !strings.Contains(err.Error(), "remap policy") {
+		t.Fatalf("compare without a remap policy: err = %v", err)
+	}
+}
+
+func TestReplayByteIdentical(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, goldenScenario, mode{replay: true, parallel: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replay ok") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCheckAcceptsOwnOutput(t *testing.T) {
+	var rep bytes.Buffer
+	if err := run(&rep, writeScenario(t, smallScenario), mode{asJSON: true, parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, rep.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, path, mode{check: true, parallel: 1}); err != nil {
+		t.Fatalf("-check refused the CLI's own -json output: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok — sage-stream/1") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCheckRejectsBadReports(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"not json", "not a report"},
+		{"unknown field", `{"schema":"sage-stream/1","bogus":1}`},
+		{"wrong schema", `{"schema":"sage-stream/9","seed":1,"offered":1,"admitted":1,"completed":1,"classes":[]}`},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(t.TempDir(), "report.json")
+		if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(os.Stdout, path, mode{check: true, parallel: 1}); err == nil {
+			t.Errorf("%s: -check accepted it", tc.name)
+		}
+	}
+}
+
+func TestModeConflictsAreUsageErrors(t *testing.T) {
+	bad := []mode{
+		{compare: true, replay: true, parallel: 1},
+		{compare: true, check: true, parallel: 1},
+		{requireImproved: true, parallel: 1},
+		{parallel: 0},
+	}
+	for _, m := range bad {
+		if err := run(os.Stdout, goldenScenario, m); err == nil {
+			t.Errorf("mode %+v accepted", m)
+		}
+	}
+}

@@ -2,8 +2,8 @@
 // fixed matrix of end-to-end simulations (FFT sizes and a corner turn,
 // traced and untraced, faulted and clean), a 1024-node wide-topology pair
 // priced both by the discrete-event simulator and by the analytical twin,
-// plus a kernel-scheduling
-// microbenchmark, and reports both host-dependent measurements (wall time,
+// a mixed-class streaming case on the stream runtime, plus a
+// kernel-scheduling microbenchmark, and reports both host-dependent measurements (wall time,
 // events/sec, allocations) and deterministic outputs (virtual elapsed time,
 // kernel dispatches) that must be identical on every machine and every run.
 //
@@ -29,6 +29,8 @@ import (
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/twin"
 )
@@ -64,6 +66,10 @@ type Case struct {
 	// Events selects the kernel-scheduling microbenchmark (App empty):
 	// a chain of that many self-rescheduled timer events.
 	Events int
+	// Stream runs the case on the streaming runtime instead of the batch
+	// one: a fixed mixed-class arrival mix offering Iterations frames in
+	// total. VirtualNS is then the streaming run's elapsed virtual time.
+	Stream bool
 }
 
 // CaseResult is one executed cell. Fields under "deterministic" depend only
@@ -100,6 +106,60 @@ type Report struct {
 	GoVersion  string       `json:"go_version"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Cases      []CaseResult `json:"cases"`
+	// Summary aggregates host measurements across the event-driven cases,
+	// computed with the shared stats estimators (internal/stats — the same
+	// code the streaming SLO reports use). Host-dependent, like the fields
+	// it summarises; absent from reports written before the field existed.
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Summary is the cross-case host-measurement roll-up.
+type Summary struct {
+	Cases            int     `json:"cases"`
+	WallNSTotal      int64   `json:"wall_ns_total"`
+	EventsPerSecMean float64 `json:"events_per_sec_mean"`
+	EventsPerSecP50  float64 `json:"events_per_sec_p50"`
+	EventsPerSecMin  float64 `json:"events_per_sec_min"`
+	EventsPerSecMax  float64 `json:"events_per_sec_max"`
+	AllocsPerEvtMean float64 `json:"allocs_per_event_mean"`
+}
+
+// Summarize computes the host-measurement roll-up over every case that
+// dispatched events (twin cases price without simulating and are skipped).
+func Summarize(r *Report) *Summary {
+	var w, aw stats.Welford
+	var rates []float64
+	var total int64
+	for _, c := range r.Cases {
+		if c.Dispatches == 0 {
+			continue
+		}
+		w.Add(c.EventsPerSec)
+		aw.Add(c.AllocsPerEvent)
+		rates = append(rates, c.EventsPerSec)
+		total += c.WallNS
+	}
+	if len(rates) == 0 {
+		return nil
+	}
+	min, max := rates[0], rates[0]
+	for _, v := range rates[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return &Summary{
+		Cases:            len(rates),
+		WallNSTotal:      total,
+		EventsPerSecMean: w.Mean(),
+		EventsPerSecP50:  stats.Percentile(rates, 0.50),
+		EventsPerSecMin:  min,
+		EventsPerSecMax:  max,
+		AllocsPerEvtMean: aw.Mean(),
+	}
 }
 
 // Matrix returns the fixed protocol matrix. The full matrix is the
@@ -173,6 +233,17 @@ func Matrix(quick bool) []Case {
 			Iterations: xlIters, Twin: twin,
 		})
 	}
+	// Streaming case: a mixed-class arrival mix on the stream runtime — the
+	// acceptance number for streaming-path optimisations.
+	strN, strFrames := 128, 120
+	if quick {
+		strN, strFrames = 64, 30
+	}
+	cases = append(cases, Case{
+		Name: fmt.Sprintf("stream%d.mixed", strN),
+		App:  experiments.AppFFT2D, N: strN, Nodes: nodes,
+		Iterations: strFrames, Stream: true,
+	})
 	cases = append(cases, Case{Name: "kernel.schedule", Events: events})
 	return cases
 }
@@ -196,6 +267,8 @@ func Run(cases []Case, log io.Writer) (*Report, error) {
 			res, err = runMicro(c)
 		case c.Twin:
 			res, err = runTwin(c)
+		case c.Stream:
+			res, err = runStream(c)
 		default:
 			res, err = runSim(c)
 		}
@@ -208,6 +281,7 @@ func Run(cases []Case, log io.Writer) (*Report, error) {
 		}
 		r.Cases = append(r.Cases, res)
 	}
+	r.Summary = Summarize(r)
 	return r, nil
 }
 
@@ -319,6 +393,40 @@ func runTwin(c Case) (CaseResult, error) {
 	return res, nil
 }
 
+// runStream measures the streaming runtime: a fixed 3:1 interactive/batch
+// class mix offering Iterations frames in total. Like every other cell the
+// deterministic outputs (virtual elapsed, dispatches) are host-independent.
+func runStream(c Case) (CaseResult, error) {
+	res := CaseResult{
+		Name: c.Name, App: string(c.App), N: c.N, Nodes: c.Nodes,
+		Iterations: c.Iterations, Kind: "stream",
+	}
+	interactive := (c.Iterations*3 + 3) / 4
+	batch := c.Iterations - interactive
+	sc := &stream.Scenario{
+		App: "fft2d", N: c.N, Threads: 2, Nodes: c.Nodes, Seed: 7,
+		Classes: []stream.Class{
+			{Name: "interactive", Process: "poisson", Rate: 400, Frames: interactive, SLOMs: 50},
+			{Name: "batch", Process: "gamma", Rate: 100, Shape: 4, Frames: batch, Weight: 2},
+		},
+	}
+	cfg, err := sc.Build()
+	if err != nil {
+		return res, err
+	}
+	var run *stream.Result
+	wallNS, allocs, bytes, err := measure(func() error {
+		r, err := stream.Run(cfg)
+		run = r
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	finish(&res, wallNS, allocs, bytes, run.Dispatches, run.Elapsed)
+	return res, nil
+}
+
 // runMicro is the kernel-scheduling microbenchmark: a chain of Events
 // self-rescheduled timer callbacks, the same loop as the package's
 // BenchmarkKernelSchedule. It is the acceptance number for scheduling-path
@@ -400,6 +508,13 @@ func Validate(r *Report) error {
 		}
 		switch c.Kind {
 		case "":
+			if c.VirtualNS <= 0 || c.Dispatches == 0 {
+				return fmt.Errorf("case %q: missing deterministic outputs (virtual_ns=%d dispatches=%d)", c.Name, c.VirtualNS, c.Dispatches)
+			}
+			if c.WallNS <= 0 || c.EventsPerSec <= 0 {
+				return fmt.Errorf("case %q: missing measurements (wall_ns=%d events_per_sec=%g)", c.Name, c.WallNS, c.EventsPerSec)
+			}
+		case "stream":
 			if c.VirtualNS <= 0 || c.Dispatches == 0 {
 				return fmt.Errorf("case %q: missing deterministic outputs (virtual_ns=%d dispatches=%d)", c.Name, c.VirtualNS, c.Dispatches)
 			}

@@ -15,6 +15,7 @@ func tinyCases() []Case {
 		{Name: "fft64.faulted", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Faulted: true},
 		{Name: "ct64.clean.traced", App: experiments.AppCornerTurn, N: 64, Nodes: 4, Iterations: 2, Traced: true},
 		{Name: "fft64.twin", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Twin: true},
+		{Name: "stream64.mixed", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 8, Stream: true},
 		{Name: "kernel.schedule", Events: 10_000},
 	}
 }
@@ -58,7 +59,7 @@ func TestDeterministicFields(t *testing.T) {
 func TestMatrixShape(t *testing.T) {
 	for _, quick := range []bool{false, true} {
 		cases := Matrix(quick)
-		var traced, faulted, micro, wide, wideTwin int
+		var traced, faulted, micro, wide, wideTwin, streamed int
 		seen := map[string]bool{}
 		for _, c := range cases {
 			if seen[c.Name] {
@@ -75,6 +76,12 @@ func TestMatrixShape(t *testing.T) {
 				micro++
 				if c.Events <= 0 {
 					t.Fatalf("micro case %q has no event count", c.Name)
+				}
+			}
+			if c.Stream {
+				streamed++
+				if c.Iterations <= 0 {
+					t.Fatalf("stream case %q offers no frames", c.Name)
 				}
 			}
 			if c.Threads > 0 {
@@ -95,10 +102,52 @@ func TestMatrixShape(t *testing.T) {
 		if wide != 2 || wideTwin != 1 {
 			t.Fatalf("quick=%v: %d wide cases (%d twin), want a des+twin pair", quick, wide, wideTwin)
 		}
-		sims := len(cases) - micro - wide
+		if streamed != 1 {
+			t.Fatalf("quick=%v: %d stream cases, want 1", quick, streamed)
+		}
+		sims := len(cases) - micro - wide - streamed
 		if traced != sims/2 || faulted != sims/2 {
 			t.Fatalf("quick=%v: matrix unbalanced: %d sims, %d traced, %d faulted", quick, sims, traced, faulted)
 		}
+	}
+}
+
+// TestSummary: the cross-case roll-up is computed with the shared stats
+// estimators over every case that actually dispatched events.
+func TestSummary(t *testing.T) {
+	r, err := Run(tinyCases(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary == nil {
+		t.Fatal("report has no summary")
+	}
+	want := 0
+	for _, c := range r.Cases {
+		if c.Dispatches > 0 {
+			want++
+		}
+	}
+	sum := r.Summary
+	if sum.Cases != want {
+		t.Errorf("summary covers %d cases, want %d (twin cases price without simulating)", sum.Cases, want)
+	}
+	if sum.WallNSTotal <= 0 {
+		t.Errorf("wall_ns_total = %d", sum.WallNSTotal)
+	}
+	if sum.EventsPerSecMin > sum.EventsPerSecMean || sum.EventsPerSecMean > sum.EventsPerSecMax {
+		t.Errorf("mean %g outside [%g, %g]", sum.EventsPerSecMean, sum.EventsPerSecMin, sum.EventsPerSecMax)
+	}
+	if sum.EventsPerSecP50 < sum.EventsPerSecMin || sum.EventsPerSecP50 > sum.EventsPerSecMax {
+		t.Errorf("p50 %g outside [%g, %g]", sum.EventsPerSecP50, sum.EventsPerSecMin, sum.EventsPerSecMax)
+	}
+	if sum.AllocsPerEvtMean <= 0 {
+		t.Errorf("allocs_per_event_mean = %g", sum.AllocsPerEvtMean)
+	}
+	// A report with no dispatching cases has nothing to summarise.
+	twinOnly := &Report{Cases: []CaseResult{{Name: "t", Kind: "twin", WallNS: 5}}}
+	if Summarize(twinOnly) != nil {
+		t.Error("twin-only report produced a summary")
 	}
 }
 

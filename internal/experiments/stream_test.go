@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// loadStreamScenario reads the committed remap scenario — the golden case
+// behind the subsystem's remapping claim, shared with CI's remap check.
+func loadStreamScenario(t *testing.T) *stream.Scenario {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "stream_remap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := stream.ReadScenario(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestStreamCompareImproves: on the committed scenario the remapped run
+// migrates threads off the stalling node and strictly reduces late+shed —
+// the acceptance criterion of the streaming subsystem.
+func TestStreamCompareImproves(t *testing.T) {
+	s, err := RunStreamCompare(StreamCompareConfig{Scenario: loadStreamScenario(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Static.Remaps) != 0 {
+		t.Fatal("static cell remapped")
+	}
+	if len(s.Remap.Remaps) == 0 {
+		t.Fatal("remap cell never remapped")
+	}
+	if !s.Improved() {
+		t.Fatalf("remapping did not improve: static %d late+shed, remap %d",
+			s.Static.Late+s.Static.Shed, s.Remap.Late+s.Remap.Shed)
+	}
+}
+
+// TestStreamCompareDeterminism: byte-identical comparison at Parallelism 1
+// and 8, traced or not.
+func TestStreamCompareDeterminism(t *testing.T) {
+	sc := loadStreamScenario(t)
+	ref, err := RunStreamCompare(StreamCompareConfig{Scenario: sc, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallelism := range []int{1, 8} {
+		for _, traced := range []bool{false, true} {
+			var tr *trace.Trace
+			if traced {
+				tr = trace.NewTrace()
+			}
+			got, err := RunStreamCompare(StreamCompareConfig{Scenario: sc, Parallelism: parallelism, Trace: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("parallelism=%d traced=%v: comparison differs from sequential untraced reference",
+					parallelism, traced)
+			}
+			if got.Format() != ref.Format() {
+				t.Fatalf("parallelism=%d traced=%v: formatted table differs", parallelism, traced)
+			}
+		}
+	}
+}
+
+// TestStreamCompareGolden pins the formatted comparison to a checked-in
+// golden file. Regenerate with UPDATE_GOLDEN=1.
+func TestStreamCompareGolden(t *testing.T) {
+	s, err := RunStreamCompare(StreamCompareConfig{Scenario: loadStreamScenario(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(s.Format())
+	golden := filepath.Join("testdata", "streamcompare.golden")
+	if update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream comparison drifted from %s (set UPDATE_GOLDEN=1 to regenerate):\n--- want ---\n%s\n--- got ---\n%s",
+			golden, want, got)
+	}
+}
+
+// TestStreamCompareTrace: a traced comparison exports a valid Chrome trace
+// carrying stream-layer events, identically at any parallelism.
+func TestStreamCompareTrace(t *testing.T) {
+	sc := loadStreamScenario(t)
+	export := func(parallelism int) []byte {
+		tr := trace.NewTrace()
+		if _, err := RunStreamCompare(StreamCompareConfig{Scenario: sc, Parallelism: parallelism, Trace: tr}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := export(1)
+	par := export(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("stream trace differs between Parallelism=1 (%d bytes) and Parallelism=8 (%d bytes)", len(seq), len(par))
+	}
+	stats, err := trace.ValidateChrome(seq)
+	if err != nil {
+		t.Fatalf("stream comparison trace rejected: %v", err)
+	}
+	if stats.Streams == 0 {
+		t.Fatal("no stream-category events in comparison trace")
+	}
+}
+
+// TestStreamCompareErrors covers the rejection paths.
+func TestStreamCompareErrors(t *testing.T) {
+	if _, err := RunStreamCompare(StreamCompareConfig{}); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	sc := loadStreamScenario(t)
+	if _, err := RunStreamCompare(StreamCompareConfig{Scenario: sc.Static()}); err == nil {
+		t.Error("scenario without remap accepted")
+	}
+	bad := *sc
+	bad.App = "nope"
+	if _, err := RunStreamCompare(StreamCompareConfig{Scenario: &bad}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Package pool provides the order-preserving worker pool every fan-out in
+// the repo runs on: experiment sweeps, the serve daemon's repetition
+// batches, the twin's GA candidate promotions and the streaming comparison.
+// It lives below those packages precisely so they can all share it without
+// import cycles.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes n independent jobs on a bounded worker pool and returns
+// their results in input order.
+//
+// Every job must be self-contained — each simulation run owns a fresh
+// sim.Kernel, machine and RNG seed, so host-level concurrency cannot change
+// any virtual-time result. Because results are written to slot i regardless
+// of completion order, pooled output is byte-identical to sequential output:
+// parallelism only changes wall-clock time, never a reported number.
+//
+// parallelism <= 0 selects runtime.GOMAXPROCS(0) workers; 1 runs the jobs
+// inline on the calling goroutine (the sequential reference the determinism
+// tests compare against). When several jobs fail, the error of the lowest
+// input index is returned — the same error a sequential loop would hit
+// first.
+//
+// The first failure cancels the rest of the batch: the dispatcher stops
+// handing out new indices, so a long sweep does not burn hours simulating
+// cells whose results will be discarded. (A daemon putting a deadline on a
+// request relies on this: one canceled run must stop the whole batch.)
+// Indices already handed out run to completion, and dispatch is in input
+// order, so the dispatched set is always a prefix 0..k that covers every
+// index a sequential loop would have reached before its first error — the
+// lowest-index-error contract is unaffected by cancellation.
+func Run[T any](parallelism, n int, job func(i int) (T, error)) ([]T, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	results := make([]T, n)
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = job(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

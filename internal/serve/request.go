@@ -21,6 +21,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/platforms"
 	"repro/internal/sagert"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/twin"
 )
@@ -87,6 +88,23 @@ type Protocol struct {
 	Repetitions      int  `json:"repetitions,omitempty"`       // default 1
 	Sequential       bool `json:"sequential,omitempty"`        // no pipelining
 	OptimizedBuffers bool `json:"optimized_buffers,omitempty"` // future-work optimisation
+	// Stream switches the request from the batch runtime to the streaming
+	// one: frames arrive from the spec's client classes instead of a fixed
+	// iteration count, and the response carries an SLO report. Mutually
+	// exclusive with Iterations, Sequential, Repetitions > 1 and Estimate.
+	Stream *StreamSpec `json:"stream,omitempty"`
+}
+
+// StreamSpec is the streaming half of a run request: the client-class mix
+// plus the optional remap policy, riding on the request's app/platform/
+// mapping/seed/faults fields.
+type StreamSpec struct {
+	// Classes is the client mix (stream.Class JSON shape).
+	Classes []stream.Class `json:"classes"`
+	// BufferSlots is the per-transfer pipelining credit (default 2).
+	BufferSlots int `json:"buffer_slots,omitempty"`
+	// Remap, when non-nil, enables the mid-run remapping controller.
+	Remap *stream.RemapSpec `json:"remap,omitempty"`
 }
 
 // Response is the body of a successful /v1/run. Every field is derived from
@@ -116,6 +134,9 @@ type Response struct {
 	// Twin is present on estimate-only responses: the analytical model's
 	// breakdown of the prediction the top-level fields carry.
 	Twin *TwinSummary `json:"twin,omitempty"`
+	// Stream is present on streaming responses: the full SLO report
+	// (per-class latency percentiles, goodput, fairness, remap events).
+	Stream *stream.Report `json:"stream,omitempty"`
 }
 
 // TwinSummary is the analytical twin's view of an estimated run.
@@ -193,17 +214,45 @@ func (r *Request) normalize() error {
 	default:
 		return badf("unknown mapping %q (want spread, roundrobin, greedy or ga)", r.Mapping)
 	}
-	if r.Protocol.Iterations == 0 {
-		r.Protocol.Iterations = 5
-	}
-	if r.Protocol.Iterations < 0 {
-		return badf("iterations must be positive")
-	}
-	if r.Protocol.Repetitions == 0 {
+	if st := r.Protocol.Stream; st != nil {
+		// Streaming replaces the iteration protocol: arrivals drive the run.
+		if r.Protocol.Iterations != 0 {
+			return badf("stream: iterations is a batch-protocol knob; the class mix drives a streaming run")
+		}
+		if r.Protocol.Repetitions > 1 {
+			return badf("stream: repetitions > 1 is a batch-protocol knob (streaming runs are deterministic)")
+		}
 		r.Protocol.Repetitions = 1
-	}
-	if r.Protocol.Repetitions < 0 {
-		return badf("repetitions must be positive")
+		if r.Protocol.Sequential || r.Protocol.OptimizedBuffers {
+			return badf("stream: sequential and optimized_buffers are batch-runtime modes")
+		}
+		if r.Estimate {
+			return badf("stream: the twin has no streaming model; drop estimate or run the batch protocol")
+		}
+		if len(st.Classes) == 0 {
+			return badf("stream: no client classes")
+		}
+		for i := range st.Classes {
+			if err := st.Classes[i].Validate(); err != nil {
+				return badf("stream: %v", err)
+			}
+		}
+		if st.BufferSlots < 0 {
+			return badf("stream: buffer_slots must be non-negative")
+		}
+	} else {
+		if r.Protocol.Iterations == 0 {
+			r.Protocol.Iterations = 5
+		}
+		if r.Protocol.Iterations < 0 {
+			return badf("iterations must be positive")
+		}
+		if r.Protocol.Repetitions == 0 {
+			r.Protocol.Repetitions = 1
+		}
+		if r.Protocol.Repetitions < 0 {
+			return badf("repetitions must be positive")
+		}
 	}
 	if r.TimeoutMs < 0 {
 		return badf("timeout_ms must be non-negative")
@@ -247,16 +296,16 @@ func (r *Request) cacheKey() string {
 // buildCase turns a normalized request into executable runtime tables.
 // Every error here is the client's (bad model text, shape constraints,
 // unmappable graphs) and is wrapped as errBadRequest.
-func buildCase(r *Request) (*gluegen.Tables, machine.Platform, *Response, error) {
+func buildCase(r *Request) (*gluegen.Tables, *model.App, machine.Platform, *Response, error) {
 	var app *model.App
 	var err error
 	if r.Source != "" {
 		app, err = model.ReadText(strings.NewReader(r.Source))
 		if err != nil {
-			return nil, machine.Platform{}, nil, badf("source: %v", err)
+			return nil, nil, machine.Platform{}, nil, badf("source: %v", err)
 		}
 		if err := funclib.ValidateApp(app); err != nil {
-			return nil, machine.Platform{}, nil, badf("source: %v", err)
+			return nil, nil, machine.Platform{}, nil, badf("source: %v", err)
 		}
 	} else {
 		switch r.App {
@@ -268,12 +317,12 @@ func buildCase(r *Request) (*gluegen.Tables, machine.Platform, *Response, error)
 			app, err = apps.STAP(r.N, r.Threads)
 		}
 		if err != nil {
-			return nil, machine.Platform{}, nil, badf("%s: %v", r.App, err)
+			return nil, nil, machine.Platform{}, nil, badf("%s: %v", r.App, err)
 		}
 	}
 	pl, err := platforms.ByName(r.Platform)
 	if err != nil {
-		return nil, machine.Platform{}, nil, badf("%v", err)
+		return nil, nil, machine.Platform{}, nil, badf("%v", err)
 	}
 
 	resp := &Response{
@@ -295,7 +344,7 @@ func buildCase(r *Request) (*gluegen.Tables, machine.Platform, *Response, error)
 	case "greedy", "ga":
 		ev, everr := atot.NewEvaluator(app, pl, r.Nodes)
 		if everr != nil {
-			return nil, machine.Platform{}, nil, badf("%v", everr)
+			return nil, nil, machine.Platform{}, nil, badf("%v", everr)
 		}
 		if r.Mapping == "greedy" {
 			mapping, err = atot.MapGreedy(ev)
@@ -310,15 +359,15 @@ func buildCase(r *Request) (*gluegen.Tables, machine.Platform, *Response, error)
 		}
 	}
 	if err != nil {
-		return nil, machine.Platform{}, nil, badf("mapping: %v", err)
+		return nil, nil, machine.Platform{}, nil, badf("mapping: %v", err)
 	}
 	resp.Assignment = mapping.Assign
 
 	out, err := gluegen.Generate(gluegen.Input{App: app, Mapping: mapping, Platform: pl, NumNodes: r.Nodes})
 	if err != nil {
-		return nil, machine.Platform{}, nil, badf("gluegen: %v", err)
+		return nil, nil, machine.Platform{}, nil, badf("gluegen: %v", err)
 	}
-	return out.Tables, pl, resp, nil
+	return out.Tables, app, pl, resp, nil
 }
 
 // executeEstimate answers a request from the analytical twin: same model,
@@ -327,7 +376,7 @@ func buildCase(r *Request) (*gluegen.Tables, machine.Platform, *Response, error)
 // response mirrors a run response (predicted period/latency/elapsed,
 // predicted per-node busy stats, Dispatches 0) plus the twin breakdown.
 func executeEstimate(r *Request) (*Response, error) {
-	tables, pl, resp, err := buildCase(r)
+	tables, _, pl, resp, err := buildCase(r)
 	if err != nil {
 		return nil, err
 	}
@@ -374,15 +423,115 @@ func executeEstimate(r *Request) (*Response, error) {
 	return resp, nil
 }
 
+// executeStream runs a streaming request: same model/mapping/table pipeline
+// as a batch run, then the stream runtime instead of sagert. The response's
+// latency fields summarise frames (mean frame latency; period is the mean
+// completion interval) and Stream carries the full SLO report. The backlog
+// callback, when non-nil, receives live admission-queue depths for the
+// daemon's per-worker gauges; it never influences the simulated result.
+func executeStream(ctx context.Context, r *Request, backlog func(int)) (*Response, error) {
+	tables, app, pl, resp, err := buildCase(r)
+	if err != nil {
+		return nil, err
+	}
+	spec := r.Protocol.Stream
+	cfg := stream.Config{
+		Tables:      tables,
+		App:         app,
+		Platform:    pl,
+		Classes:     spec.Classes,
+		Seed:        r.Seed,
+		BufferSlots: spec.BufferSlots,
+		Backlog:     backlog,
+		Cancel:      ctx.Done(),
+	}
+	if r.Faults != "" {
+		plan, err := fault.ParsePlan(r.Faults)
+		if err != nil {
+			return nil, badf("faults: %v", err)
+		}
+		if err := plan.CheckNodes(tables.NumNodes); err != nil {
+			return nil, badf("faults: %v", err)
+		}
+		cfg.Faults = plan
+	}
+	if spec.Remap != nil {
+		remap := *spec.Remap
+		cfg.Remap = remap.Config()
+	}
+	var col *trace.Collector
+	if r.TraceSummary {
+		col = trace.New(resp.App + " stream on " + pl.Name)
+		cfg.Collector = col
+	}
+	res, err := stream.Run(cfg)
+	if err != nil {
+		if errors.Is(err, stream.ErrCanceled) {
+			return nil, err
+		}
+		return nil, badf("stream: %v", err)
+	}
+	rep := stream.BuildReport(cfg.Classes, cfg.Seed, res)
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: report: %w", err)
+	}
+	resp.Iterations = 0
+	resp.Stream = rep
+	elapsed := time.Duration(res.Elapsed)
+	resp.Elapsed = elapsed.String()
+	resp.ElapsedNs = int64(elapsed)
+	resp.Dispatches = res.Dispatches
+	if rep.Completed > 0 {
+		// Period: mean completion interval; AvgLatency: mean frame latency.
+		period := time.Duration(rep.LastDoneNs / int64(rep.Completed))
+		resp.Period = period.String()
+		resp.PeriodNs = int64(period)
+		var totalLat int64
+		for i := range rep.Classes {
+			totalLat += rep.Classes[i].MeanNs * int64(rep.Classes[i].Completed)
+		}
+		avg := time.Duration(totalLat / int64(rep.Completed))
+		resp.AvgLatency = avg.String()
+		resp.AvgLatencyNs = int64(avg)
+	}
+	for _, ns := range res.NodeStats {
+		resp.NodeStats = append(resp.NodeStats, NodeStat{
+			Node:        ns.Node,
+			ComputeNs:   int64(ns.ComputeBusy),
+			CopyNs:      int64(ns.CopyBusy),
+			CommNs:      int64(ns.CommBusy),
+			Utilization: ns.Utilization,
+		})
+	}
+	if col != nil {
+		t := trace.NewTrace()
+		t.Add(col)
+		var b bytes.Buffer
+		if err := t.WriteSummary(&b); err != nil {
+			return nil, fmt.Errorf("trace summary: %w", err)
+		}
+		resp.TraceSummary = b.String()
+	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		resp.FaultSummary = fmt.Sprintf("seed %d: %d drop / %d degrade / %d stall rules applied",
+			cfg.Faults.Seed, len(cfg.Faults.Drops), len(cfg.Faults.Degrades), len(cfg.Faults.Stalls))
+	}
+	return resp, nil
+}
+
 // execute runs a normalized request end to end. The context's deadline is
 // wired into the kernel's cancellation poll (sagert.Options.Cancel): a
 // deadline mid-run aborts between dispatched events and sagert's deferred
 // Kernel.Shutdown releases the parked process goroutines, so a canceled
 // request leaks nothing. Repetitions fan out on the experiments pool; its
 // first-failure cancellation stops the batch as soon as one repetition is
-// canceled.
-func execute(ctx context.Context, r *Request) (*Response, error) {
-	tables, pl, resp, err := buildCase(r)
+// canceled. backlog feeds the daemon's per-worker queue-depth gauge on
+// streaming requests; batch requests ignore it.
+func execute(ctx context.Context, r *Request, backlog func(int)) (*Response, error) {
+	if r.Protocol.Stream != nil {
+		return executeStream(ctx, r, backlog)
+	}
+	tables, _, pl, resp, err := buildCase(r)
 	if err != nil {
 		return nil, err
 	}

@@ -97,17 +97,29 @@ type jobResult struct {
 // Stats is the /v1/stats body. Wall-clock and occupancy numbers are
 // snapshots; counters are monotone since process start.
 type Stats struct {
-	Workers        int              `json:"workers"`
-	BusyWorkers    int64            `json:"busy_workers"`
-	QueueDepth     int              `json:"queue_depth"`
-	QueueCap       int              `json:"queue_cap"`
-	Requests       uint64           `json:"requests"`
-	Completed      uint64           `json:"completed"`
-	Failed         uint64           `json:"failed"`
-	Canceled       uint64           `json:"canceled"`
-	Estimates      uint64           `json:"estimates"`
-	ShedRate       uint64           `json:"shed_rate"`
-	ShedQueue      uint64           `json:"shed_queue"`
+	Workers     int    `json:"workers"`
+	BusyWorkers int64  `json:"busy_workers"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueCap    int    `json:"queue_cap"`
+	Requests    uint64 `json:"requests"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Canceled    uint64 `json:"canceled"`
+	Estimates   uint64 `json:"estimates"`
+	ShedRate    uint64 `json:"shed_rate"`
+	ShedQueue   uint64 `json:"shed_queue"`
+	// Streaming-workload counters: streams currently executing, and the
+	// frame totals accumulated across completed streaming runs (cache hits
+	// execute nothing, so they leave these untouched).
+	ActiveStreams      int64  `json:"active_streams"`
+	StreamRuns         uint64 `json:"stream_runs"`
+	StreamAdmitted     uint64 `json:"stream_frames_admitted"`
+	StreamShed         uint64 `json:"stream_frames_shed"`
+	StreamSLOViolation uint64 `json:"stream_slo_violations"`
+	// WorkerDepths is one gauge per worker: 0 idle, 1 running a batch
+	// request, 1+backlog while running a streaming request (the live
+	// admission-queue depth of the stream it is executing).
+	WorkerDepths   []int64          `json:"worker_depths"`
 	CacheEntries   int              `json:"cache_entries"`
 	CacheHits      uint64           `json:"cache_hits"`
 	CacheMisses    uint64           `json:"cache_misses"`
@@ -136,6 +148,11 @@ type Server struct {
 	requests, completed, failed, canceled atomic.Uint64
 	shedRate, shedQueue, estimates        atomic.Uint64
 	busy                                  atomic.Int64
+
+	activeStreams                          atomic.Int64
+	streamRuns, streamAdmitted, streamShed atomic.Uint64
+	streamLate                             atomic.Uint64
+	workerDepths                           []atomic.Int64
 }
 
 // New builds a Server and starts its worker fleet.
@@ -153,9 +170,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/health", s.handleHealth)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.workerDepths = make([]atomic.Int64, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -171,22 +189,42 @@ func (s *Server) Shutdown() {
 }
 
 // worker is one member of the bounded fleet: it owns at most one simulation
-// at a time, so total concurrent kernels never exceed Config.Workers.
-func (s *Server) worker() {
+// at a time, so total concurrent kernels never exceed Config.Workers. Each
+// worker publishes a depth gauge: 1 while running a batch request, 1 plus
+// the stream's live admission backlog while running a streaming one.
+func (s *Server) worker(id int) {
 	defer s.wg.Done()
+	depth := &s.workerDepths[id]
 	for {
 		select {
 		case <-s.closed:
 			return
 		case j := <-s.queue:
 			s.busy.Add(1)
-			resp, err := execute(j.ctx, j.req)
+			depth.Store(1)
+			isStream := j.req.Protocol.Stream != nil
+			if isStream {
+				s.activeStreams.Add(1)
+			}
+			resp, err := execute(j.ctx, j.req, func(backlog int) {
+				depth.Store(int64(1 + backlog))
+			})
 			var res jobResult
 			if err != nil {
 				res.err = err
 			} else {
 				res.body, res.err = encodeBody(resp)
 			}
+			if isStream {
+				s.activeStreams.Add(-1)
+				if err == nil && resp.Stream != nil {
+					s.streamRuns.Add(1)
+					s.streamAdmitted.Add(uint64(resp.Stream.Admitted))
+					s.streamShed.Add(uint64(resp.Stream.Shed))
+					s.streamLate.Add(uint64(resp.Stream.Late))
+				}
+			}
+			depth.Store(0)
 			s.busy.Add(-1)
 			j.done <- res
 		}
@@ -358,24 +396,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Stats snapshots the daemon's counters (also used by tests and sage-load).
 func (s *Server) Stats() Stats {
 	entries, hits, misses, evictions := s.cache.counters()
+	depths := make([]int64, len(s.workerDepths))
+	for i := range s.workerDepths {
+		depths[i] = s.workerDepths[i].Load()
+	}
 	return Stats{
-		Workers:        s.cfg.Workers,
-		BusyWorkers:    s.busy.Load(),
-		QueueDepth:     len(s.queue),
-		QueueCap:       s.cfg.QueueDepth,
-		Requests:       s.requests.Load(),
-		Completed:      s.completed.Load(),
-		Failed:         s.failed.Load(),
-		Canceled:       s.canceled.Load(),
-		Estimates:      s.estimates.Load(),
-		ShedRate:       s.shedRate.Load(),
-		ShedQueue:      s.shedQueue.Load(),
-		CacheEntries:   entries,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		TwiddleCache:   isspl.TwiddleCacheStats(),
-		Goroutines:     runtime.NumGoroutine(),
+		Workers:            s.cfg.Workers,
+		BusyWorkers:        s.busy.Load(),
+		QueueDepth:         len(s.queue),
+		QueueCap:           s.cfg.QueueDepth,
+		Requests:           s.requests.Load(),
+		Completed:          s.completed.Load(),
+		Failed:             s.failed.Load(),
+		Canceled:           s.canceled.Load(),
+		Estimates:          s.estimates.Load(),
+		ShedRate:           s.shedRate.Load(),
+		ShedQueue:          s.shedQueue.Load(),
+		ActiveStreams:      s.activeStreams.Load(),
+		StreamRuns:         s.streamRuns.Load(),
+		StreamAdmitted:     s.streamAdmitted.Load(),
+		StreamShed:         s.streamShed.Load(),
+		StreamSLOViolation: s.streamLate.Load(),
+		WorkerDepths:       depths,
+		CacheEntries:       entries,
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheEvictions:     evictions,
+		TwiddleCache:       isspl.TwiddleCacheStats(),
+		Goroutines:         runtime.NumGoroutine(),
 	}
 }
 

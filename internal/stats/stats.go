@@ -1,0 +1,238 @@
+// Package stats collects the small numerical helpers the reporting layers
+// share: a streaming quantile estimator (P² — Jain & Chlamtac 1985), a
+// single-pass mean/variance accumulator (Welford), exact order-statistic
+// percentiles for small samples, and the Jain fairness index. The streaming
+// subsystem's per-class SLO percentiles, the benchmark harness's report
+// summaries and the twin-validation MAPE all compute through this package,
+// so there is exactly one definition of each estimator in the repo.
+//
+// Every routine here is deterministic: identical inputs in identical order
+// produce bit-identical float64 results on every host, which is what lets
+// reports that embed these numbers stay byte-identical at any parallelism.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford is a single-pass mean/variance accumulator (Welford's online
+// algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count reports the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean reports the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the sample variance (n-1 denominator; 0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// CV reports the coefficient of variation (stddev / mean; 0 when the mean
+// is 0).
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Stddev() / w.mean
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Mean()
+}
+
+// Jain returns the Jain fairness index of the allocation vector xs:
+// (Σx)² / (n·Σx²), which is 1 when every share is equal and 1/n when one
+// share takes everything. Non-positive entries count as zero allocation. An
+// empty vector — or one with no positive share at all — reports 1: nothing
+// is being divided, so nothing is divided unfairly.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Percentile returns the exact p-th percentile (0 < p <= 100) of xs by the
+// nearest-rank method on a sorted copy. It returns 0 for an empty sample and
+// panics on a percentile outside (0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside (0, 100]", p))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Quantile is the P² streaming quantile estimator: it tracks one quantile of
+// an unbounded stream in O(1) space by maintaining five markers whose
+// positions are nudged toward their ideal ranks with piecewise-parabolic
+// interpolation. For the first five observations the estimate is exact
+// (order statistic on the buffered sample). Feeding the same observations in
+// the same order always yields the same estimate, so reports built on it
+// stay deterministic.
+type Quantile struct {
+	p     float64    // target quantile in (0, 1)
+	n     int        // observations seen
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based ranks)
+	want  [5]float64 // desired marker positions
+	dwant [5]float64 // desired position increments per observation
+}
+
+// NewQuantile returns a P² estimator for quantile p in (0, 1), e.g. 0.95 for
+// the 95th percentile.
+func NewQuantile(p float64) *Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside (0, 1)", p))
+	}
+	q := &Quantile{p: p}
+	q.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Count reports the number of observations.
+func (q *Quantile) Count() int { return q.n }
+
+// Add folds one observation into the estimator.
+func (q *Quantile) Add(x float64) {
+	if q.n < 5 {
+		q.q[q.n] = x
+		q.n++
+		if q.n == 5 {
+			sort.Float64s(q.q[:])
+			for i := 0; i < 5; i++ {
+				q.pos[i] = float64(i + 1)
+			}
+			q.want = [5]float64{1, 1 + 2*q.p, 1 + 4*q.p, 3 + 2*q.p, 5}
+		}
+		return
+	}
+	q.n++
+
+	// Locate the cell x falls in and bump the end markers.
+	var k int
+	switch {
+	case x < q.q[0]:
+		q.q[0] = x
+		k = 0
+	case x >= q.q[4]:
+		q.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		q.want[i] += q.dwant[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.q[i-1] < h && h < q.q[i+1] {
+				q.q[i] = h
+			} else {
+				q.q[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height update for marker i moved
+// by sign (±1).
+func (q *Quantile) parabolic(i int, sign float64) float64 {
+	return q.q[i] + sign/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+sign)*(q.q[i+1]-q.q[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-sign)*(q.q[i]-q.q[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback height update when the parabolic estimate would
+// leave the marker's bracket.
+func (q *Quantile) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return q.q[i] + sign*(q.q[j]-q.q[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value reports the current quantile estimate: exact below five
+// observations, the P² center-marker height afterwards. Empty streams
+// report 0.
+func (q *Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		buf := make([]float64, q.n)
+		copy(buf, q.q[:q.n])
+		sort.Float64s(buf)
+		rank := int(math.Ceil(q.p * float64(q.n)))
+		if rank < 1 {
+			rank = 1
+		}
+		return buf[rank-1]
+	}
+	return q.q[2]
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// splitmix64 gives the tests a seeded deterministic stream without pulling
+// in math/rand ordering guarantees.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if w.Count() != len(xs) {
+		t.Fatalf("count = %d, want %d", w.Count(), len(xs))
+	}
+	if math.Abs(w.Mean()-mean) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-9 {
+		t.Fatalf("variance = %v, want %v", w.Variance(), variance)
+	}
+	if w.CV() <= 0 {
+		t.Fatalf("cv = %v, want > 0", w.CV())
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.CV() != 0 {
+		t.Fatalf("empty accumulator not all-zero: %v %v %v", w.Mean(), w.Variance(), w.CV())
+	}
+	w.Add(7)
+	if w.Mean() != 7 || w.Variance() != 0 {
+		t.Fatalf("single sample: mean %v var %v", w.Mean(), w.Variance())
+	}
+}
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"all-zero", []float64{0, 0, 0}, 1},
+		{"equal", []float64{2, 2, 2, 2}, 1},
+		{"one-takes-all", []float64{1, 0, 0, 0}, 0.25},
+		{"half", []float64{1, 1, 0, 0}, 0.5},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Jain = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{5, 15}, {30, 20}, {40, 20}, {50, 35}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty P50 = %v, want 0", got)
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=0")
+		}
+	}()
+	Percentile([]float64{1}, 0)
+}
+
+func TestQuantileExactBelowFive(t *testing.T) {
+	q := NewQuantile(0.5)
+	q.Add(9)
+	q.Add(1)
+	q.Add(5)
+	if got := q.Value(); got != 5 {
+		t.Fatalf("median of {9,1,5} = %v, want 5", got)
+	}
+}
+
+// TestQuantileTracksExact drives the P² estimator with 10k uniform and
+// exponential-ish draws and checks the estimate lands close to the exact
+// order statistic.
+func TestQuantileTracksExact(t *testing.T) {
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		for _, shape := range []string{"uniform", "heavy"} {
+			r := &splitmix{s: 0xfeed}
+			q := NewQuantile(p)
+			xs := make([]float64, 0, 10000)
+			for i := 0; i < 10000; i++ {
+				u := r.float()
+				x := u
+				if shape == "heavy" {
+					x = -math.Log(1 - u)
+				}
+				q.Add(x)
+				xs = append(xs, x)
+			}
+			exact := Percentile(xs, p*100)
+			got := q.Value()
+			// P² should land within a few percent of the exact order
+			// statistic on 10k smooth draws.
+			relErr := math.Abs(got-exact) / exact
+			if relErr > 0.05 {
+				t.Errorf("%s p=%v: P² = %v, exact = %v (rel err %.3f)", shape, p, got, exact, relErr)
+			}
+		}
+	}
+}
+
+// TestQuantileDeterministic checks bit-identical estimates for identical
+// insertion orders.
+func TestQuantileDeterministic(t *testing.T) {
+	run := func() float64 {
+		r := &splitmix{s: 42}
+		q := NewQuantile(0.95)
+		for i := 0; i < 5000; i++ {
+			q.Add(r.float())
+		}
+		return q.Value()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same stream gave %v then %v", a, b)
+	}
+}
+
+func TestQuantileMonotoneMarkers(t *testing.T) {
+	r := &splitmix{s: 7}
+	q := NewQuantile(0.9)
+	for i := 0; i < 2000; i++ {
+		q.Add(r.float())
+		if q.Count() >= 5 {
+			if !sort.Float64sAreSorted(q.q[:]) {
+				t.Fatalf("markers out of order after %d adds: %v", i+1, q.q)
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package stream is the streaming-workload subsystem: seeded arrival
+// processes feed frames into a continuously-running SAGE graph on the
+// simulation kernel, replacing the paper's fixed-iteration batch protocol
+// with a serving-era scenario — multi-client mixes with per-class rates,
+// frame sizes and latency objectives, admission control with load shedding,
+// first-class backpressure metrics (per-stage queue depth, credit
+// starvation) sampled into the trace schema, and mid-run remapping: a
+// controller that watches injected faults degrade a node, re-plans the
+// mapping with the twin-fitness AToT search, and migrates threads through a
+// quiesce-drain-remap-resume protocol without losing a frame.
+//
+// Everything is seeded and runs in virtual time, so a scenario's report is
+// byte-identical on every host at any experiment parallelism — the same
+// determinism contract every prior subsystem keeps.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Class describes one client class of the arrival mix: a seeded stochastic
+// arrival process, a frame budget, a relative frame size, and its service
+// objectives. Durations are authored in milliseconds (floats) because
+// scenario files are written by hand; they convert exactly to virtual
+// nanoseconds.
+type Class struct {
+	// Name labels the class in reports and traces.
+	Name string `json:"name"`
+	// Process selects the interarrival distribution: poisson (exponential
+	// interarrivals), gamma or weibull.
+	Process string `json:"process"`
+	// Rate is the mean arrival rate in frames per second of virtual time.
+	Rate float64 `json:"rate"`
+	// Shape is the gamma/weibull shape parameter (ignored for poisson;
+	// default 2). Shape 1 degenerates to the exponential for both families;
+	// larger shapes make arrivals more regular (gamma CV = 1/sqrt(shape)).
+	Shape float64 `json:"shape,omitempty"`
+	// Frames is how many frames this class offers before its stream ends.
+	Frames int `json:"frames"`
+	// Weight scales the class's frame size: compute flops, buffer copies and
+	// transfer bytes are all multiplied by it (default 1). This is how a mix
+	// models small interactive frames next to large batch frames over one
+	// graph shape.
+	Weight float64 `json:"weight,omitempty"`
+	// SLOMs is the per-frame latency objective in milliseconds, measured
+	// from scheduled arrival to sink completion (queueing included). Frames
+	// over it count as late. Zero disables the objective.
+	SLOMs float64 `json:"slo_ms,omitempty"`
+	// ShedAfterMs is the admission deadline in milliseconds: a frame still
+	// waiting for admission this long after its arrival is shed (dropped at
+	// the source) instead of entering the pipeline. Zero never sheds.
+	ShedAfterMs float64 `json:"shed_after_ms,omitempty"`
+}
+
+// SLO returns the latency objective as a duration (0 = none).
+func (c *Class) SLO() sim.Duration { return sim.Duration(c.SLOMs * 1e6) }
+
+// ShedAfter returns the admission deadline as a duration (0 = never).
+func (c *Class) ShedAfter() sim.Duration { return sim.Duration(c.ShedAfterMs * 1e6) }
+
+// weight returns the frame-size multiplier with its default applied.
+func (c *Class) weight() float64 {
+	if c.Weight == 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// shape returns the shape parameter with its default applied.
+func (c *Class) shape() float64 {
+	if c.Shape == 0 {
+		return 2
+	}
+	return c.Shape
+}
+
+// Validate checks one class's parameters.
+func (c *Class) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("stream: class needs a name")
+	}
+	switch c.Process {
+	case "poisson", "gamma", "weibull":
+	default:
+		return fmt.Errorf("stream: class %q: unknown process %q (want poisson, gamma or weibull)", c.Name, c.Process)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("stream: class %q: rate must be positive", c.Name)
+	}
+	if c.Frames <= 0 {
+		return fmt.Errorf("stream: class %q: frames must be positive", c.Name)
+	}
+	if c.Shape < 0 {
+		return fmt.Errorf("stream: class %q: shape must be positive", c.Name)
+	}
+	if c.Weight < 0 || c.Weight > 64 {
+		return fmt.Errorf("stream: class %q: weight must be in (0, 64]", c.Name)
+	}
+	if c.SLOMs < 0 || c.ShedAfterMs < 0 {
+		return fmt.Errorf("stream: class %q: slo_ms and shed_after_ms must be non-negative", c.Name)
+	}
+	return nil
+}
+
+// --- seeded rng --------------------------------------------------------------
+
+// rng is a splitmix64 generator: the same keyed-hash family the fault
+// injector uses for its verdicts, so arrival streams are stable across Go
+// versions (math/rand makes no cross-version guarantees).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in the open interval (0, 1): both endpoints
+// are excluded so -log(u) and inverse-CDF transforms never see 0 or 1.
+func (r *rng) float() float64 {
+	for {
+		u := float64(r.next()>>11) / (1 << 53)
+		if u > 0 && u < 1 {
+			return u
+		}
+	}
+}
+
+// norm returns a standard normal draw (Box-Muller; the spare is discarded to
+// keep the generator stateless beyond its seed word).
+func (r *rng) norm() float64 {
+	u1, u2 := r.float(), r.float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gammaDraw samples Gamma(shape, scale=1) via Marsaglia-Tsang, with the
+// standard boost for shape < 1.
+func (r *rng) gammaDraw(shape float64) float64 {
+	if shape < 1 {
+		// G(k) = G(k+1) * U^(1/k)
+		return r.gammaDraw(shape+1) * math.Pow(r.float(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.float()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// interarrival draws one interarrival gap for the class, in virtual
+// nanoseconds. All three processes are parameterised to the class's mean
+// rate: E[gap] = 1/Rate seconds regardless of process or shape.
+func (c *Class) interarrival(r *rng) sim.Duration {
+	meanSec := 1 / c.Rate
+	var gapSec float64
+	switch c.Process {
+	case "poisson":
+		gapSec = -math.Log(r.float()) * meanSec
+	case "gamma":
+		k := c.shape()
+		// Gamma(k, theta) has mean k*theta; theta = mean/k keeps the rate.
+		gapSec = r.gammaDraw(k) * meanSec / k
+	case "weibull":
+		k := c.shape()
+		// Weibull(k, lambda) has mean lambda*Gamma(1+1/k).
+		lambda := meanSec / math.Gamma(1+1/k)
+		gapSec = lambda * math.Pow(-math.Log(r.float()), 1/k)
+	default:
+		panic("stream: unvalidated process " + c.Process)
+	}
+	return sim.Duration(gapSec * 1e9)
+}
+
+// Frame is one offered frame of the merged schedule.
+type Frame struct {
+	// Class indexes Config.Classes.
+	Class int
+	// Index is the frame's per-class sequence number.
+	Index int
+	// Arrival is the frame's scheduled arrival in virtual time.
+	Arrival sim.Time
+}
+
+// classSeed derives the per-class rng seed: the scenario seed XOR a
+// splitmix-scrambled class index, so classes draw independent streams and
+// reordering one class's parameters never perturbs another's arrivals.
+func classSeed(seed int64, class int) uint64 {
+	h := newRNG(uint64(class) * 0x9e3779b97f4a7c15)
+	return uint64(seed) ^ h.next()
+}
+
+// BuildSchedule expands the class mix into the merged offered-frame
+// schedule, sorted by arrival time (ties broken by class then index, so the
+// order is total and deterministic).
+func BuildSchedule(classes []Class, seed int64) ([]Frame, error) {
+	var frames []Frame
+	for ci := range classes {
+		c := &classes[ci]
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		r := newRNG(classSeed(seed, ci))
+		var t sim.Time
+		for i := 0; i < c.Frames; i++ {
+			t = t.Add(c.interarrival(r))
+			frames = append(frames, Frame{Class: ci, Index: i, Arrival: t})
+		}
+	}
+	sort.SliceStable(frames, func(i, j int) bool {
+		if frames[i].Arrival != frames[j].Arrival {
+			return frames[i].Arrival < frames[j].Arrival
+		}
+		if frames[i].Class != frames[j].Class {
+			return frames[i].Class < frames[j].Class
+		}
+		return frames[i].Index < frames[j].Index
+	})
+	return frames, nil
+}

@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestScheduleDeterministic: the same classes and seed produce the identical
+// schedule on repeated builds, different seeds differ, and arrivals are
+// sorted with per-class indices strictly increasing.
+func TestScheduleDeterministic(t *testing.T) {
+	classes := []Class{
+		{Name: "interactive", Process: "poisson", Rate: 2000, Frames: 200, SLOMs: 4},
+		{Name: "batch", Process: "gamma", Rate: 500, Shape: 4, Frames: 100, Weight: 2},
+		{Name: "sensor", Process: "weibull", Rate: 1000, Shape: 1.5, Frames: 150},
+	}
+	a, err := BuildSchedule(classes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(classes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) != 450 {
+		t.Fatalf("schedule has %d frames, want 450", len(a))
+	}
+	c, err := BuildSchedule(classes, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	nextIdx := make([]int, len(classes))
+	for i, f := range a {
+		if i > 0 && f.Arrival < a[i-1].Arrival {
+			t.Fatalf("schedule not sorted at %d", i)
+		}
+		if f.Index != nextIdx[f.Class] {
+			t.Fatalf("class %d skipped from index %d to %d", f.Class, nextIdx[f.Class], f.Index)
+		}
+		nextIdx[f.Class]++
+	}
+}
+
+// TestClassSeedIndependence: perturbing one class's parameters leaves the
+// other classes' arrival streams untouched (per-class seeding).
+func TestClassSeedIndependence(t *testing.T) {
+	base := []Class{
+		{Name: "a", Process: "poisson", Rate: 1000, Frames: 50},
+		{Name: "b", Process: "poisson", Rate: 1000, Frames: 50},
+	}
+	perturbed := []Class{
+		{Name: "a", Process: "gamma", Rate: 333, Shape: 7, Frames: 80},
+		{Name: "b", Process: "poisson", Rate: 1000, Frames: 50},
+	}
+	extract := func(frames []Frame, class int) []Frame {
+		var out []Frame
+		for _, f := range frames {
+			if f.Class == class {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	s1, err := BuildSchedule(base, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSchedule(perturbed, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(extract(s1, 1), extract(s2, 1)) {
+		t.Fatal("changing class 0 perturbed class 1's arrivals")
+	}
+}
+
+// TestInterarrivalStatistics: over 10k draws each process hits its
+// configured mean rate within 3% and its theoretical coefficient of
+// variation within 5% — the statistical-sanity gate on the samplers.
+func TestInterarrivalStatistics(t *testing.T) {
+	const n = 10000
+	cases := []struct {
+		class  Class
+		wantCV float64
+	}{
+		{Class{Name: "p", Process: "poisson", Rate: 1000, Frames: 1}, 1},
+		{Class{Name: "g4", Process: "gamma", Rate: 250, Shape: 4, Frames: 1}, 0.5},
+		{Class{Name: "g05", Process: "gamma", Rate: 2000, Shape: 0.5, Frames: 1}, math.Sqrt2},
+		{Class{Name: "w2", Process: "weibull", Rate: 500, Shape: 2, Frames: 1},
+			math.Sqrt(math.Gamma(2)/(math.Gamma(1.5)*math.Gamma(1.5)) - 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.class.Name, func(t *testing.T) {
+			r := newRNG(classSeed(99, 0))
+			var w stats.Welford
+			for i := 0; i < n; i++ {
+				w.Add(float64(tc.class.interarrival(r)))
+			}
+			wantMean := 1e9 / tc.class.Rate
+			if rel := math.Abs(w.Mean()-wantMean) / wantMean; rel > 0.03 {
+				t.Errorf("mean %.0fns, want %.0fns (rel err %.3f > 0.03)", w.Mean(), wantMean, rel)
+			}
+			if rel := math.Abs(w.CV()-tc.wantCV) / tc.wantCV; rel > 0.05 {
+				t.Errorf("CV %.4f, want %.4f (rel err %.3f > 0.05)", w.CV(), tc.wantCV, rel)
+			}
+		})
+	}
+}
+
+// TestClassValidate covers the rejection paths.
+func TestClassValidate(t *testing.T) {
+	bad := []Class{
+		{Process: "poisson", Rate: 1, Frames: 1},                         // no name
+		{Name: "x", Process: "pareto", Rate: 1, Frames: 1},               // unknown process
+		{Name: "x", Process: "poisson", Rate: 0, Frames: 1},              // zero rate
+		{Name: "x", Process: "poisson", Rate: 1, Frames: 0},              // zero frames
+		{Name: "x", Process: "gamma", Rate: 1, Frames: 1, Shape: -1},     // negative shape
+		{Name: "x", Process: "poisson", Rate: 1, Frames: 1, Weight: 100}, // huge weight
+		{Name: "x", Process: "poisson", Rate: 1, Frames: 1, SLOMs: -1},   // negative slo
+		{Name: "x", Process: "poisson", Rate: 1, Frames: 1, ShedAfterMs: -1} /* negative shed */}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid class accepted: %+v", i, c)
+		}
+	}
+	good := Class{Name: "x", Process: "weibull", Rate: 1, Frames: 1, Shape: 0.8, Weight: 4, SLOMs: 10, ShedAfterMs: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid class rejected: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSmokeBasic is the first-light test: a small mixed-class scenario with
+// no faults runs to completion, every admitted frame completes, and the
+// report validates.
+func TestSmokeBasic(t *testing.T) {
+	sc := &Scenario{
+		App: "fft2d", N: 32, Threads: 2, Nodes: 4, Seed: 7,
+		Classes: []Class{
+			{Name: "interactive", Process: "poisson", Rate: 400, Frames: 30, SLOMs: 20},
+			{Name: "batch", Process: "gamma", Rate: 100, Shape: 4, Frames: 10, Weight: 2},
+		},
+	}
+	cfg, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 40 {
+		t.Fatalf("got %d frames, want 40", len(res.Frames))
+	}
+	for i, f := range res.Frames {
+		if f.Shed {
+			t.Errorf("frame %d shed without a shed deadline", i)
+		}
+		if f.Done == 0 {
+			t.Errorf("frame %d never completed", i)
+		}
+		if f.Done < f.Admit || f.Admit < f.Arrival {
+			t.Errorf("frame %d: times out of order arrival=%v admit=%v done=%v", i, f.Arrival, f.Admit, f.Done)
+		}
+	}
+	rep := BuildReport(cfg.Classes, cfg.Seed, res)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	t.Logf("\n%s", buf.String())
+}

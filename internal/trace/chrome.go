@@ -125,8 +125,10 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		type trackEv struct {
 			start, end sim.Time
 			span       bool
+			gauge      bool
 			s          Span
 			in         Instant
+			g          Gauge
 		}
 		tracks := map[trackKey][]trackEv{}
 		for _, s := range c.spans {
@@ -136,6 +138,10 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		for _, in := range c.instants {
 			k := trackKey{in.Node, in.Track}
 			tracks[k] = append(tracks[k], trackEv{start: in.At, end: in.At, in: in})
+		}
+		for _, g := range c.gauges {
+			k := trackKey{g.Node, g.Track}
+			tracks[k] = append(tracks[k], trackEv{start: g.At, end: g.At, gauge: true, g: g})
 		}
 		keys := make([]trackKey, 0, len(tracks))
 		for k := range tracks {
@@ -161,6 +167,12 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 				return evs[i].end > evs[j].end // outer span first at equal start
 			})
 			for _, ev := range evs {
+				if ev.gauge {
+					cw.emit(chromeEvent{Name: ev.g.Name, Cat: string(ev.g.Layer), Ph: "C",
+						Ts: usec(ev.g.At), Pid: pid, Tid: tid,
+						Args: map[string]any{"value": ev.g.Value}})
+					continue
+				}
 				if !ev.span {
 					cw.emit(chromeEvent{Name: ev.in.Name, Cat: string(ev.in.Layer), Ph: "i",
 						Ts: usec(ev.in.At), Pid: pid, Tid: tid, S: "t",

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// streamCollector covers every stream-event entry point: workload instants
+// (admit, shed, late), protocol spans (quiesce, drain, migrate) and
+// backpressure gauges (backlog, qdepth, credit-stall) — mixed with a regular
+// sagert span so the stream track coexists with normal tracks.
+func streamCollector(label string) *Collector {
+	c := New(label)
+	c.ProcStart(1, "worker", 0)
+	c.Phase(LayerSage, 0, ProcTrack("worker", 1), "recv", 0, ms(1), ms(2))
+	c.StreamPoint(0, "admit frame 0 class interactive", ms(1))
+	c.StreamPoint(0, "shed frame 1 class interactive", ms(2))
+	c.StreamPoint(0, "late frame 0", ms(5))
+	c.StreamPoint(0, "eos", ms(7))
+	c.StreamGauge(0, StreamTrack, "backlog", 3, ms(2))
+	c.StreamGauge(0, StreamTrack, "backlog", 1, ms(3))
+	c.StreamGauge(1, ProcTrack("worker", 1), "qdepth worker", 2, ms(3))
+	c.StreamSpan(1, ProcTrack("worker", 1), "credit-stall b0", ms(3), ms(4))
+	c.StreamSpan(0, StreamTrack, "quiesce", ms(4), ms(5))
+	c.StreamSpan(0, StreamTrack, "drain", ms(5), ms(6))
+	c.StreamSpan(1, ProcTrack("worker", 1), "migrate node 1->3", ms(6), ms(7))
+	c.ProcEnd(1, "worker", ms(8))
+	c.elapsed = ms(8)
+	return c
+}
+
+// TestStreamCounts pins the Streams() accounting: every stream point, span
+// and gauge counts once under its first name token, sorted by kind, and
+// everything the collector emits is inside the validator vocabulary.
+func TestStreamCounts(t *testing.T) {
+	c := streamCollector("s")
+	want := map[string]int{
+		"admit": 1, "shed": 1, "late": 1, "eos": 1,
+		"backlog": 2, "qdepth": 1, "credit-stall": 1,
+		"quiesce": 1, "drain": 1, "migrate": 1,
+	}
+	got := c.Streams()
+	if len(got) != len(want) {
+		t.Fatalf("got %d stream kinds, want %d: %+v", len(got), len(want), got)
+	}
+	for i, s := range got {
+		if want[s.Kind] != s.Count {
+			t.Errorf("kind %q: count %d, want %d", s.Kind, s.Count, want[s.Kind])
+		}
+		if i > 0 && got[i-1].Kind >= s.Kind {
+			t.Errorf("kinds not sorted: %q before %q", got[i-1].Kind, s.Kind)
+		}
+		if !StreamKinds[s.Kind] {
+			t.Errorf("collector emitted kind %q outside StreamKinds", s.Kind)
+		}
+	}
+}
+
+// TestNilCollectorStreamMethods extends the nil-safety contract to the
+// stream entry points.
+func TestNilCollectorStreamMethods(t *testing.T) {
+	var c *Collector
+	c.StreamPoint(0, "admit x", 0)
+	c.StreamSpan(0, "t", "drain", 0, 1)
+	c.StreamGauge(0, "t", "backlog", 1, 0)
+	if c.Streams() != nil || c.Gauges() != nil {
+		t.Fatal("nil collector returned stream counts or gauges")
+	}
+}
+
+// TestStreamChromeExport pins the exporter/validator pair on the stream
+// schema: gauges export as "C" counter events, instants and spans share
+// per-node tracks in timestamp order, and everything passes the vocabulary
+// and monotonicity gates.
+func TestStreamChromeExport(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(streamCollector("streamed run"))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("stream trace rejected by validator: %v\n%s", err, buf.String())
+	}
+	if stats.Streams != 11 {
+		t.Fatalf("stats.Streams = %d, want 11", stats.Streams)
+	}
+	if stats.Cats[string(LayerStream)] != 11 {
+		t.Fatalf("stream category count = %d, want 11 (cats: %v)", stats.Cats[string(LayerStream)], stats.Cats)
+	}
+	if !strings.Contains(buf.String(), `"ph":"C"`) {
+		t.Fatal("gauges did not export as Chrome counter events")
+	}
+}
+
+// TestValidateChromeRejectsUnknownStreamKind: the vocabulary gate — a
+// stream-category event whose name does not start with a known kind fails
+// validation, while the same name outside the stream category is fine.
+func TestValidateChromeRejectsUnknownStreamKind(t *testing.T) {
+	bad := `{"traceEvents":[{"name":"firehose open","cat":"stream","ph":"i","ts":1,"pid":1,"tid":1}]}`
+	_, err := ValidateChrome([]byte(bad))
+	if err == nil {
+		t.Fatal("unknown stream kind accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown stream kind") {
+		t.Fatalf("error does not name the failure: %v", err)
+	}
+	ok := `{"traceEvents":[{"name":"firehose open","cat":"sagert","ph":"i","ts":1,"pid":1,"tid":1}]}`
+	if _, err := ValidateChrome([]byte(ok)); err != nil {
+		t.Fatalf("non-stream category wrongly gated by stream vocabulary: %v", err)
+	}
+	detailed := `{"traceEvents":[{"name":"qdepth fft_matrix#2","cat":"stream","ph":"C","ts":1,"pid":1,"tid":1}]}`
+	if _, err := ValidateChrome([]byte(detailed)); err != nil {
+		t.Fatalf("detailed stream gauge rejected: %v", err)
+	}
+}
+
+// TestSummaryIncludesStream: the text summary surfaces per-kind stream event
+// counts.
+func TestSummaryIncludesStream(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(streamCollector("streamed run"))
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stream:", "admit x1", "backlog x2", "migrate x1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

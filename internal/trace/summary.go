@@ -66,6 +66,13 @@ func (t *Trace) WriteSummary(w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+		if streams := c.Streams(); len(streams) > 0 {
+			fmt.Fprintf(w, "stream:")
+			for _, sk := range streams {
+				fmt.Fprintf(w, " %s x%d", sk.Kind, sk.Count)
+			}
+			fmt.Fprintln(w)
+		}
 		if waits := c.Waits(); len(waits) > 0 {
 			fmt.Fprintf(w, "top waits:\n")
 			for j, wt := range waits {

@@ -56,6 +56,11 @@ const (
 	// link outages and node stalls (from internal/fault), and the retry,
 	// timeout and degraded-mode recovery behaviour of the runtimes.
 	LayerFault Layer = "fault"
+	// LayerStream marks streaming-workload events from internal/stream: frame
+	// admission and shedding, backpressure gauges (backlog, per-stage queue
+	// depth, credit starvation) and the quiesce/drain/remap/resume protocol
+	// of the mid-run remapping controller.
+	LayerStream Layer = "stream"
 )
 
 // FaultTrack is the per-node track fault-injection events land on when they
@@ -75,6 +80,33 @@ var FaultKinds = map[string]bool{
 	"recv-timeout":   true,
 	"credit-timeout": true,
 	"overcommit":     true,
+}
+
+// StreamTrack is the per-node track stream-layer events land on when they are
+// not attributable to a specific simulated thread (source admission, the
+// remap controller).
+const StreamTrack = "stream"
+
+// StreamKinds enumerates the legal first tokens of stream-layer event names;
+// ValidateChrome rejects stream events outside this vocabulary, exactly as
+// FaultKinds gates the fault layer. Workload kinds (admit, shed, frame, late,
+// eos) come from the stream runner's source and sink; backpressure gauges
+// (backlog, qdepth, credit-stall) from every stage; the remaining kinds from
+// the remapping controller's quiesce-drain-remap-resume protocol.
+var StreamKinds = map[string]bool{
+	"admit":        true,
+	"shed":         true,
+	"frame":        true,
+	"late":         true,
+	"eos":          true,
+	"backlog":      true,
+	"qdepth":       true,
+	"credit-stall": true,
+	"quiesce":      true,
+	"drain":        true,
+	"remap":        true,
+	"migrate":      true,
+	"resume":       true,
 }
 
 // NodeKernel is the pseudo-node owning events that are not attributable to a
@@ -104,6 +136,18 @@ type Instant struct {
 	Name  string
 	At    sim.Time
 	Value int // post-operation queue length / units in use
+}
+
+// Gauge is one sample of a named time-series counter (a backpressure metric:
+// queue depth, backlog, outstanding credits). Gauges export as Chrome "C"
+// counter events, which the trace viewers render as stacked area charts.
+type Gauge struct {
+	Layer Layer
+	Node  int
+	Track string
+	Name  string
+	At    sim.Time
+	Value int
 }
 
 // NodeTotals are the end-of-run counters for one machine node. Idle time is
@@ -153,11 +197,13 @@ type Collector struct {
 
 	spans       []Span
 	instants    []Instant
+	gauges      []Gauge
 	nodes       []NodeTotals
 	links       map[LinkKey]*LinkTotals
 	waits       map[string]*WaitTotals
 	collectives map[string]int
 	faults      map[string]int
+	streams     map[string]int
 	procStart   map[int]sim.Time
 	dispatched  uint64
 	elapsed     sim.Time
@@ -171,6 +217,7 @@ func New(label string) *Collector {
 		waits:       map[string]*WaitTotals{},
 		collectives: map[string]int{},
 		faults:      map[string]int{},
+		streams:     map[string]int{},
 		procStart:   map[int]sim.Time{},
 	}
 }
@@ -218,9 +265,9 @@ func (c *Collector) Collective(node int, track, name string, start, end sim.Time
 		Start: start, End: end, Bytes: -1, Iter: -1, Depth: -1})
 }
 
-// faultKind extracts the event-kind vocabulary token (everything before the
+// eventKind extracts the event-kind vocabulary token (everything before the
 // first space) from a fault event name.
-func faultKind(name string) string {
+func eventKind(name string) string {
 	if i := strings.IndexByte(name, ' '); i > 0 {
 		return name[:i]
 	}
@@ -235,7 +282,7 @@ func (c *Collector) FaultPoint(node int, name string, at sim.Time) {
 	if c == nil {
 		return
 	}
-	c.faults[faultKind(name)]++
+	c.faults[eventKind(name)]++
 	c.instants = append(c.instants, Instant{Layer: LayerFault, Node: node,
 		Track: FaultTrack, Name: name, At: at})
 }
@@ -254,7 +301,7 @@ func (c *Collector) FaultSpanOn(node int, track, name string, start, end sim.Tim
 	if c == nil {
 		return
 	}
-	c.faults[faultKind(name)]++
+	c.faults[eventKind(name)]++
 	c.spans = append(c.spans, Span{Layer: LayerFault, Node: node, Track: track,
 		Name: name, Start: start, End: end, Bytes: -1, Iter: -1, Depth: -1})
 }
@@ -281,6 +328,76 @@ func (c *Collector) Faults() []struct {
 		out[i].Count = c.faults[k]
 	}
 	return out
+}
+
+// StreamPoint records an instantaneous stream-workload event (a frame
+// admission, a shed decision, an SLO violation) on the owning node's stream
+// track. The name's first token must come from StreamKinds; like fault
+// points, stream points are always recorded.
+func (c *Collector) StreamPoint(node int, name string, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.streams[eventKind(name)]++
+	c.instants = append(c.instants, Instant{Layer: LayerStream, Node: node,
+		Track: StreamTrack, Name: name, At: at})
+}
+
+// StreamSpan records a stream-protocol interval — a quiesce/drain window, a
+// thread migration, a credit-starvation stall — on the given track (use
+// StreamTrack for controller-level events, ProcTrack for per-thread ones).
+// The name's first token must come from StreamKinds.
+func (c *Collector) StreamSpan(node int, track, name string, start, end sim.Time) {
+	if c == nil {
+		return
+	}
+	c.streams[eventKind(name)]++
+	c.spans = append(c.spans, Span{Layer: LayerStream, Node: node, Track: track,
+		Name: name, Start: start, End: end, Bytes: -1, Iter: -1, Depth: -1})
+}
+
+// StreamGauge samples a named backpressure counter (backlog, per-stage queue
+// depth, outstanding credits) on the given track. Gauges export as Chrome
+// "C" counter events. The name's first token must come from StreamKinds.
+func (c *Collector) StreamGauge(node int, track, name string, value int, at sim.Time) {
+	if c == nil {
+		return
+	}
+	c.streams[eventKind(name)]++
+	c.gauges = append(c.gauges, Gauge{Layer: LayerStream, Node: node, Track: track,
+		Name: name, At: at, Value: value})
+}
+
+// Streams returns per-kind stream event counts in kind order.
+func (c *Collector) Streams() []struct {
+	Kind  string
+	Count int
+} {
+	if c == nil {
+		return nil
+	}
+	kinds := make([]string, 0, len(c.streams))
+	for k := range c.streams {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]struct {
+		Kind  string
+		Count int
+	}, len(kinds))
+	for i, k := range kinds {
+		out[i].Kind = k
+		out[i].Count = c.streams[k]
+	}
+	return out
+}
+
+// Gauges returns the recorded counter samples in recording order.
+func (c *Collector) Gauges() []Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.gauges
 }
 
 // LinkTransfer accumulates per-link traffic counters (called by the machine

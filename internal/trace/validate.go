@@ -9,10 +9,11 @@ import (
 
 // ChromeStats summarises a validated Chrome trace-event file.
 type ChromeStats struct {
-	Events int            // non-metadata events
-	Spans  int            // ph "X" events
-	Faults int            // events in the "fault" category
-	Cats   map[string]int // events per category (layer)
+	Events  int            // non-metadata events
+	Spans   int            // ph "X" events
+	Faults  int            // events in the "fault" category
+	Streams int            // events in the "stream" category
+	Cats    map[string]int // events per category (layer)
 }
 
 // Layers returns the categories present, sorted.
@@ -42,7 +43,9 @@ type rawChromeEvent struct {
 // name/ph/pid/tid, a known phase, non-negative timestamps and durations, and
 // — per (pid, tid) track — monotonically non-decreasing timestamps. Events
 // in the "fault" category must additionally use the FaultKinds vocabulary as
-// the first token of their name (the fault/retry schema extension). It
+// the first token of their name (the fault/retry schema extension), and
+// events in the "stream" category the StreamKinds vocabulary (the
+// streaming-workload schema extension). It
 // returns per-category statistics on success. This is the schema gate CI
 // runs against sage-bench -trace output.
 func ValidateChrome(data []byte) (*ChromeStats, error) {
@@ -78,6 +81,15 @@ func ValidateChrome(data []byte) (*ChromeStats, error) {
 				return nil, fmt.Errorf("trace: event %d (%s) uses unknown fault kind %q", i, *ev.Name, kind)
 			}
 		}
+		if ev.Cat == string(LayerStream) {
+			kind := *ev.Name
+			if j := strings.IndexByte(kind, ' '); j > 0 {
+				kind = kind[:j]
+			}
+			if !StreamKinds[kind] {
+				return nil, fmt.Errorf("trace: event %d (%s) uses unknown stream kind %q", i, *ev.Name, kind)
+			}
+		}
 		if ev.Pid == nil || ev.Tid == nil {
 			return nil, fmt.Errorf("trace: event %d (%s) lacks pid/tid", i, *ev.Name)
 		}
@@ -102,6 +114,9 @@ func ValidateChrome(data []byte) (*ChromeStats, error) {
 		}
 		if ev.Cat == string(LayerFault) {
 			stats.Faults++
+		}
+		if ev.Cat == string(LayerStream) {
+			stats.Streams++
 		}
 		stats.Cats[ev.Cat]++
 	}

@@ -3,7 +3,6 @@ package twin
 import (
 	"testing"
 
-	"repro/internal/experiments"
 	"repro/internal/gluegen"
 	"repro/internal/model"
 	"repro/internal/platforms"
@@ -19,7 +18,7 @@ import (
 // pinned by TestNodeAccountingMatchesDESExactly.)
 func TestDegenerateSingleNode(t *testing.T) {
 	pl := platforms.CSPI()
-	out, err := experiments.GenerateTables(experiments.AppFFT2D, pl, 1, 64)
+	out, err := genTables("fft2d", pl, 1, 64)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,6 @@ package twin
 import (
 	"testing"
 
-	"repro/internal/experiments"
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 )
@@ -15,7 +14,7 @@ import (
 // arrangement of those charges in time (and hence Elapsed) is approximated;
 // that error is bounded by the calibration gates in twin/validate.
 func TestNodeAccountingMatchesDESExactly(t *testing.T) {
-	apps := []experiments.AppKind{experiments.AppFFT2D, experiments.AppCornerTurn}
+	apps := []string{"fft2d", "cornerturn"}
 	for _, name := range platforms.Names() {
 		pl, err := platforms.ByName(name)
 		if err != nil {
@@ -23,7 +22,7 @@ func TestNodeAccountingMatchesDESExactly(t *testing.T) {
 		}
 		for _, app := range apps {
 			for _, nodes := range []int{1, 2, 4} {
-				out, err := experiments.GenerateTables(app, pl, nodes, 64)
+				out, err := genTables(app, pl, nodes, 64)
 				if err != nil {
 					t.Fatalf("%s/%s/%d: %v", name, app, nodes, err)
 				}

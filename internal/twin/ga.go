@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/atot"
-	"repro/internal/experiments"
 	"repro/internal/gluegen"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/sagert"
 	"repro/internal/sim"
 )
@@ -79,7 +79,7 @@ func MapGAPromote(app *model.App, pl machine.Platform, nodes, topK int, cfg atot
 		OptimizedBuffers: opts.OptimizedBuffers,
 		NodeSpeeds:       opts.NodeSpeeds,
 	}
-	cands, err := experiments.RunPool(cfg.Parallelism, len(assigns), func(i int) (Candidate, error) {
+	cands, err := pool.Run(cfg.Parallelism, len(assigns), func(i int) (Candidate, error) {
 		m := tev.MappingFromAssign(assigns[i])
 		out, err := gluegen.Generate(gluegen.Input{App: app, Mapping: m, Platform: pl, NumNodes: nodes})
 		if err != nil {

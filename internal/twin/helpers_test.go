@@ -1,0 +1,36 @@
+package twin
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/gluegen"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// genTables builds the model, maps it one worker thread per node (spread,
+// like the §3.3 manual mapping step) and runs the glue generator — the same
+// construction experiments.GenerateTables performs, duplicated here because
+// in-package twin tests cannot import experiments (it now depends on twin
+// through the streaming subsystem).
+func genTables(app string, pl machine.Platform, nodes, n int) (*gluegen.Output, error) {
+	var m *model.App
+	var err error
+	switch app {
+	case "fft2d":
+		m, err = apps.FFT2D(n, nodes)
+	case "cornerturn":
+		m, err = apps.CornerTurn(n, nodes)
+	default:
+		return nil, fmt.Errorf("twin test: unknown app %q", app)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mapping, err := model.SpreadParallel(m, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return gluegen.Generate(gluegen.Input{App: m, Mapping: mapping, Platform: pl, NumNodes: nodes})
+}

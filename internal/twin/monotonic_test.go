@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/platforms"
 	"repro/internal/sim"
@@ -36,7 +35,7 @@ func randomPlatform(rng *rand.Rand) machine.Platform {
 // just at the calibrated vendor points.
 func TestMonotonicity(t *testing.T) {
 	base := platforms.CSPI()
-	out, err := experiments.GenerateTables(experiments.AppFFT2D, base, 8, 32)
+	out, err := genTables("fft2d", base, 8, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
