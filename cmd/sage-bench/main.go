@@ -14,6 +14,9 @@
 // Independent simulation runs fan out across a bounded worker pool
 // (-parallel, default GOMAXPROCS). Results are identical at any pool size —
 // all timing is virtual — so -parallel trades host wall-clock only.
+// -shards N additionally shards each SAGE simulation internally
+// (sagert.Options.Shards) — useful when one huge run dominates; like
+// -parallel it never changes a reported number.
 //
 // -faults plan.txt injects a deterministic fault plan (drops, degraded
 // links, node stalls — see DESIGN.md §6 and sage-faultcheck) into every
@@ -59,6 +62,7 @@ func cliMain(args []string, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "reduced sizes and protocol for a fast smoke run")
 	paper := fs.Bool("paper", false, "use the literal §3.3 protocol (10 executions x 100 iterations); slow, and — the simulator being deterministic — numerically identical to the default reduced protocol")
 	parallel := fs.Int("parallel", 0, "worker pool size for independent simulation runs (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+	shards := fs.Int("shards", 1, "shard each SAGE simulation run across up to this many cores (byte-identical output; sequential-mode comparisons and shared-fabric platforms ignore it)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of every simulation run to this file")
 	traceSummary := fs.Bool("trace-summary", false, "print a per-node/per-link trace summary (requires or implies tracing)")
 	faultsPath := fs.String("faults", "", "fault-plan file injected into every simulated run (validate with sage-faultcheck)")
@@ -85,7 +89,7 @@ func cliMain(args []string, stderr io.Writer) int {
 		}
 		return cli.ExitOK
 	}
-	if err := run(*exp, *quick, *paper, *parallel, *tracePath, *traceSummary, *faultsPath); err != nil {
+	if err := run(*exp, *quick, *paper, *parallel, *shards, *tracePath, *traceSummary, *faultsPath); err != nil {
 		fmt.Fprintln(stderr, "sage-bench:", err)
 		return cli.ExitCode(err)
 	}
@@ -113,7 +117,7 @@ func runBench(path string, quick bool) error {
 	return nil
 }
 
-func run(exp string, quick, paper bool, parallel int, tracePath string, traceSummary bool, faultsPath string) error {
+func run(exp string, quick, paper bool, parallel, shards int, tracePath string, traceSummary bool, faultsPath string) error {
 	// Default: paper sizes, reduced repetition count. Averages are exact
 	// because virtual timing is deterministic across repetitions.
 	proto := experiments.Protocol{Repetitions: 1, Iterations: 5}
@@ -133,6 +137,7 @@ func run(exp string, quick, paper bool, parallel int, tracePath string, traceSum
 		vendorNodes = []int{4, 8}
 	}
 	proto.Parallelism = parallel
+	proto.Shards = shards
 	if faultsPath != "" {
 		src, err := os.ReadFile(faultsPath)
 		if err != nil {

@@ -24,7 +24,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 }
 
 func TestGenStudyExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("genstudy", true, false, 0, "", false, "") })
+	out, err := captureStdout(t, func() error { return run("genstudy", true, false, 0, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestGenStudyExperiment(t *testing.T) {
 }
 
 func TestTable1QuickExperiment(t *testing.T) {
-	out, err := captureStdout(t, func() error { return run("table1", true, false, 0, "", false, "") })
+	out, err := captureStdout(t, func() error { return run("table1", true, false, 0, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +48,11 @@ func TestTable1QuickExperiment(t *testing.T) {
 // TestParallelFlagOutputIdentical pins the CLI-level determinism guarantee:
 // -parallel changes wall-clock only, never a byte of the printed tables.
 func TestParallelFlagOutputIdentical(t *testing.T) {
-	seq, err := captureStdout(t, func() error { return run("twonode", true, false, 1, "", false, "") })
+	seq, err := captureStdout(t, func() error { return run("twonode", true, false, 1, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := captureStdout(t, func() error { return run("twonode", true, false, 4, "", false, "") })
+	par, err := captureStdout(t, func() error { return run("twonode", true, false, 4, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestParallelFlagOutputIdentical(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("warpcore", true, false, 0, "", false, ""); err == nil {
+	if err := run("warpcore", true, false, 0, 1, "", false, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -70,7 +70,7 @@ func TestUnknownExperiment(t *testing.T) {
 // TestFaultSweepExperiment smoke-tests the faultsweep table end to end,
 // including its -parallel invariance.
 func TestFaultSweepExperiment(t *testing.T) {
-	seq, err := captureStdout(t, func() error { return run("faultsweep", true, false, 1, "", false, "") })
+	seq, err := captureStdout(t, func() error { return run("faultsweep", true, false, 1, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestFaultSweepExperiment(t *testing.T) {
 			t.Fatalf("output missing %q:\n%s", want, seq)
 		}
 	}
-	par, err := captureStdout(t, func() error { return run("faultsweep", true, false, 4, "", false, "") })
+	par, err := captureStdout(t, func() error { return run("faultsweep", true, false, 4, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +95,11 @@ func TestFaultsFlag(t *testing.T) {
 	if err := os.WriteFile(plan, []byte("seed 9\ndrop link=* rate=0.2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	clean, err := captureStdout(t, func() error { return run("twonode", true, false, 0, "", false, "") })
+	clean, err := captureStdout(t, func() error { return run("twonode", true, false, 0, 1, "", false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulted, err := captureStdout(t, func() error { return run("twonode", true, false, 0, "", false, plan) })
+	faulted, err := captureStdout(t, func() error { return run("twonode", true, false, 0, 1, "", false, plan) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,10 +110,10 @@ func TestFaultsFlag(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("drop rate=2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("twonode", true, false, 0, "", false, bad); err == nil {
+	if err := run("twonode", true, false, 0, 1, "", false, bad); err == nil {
 		t.Fatal("malformed plan file accepted")
 	}
-	if err := run("twonode", true, false, 0, "", false, filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+	if err := run("twonode", true, false, 0, 1, "", false, filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Fatal("missing plan file accepted")
 	}
 }

@@ -28,12 +28,13 @@ import (
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 	"repro/internal/trace"
+	"repro/internal/twin"
 	"repro/internal/viz"
 )
 
 type options struct {
 	modelFile, mappingFile, platformName, hwFile, tablesFile string
-	nodes, iterations                                        int
+	nodes, iterations, shards                                int
 	sequential, optimized, vizReport                         bool
 	traceCSV, svgOut, traceOut                               string
 	latencyBound                                             time.Duration
@@ -54,6 +55,7 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs.StringVar(&o.tablesFile, "tables", "", "pre-generated runtime table source to execute (skips generation)")
 	fs.IntVar(&o.nodes, "nodes", 8, "processor count (ignored with -tables)")
 	fs.IntVar(&o.iterations, "iterations", 10, "data sets to process")
+	fs.IntVar(&o.shards, "shards", 1, "simulate on up to this many host cores (byte-identical results; falls back to 1 when the run cannot shard)")
 	fs.BoolVar(&o.sequential, "sequential", false, "process one data set at a time (no pipelining)")
 	fs.BoolVar(&o.optimized, "optimized-buffers", false, "enable the future-work buffer optimisation")
 	fs.BoolVar(&o.vizReport, "viz", false, "print the Visualizer report")
@@ -161,7 +163,16 @@ func run(o options) error {
 			return fmt.Errorf("tables target platform %q: %w", tables.Platform, err)
 		}
 	}
-	opts := sagert.Options{Iterations: o.iterations, Sequential: o.sequential, OptimizedBuffers: o.optimized}
+	opts := sagert.Options{Iterations: o.iterations, Sequential: o.sequential, OptimizedBuffers: o.optimized, Shards: o.shards}
+	if o.shards > 1 {
+		// Seed the shard partitioner with the twin's per-node busy forecast;
+		// uniform weights are a fine fallback when the twin refuses.
+		if w, err := twin.ShardWeights(tables, pl, twin.Options{
+			Iterations: o.iterations, Sequential: o.sequential, OptimizedBuffers: o.optimized,
+		}); err == nil {
+			opts.ShardWeights = w
+		}
+	}
 	var vtrace *viz.Trace
 	if o.vizReport || o.traceCSV != "" || o.svgOut != "" {
 		var hook func(sagert.Event)

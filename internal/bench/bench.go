@@ -2,6 +2,7 @@
 // fixed matrix of end-to-end simulations (FFT sizes and a corner turn,
 // traced and untraced, faulted and clean), a 1024-node wide-topology pair
 // priced both by the discrete-event simulator and by the analytical twin,
+// a 1024-node Mercury pair run sequentially and on the sharded kernel,
 // a mixed-class streaming case on the stream runtime, plus a
 // kernel-scheduling microbenchmark, and reports both host-dependent measurements (wall time,
 // events/sec, allocations) and deterministic outputs (virtual elapsed time,
@@ -26,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/gluegen"
+	"repro/internal/machine"
 	"repro/internal/platforms"
 	"repro/internal/sagert"
 	"repro/internal/sim"
@@ -70,6 +72,15 @@ type Case struct {
 	// one: a fixed mixed-class arrival mix offering Iterations frames in
 	// total. VirtualNS is then the streaming run's elapsed virtual time.
 	Stream bool
+	// Platform names the target platform from the registry. Empty means
+	// CSPI, the classic matrix target — committed reports written before
+	// the field existed replay unchanged.
+	Platform string
+	// Shards runs the simulation on the sharded kernel (sagert's
+	// Options.Shards): up to that many host cores cooperate on this one run.
+	// The deterministic columns are byte-identical at any shard count; only
+	// wall-clock measurements may move. Zero or one means sequential.
+	Shards int
 }
 
 // CaseResult is one executed cell. Fields under "deterministic" depend only
@@ -83,6 +94,14 @@ type CaseResult struct {
 	Traced     bool   `json:"traced"`
 	Faulted    bool   `json:"faulted"`
 	Threads    int    `json:"threads,omitempty"`
+	// Platform is the registry platform the case ran on; empty means CSPI
+	// (reports written before the field existed carry no platform key).
+	Platform string `json:"platform,omitempty"`
+	// Shards is the shard count the simulation ran with; zero means the
+	// sequential kernel. Sharding never moves a deterministic column — a
+	// sharded case and its sequential twin must agree on virtual_ns and
+	// dispatches exactly.
+	Shards int `json:"shards,omitempty"`
 	// Kind is "twin" for analytically-priced cases, empty for simulated and
 	// micro cases. Twin cases carry VirtualNS (the prediction) but no
 	// dispatches or event rate: nothing was simulated.
@@ -167,9 +186,11 @@ func Summarize(r *Report) *Summary {
 // and untraced, faulted and clean, on 8 nodes), plus a 1024-node
 // wide-topology pair pricing the same tables with the DES and with the
 // analytical twin — the committed speedup evidence for estimate-before-run
-// workflows. Quick shrinks sizes for CI smoke runs without changing the
-// matrix shape (the XL pair keeps its 1024 nodes; only the problem size
-// drops).
+// workflows — plus a 1024-node Mercury pair running the same simulation
+// sequentially and on 8 shards, the committed evidence that sharding moves
+// wall clock and nothing else. Quick shrinks sizes for CI smoke runs
+// without changing the matrix shape (the XL pairs keep their 1024 nodes;
+// only the problem size drops).
 func Matrix(quick bool) []Case {
 	type appCell struct {
 		app experiments.AppKind
@@ -231,6 +252,22 @@ func Matrix(quick bool) []Case {
 			Name: fmt.Sprintf("fft%d.xl%d.%s", xlN, xlNodes, kind),
 			App:  experiments.AppFFT2D, N: xlN, Threads: xlThreads, Nodes: xlNodes,
 			Iterations: xlIters, Twin: twin,
+		})
+	}
+	// Sharded pair: the same wide workload on Mercury — a crossbar platform
+	// with per-node fabric resources, so the conservative sharder can split
+	// it — run once sequentially and once on 8 shards. The deterministic
+	// columns must match exactly (sharding is byte-identical by contract);
+	// the wall-clock delta is the multi-core speedup evidence on hosts with
+	// GOMAXPROCS >= 8.
+	for _, shards := range []int{1, 8} {
+		name := fmt.Sprintf("fft%d.xlm%d.des", xlN, xlNodes)
+		if shards > 1 {
+			name += fmt.Sprintf(".s%d", shards)
+		}
+		cases = append(cases, Case{
+			Name: name, App: experiments.AppFFT2D, N: xlN, Threads: xlThreads,
+			Nodes: xlNodes, Iterations: xlIters, Platform: "Mercury", Shards: shards,
 		})
 	}
 	// Streaming case: a mixed-class arrival mix on the stream runtime — the
@@ -312,11 +349,22 @@ func finish(res *CaseResult, wallNS int64, allocs, bytes, dispatches uint64, vir
 	res.Allocs = allocs
 }
 
+// casePlatform resolves the case's target platform; empty selects CSPI.
+func casePlatform(c Case) (machine.Platform, error) {
+	if c.Platform == "" {
+		return platforms.CSPI(), nil
+	}
+	return platforms.ByName(c.Platform)
+}
+
 // caseTables builds the generated tables for a sim or twin case. Table
 // generation happens outside measure() in both paths, so the DES and the
 // twin are timed over exactly the same remaining work: pricing the tables.
 func caseTables(c Case) (*gluegen.Output, error) {
-	pl := platforms.CSPI()
+	pl, err := casePlatform(c)
+	if err != nil {
+		return nil, err
+	}
 	if c.Threads > 0 {
 		return experiments.GenerateTablesWide(c.App, pl, c.Nodes, c.Threads, c.N)
 	}
@@ -327,14 +375,24 @@ func runSim(c Case) (CaseResult, error) {
 	res := CaseResult{
 		Name: c.Name, App: string(c.App), N: c.N, Nodes: c.Nodes,
 		Iterations: c.Iterations, Traced: c.Traced, Faulted: c.Faulted,
-		Threads: c.Threads,
+		Threads: c.Threads, Platform: c.Platform, Shards: c.Shards,
 	}
-	pl := platforms.CSPI()
+	pl, err := casePlatform(c)
+	if err != nil {
+		return res, err
+	}
 	out, err := caseTables(c)
 	if err != nil {
 		return res, err
 	}
-	opts := sagert.Options{Iterations: c.Iterations}
+	opts := sagert.Options{Iterations: c.Iterations, Shards: c.Shards}
+	if c.Shards > 1 {
+		// Seed the shard partitioner with the twin's per-node busy forecast,
+		// the same steering sage-run uses; partition choice is wall-clock-only.
+		if w, werr := twin.ShardWeights(out.Tables, pl, twin.Options{Iterations: c.Iterations}); werr == nil {
+			opts.ShardWeights = w
+		}
+	}
 	if c.Faulted {
 		plan, err := fault.ParsePlan(faultPlanText)
 		if err != nil {
@@ -370,9 +428,12 @@ func runSim(c Case) (CaseResult, error) {
 func runTwin(c Case) (CaseResult, error) {
 	res := CaseResult{
 		Name: c.Name, App: string(c.App), N: c.N, Nodes: c.Nodes,
-		Iterations: c.Iterations, Threads: c.Threads, Kind: "twin",
+		Iterations: c.Iterations, Threads: c.Threads, Platform: c.Platform, Kind: "twin",
 	}
-	pl := platforms.CSPI()
+	pl, err := casePlatform(c)
+	if err != nil {
+		return res, err
+	}
 	out, err := caseTables(c)
 	if err != nil {
 		return res, err
@@ -540,6 +601,15 @@ func Validate(r *Report) error {
 		}
 		if c.AllocsPerEvent < 0 || c.BytesPerEvent < 0 {
 			return fmt.Errorf("case %q: negative allocation rate", c.Name)
+		}
+		// Shards/Platform arrived with sage-bench/1 reports already committed;
+		// absent keys decode to zero values and stay valid. Only nonsense is
+		// rejected.
+		if c.Shards < 0 {
+			return fmt.Errorf("case %q: negative shard count %d", c.Name, c.Shards)
+		}
+		if c.Shards > 1 && c.Kind != "" {
+			return fmt.Errorf("case %q: only simulated cases shard (kind=%q shards=%d)", c.Name, c.Kind, c.Shards)
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@ func tinyCases() []Case {
 		{Name: "fft64.faulted", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Faulted: true},
 		{Name: "ct64.clean.traced", App: experiments.AppCornerTurn, N: 64, Nodes: 4, Iterations: 2, Traced: true},
 		{Name: "fft64.twin", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Twin: true},
+		{Name: "fft64.mercury.s2", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Platform: "Mercury", Shards: 2},
 		{Name: "stream64.mixed", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 8, Stream: true},
 		{Name: "kernel.schedule", Events: 10_000},
 	}
@@ -59,7 +60,7 @@ func TestDeterministicFields(t *testing.T) {
 func TestMatrixShape(t *testing.T) {
 	for _, quick := range []bool{false, true} {
 		cases := Matrix(quick)
-		var traced, faulted, micro, wide, wideTwin, streamed int
+		var traced, faulted, micro, wide, wideTwin, wideSharded, streamed int
 		seen := map[string]bool{}
 		for _, c := range cases {
 			if seen[c.Name] {
@@ -89,6 +90,12 @@ func TestMatrixShape(t *testing.T) {
 				if c.Twin {
 					wideTwin++
 				}
+				if c.Shards > 1 {
+					wideSharded++
+					if c.Platform != "Mercury" {
+						t.Fatalf("sharded case %q targets %q; only distributed-fabric platforms shard", c.Name, c.Platform)
+					}
+				}
 				if c.Nodes < 1024 {
 					t.Fatalf("wide case %q has only %d nodes", c.Name, c.Nodes)
 				}
@@ -97,10 +104,11 @@ func TestMatrixShape(t *testing.T) {
 		if micro != 1 {
 			t.Fatalf("quick=%v: %d micro cases, want 1", quick, micro)
 		}
-		// The wide-topology pair: same tables priced by the DES and the twin,
-		// at >= 1024 nodes even in the quick matrix.
-		if wide != 2 || wideTwin != 1 {
-			t.Fatalf("quick=%v: %d wide cases (%d twin), want a des+twin pair", quick, wide, wideTwin)
+		// The wide-topology pairs: the CSPI tables priced by the DES and the
+		// twin, plus the Mercury sequential/sharded pair, all at >= 1024 nodes
+		// even in the quick matrix.
+		if wide != 4 || wideTwin != 1 || wideSharded != 1 {
+			t.Fatalf("quick=%v: %d wide cases (%d twin, %d sharded), want des+twin and seq+sharded pairs", quick, wide, wideTwin, wideSharded)
 		}
 		if streamed != 1 {
 			t.Fatalf("quick=%v: %d stream cases, want 1", quick, streamed)
@@ -168,6 +176,13 @@ func TestValidateRejectsBadReports(t *testing.T) {
 		{"zero wall", func(r *Report) { r.Cases[0].WallNS = 0 }},
 		{"unknown kind", func(r *Report) { r.Cases[0].Kind = "oracle" }},
 		{"twin that simulated", func(r *Report) { r.Cases[0].Kind = "twin" }}, // dispatches != 0
+		{"negative shards", func(r *Report) { r.Cases[0].Shards = -1 }},
+		{"sharded twin", func(r *Report) {
+			r.Cases[0].Kind = "twin"
+			r.Cases[0].Dispatches = 0
+			r.Cases[0].EventsPerSec = 0
+			r.Cases[0].Shards = 4
+		}},
 	}
 	for _, m := range mutate {
 		r := *good

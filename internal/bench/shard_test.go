@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// shardPair pulls the Mercury sequential/sharded pair out of a case list or
+// report: two wide-topology simulated cases on the same platform, one run on
+// the sequential kernel and one on 8 shards.
+func shardPair(t *testing.T, cases []CaseResult) (seq, sharded CaseResult) {
+	t.Helper()
+	var haveSeq, haveSharded bool
+	for _, c := range cases {
+		if c.Threads == 0 || c.Platform != "Mercury" || c.Kind != "" {
+			continue
+		}
+		if c.Shards > 1 {
+			sharded, haveSharded = c, true
+		} else {
+			seq, haveSeq = c, true
+		}
+	}
+	if !haveSeq || !haveSharded {
+		t.Fatalf("report lacks the Mercury sequential+sharded pair")
+	}
+	return seq, sharded
+}
+
+// The quick Mercury pair run live: sharding is a wall-clock knob only, so
+// the sharded case must reproduce the sequential case's deterministic
+// columns exactly — same virtual elapsed time, same dispatch count.
+func TestShardPairQuick(t *testing.T) {
+	var pair []Case
+	for _, c := range Matrix(true) {
+		if c.Platform == "Mercury" && c.Threads > 0 {
+			pair = append(pair, c)
+		}
+	}
+	r, err := Run(pair, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	seq, sharded := shardPair(t, r.Cases)
+	if sharded.Shards != 8 {
+		t.Errorf("sharded case ran with %d shards, want 8", sharded.Shards)
+	}
+	if sharded.VirtualNS != seq.VirtualNS || sharded.Dispatches != seq.Dispatches {
+		t.Errorf("sharding changed deterministic outputs: virtual %d vs %d, dispatches %d vs %d",
+			seq.VirtualNS, sharded.VirtualNS, seq.Dispatches, sharded.Dispatches)
+	}
+}
+
+// The committed baseline must contain the full-size Mercury pair with
+// identical deterministic columns — sharding may never move virtual_ns or
+// dispatches, on any host. The >=2x wall-clock speedup acceptance is
+// asserted only when the committed run had at least 8 cores to shard onto
+// (recorded in the report's gomaxprocs): a single-core recording is honest
+// about having nothing to parallelise, and fabricating a speedup it could
+// not measure would defeat the gate's purpose.
+func TestCommittedShardSpeedup(t *testing.T) {
+	r, err := ReadFile("../../BENCH_2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, sharded := shardPair(t, r.Cases)
+	if seq.Nodes < 1024 || sharded.Nodes < 1024 {
+		t.Fatalf("committed pair is not a >=1024-node case (seq=%d sharded=%d nodes)", seq.Nodes, sharded.Nodes)
+	}
+	if sharded.Shards < 8 {
+		t.Fatalf("committed sharded case used only %d shards", sharded.Shards)
+	}
+	if sharded.VirtualNS != seq.VirtualNS || sharded.Dispatches != seq.Dispatches {
+		t.Errorf("committed pair disagrees on deterministic outputs: virtual %d vs %d, dispatches %d vs %d",
+			seq.VirtualNS, sharded.VirtualNS, seq.Dispatches, sharded.Dispatches)
+	}
+	if r.GOMAXPROCS >= 8 {
+		if sharded.WallNS*2 > seq.WallNS {
+			t.Errorf("committed sharded wall %v is not >=2x faster than sequential wall %v at GOMAXPROCS=%d",
+				time.Duration(sharded.WallNS), time.Duration(seq.WallNS), r.GOMAXPROCS)
+		}
+	} else {
+		t.Logf("committed run recorded GOMAXPROCS=%d: speedup gate dormant (shards had no cores to spread onto); identity gate above still enforced", r.GOMAXPROCS)
+	}
+
+	// The deterministic columns must be reproducible here and now, at both
+	// shard counts: a drift means simulated behaviour changed since the
+	// baseline was recorded, a seq/sharded split means determinism broke.
+	if testing.Short() {
+		t.Skip("short mode: skip full-size Mercury determinism replay")
+	}
+	fresh, err := Run([]Case{
+		{Name: seq.Name, App: experiments.AppKind(seq.App), N: seq.N, Threads: seq.Threads,
+			Nodes: seq.Nodes, Iterations: seq.Iterations, Platform: seq.Platform},
+		{Name: sharded.Name, App: experiments.AppKind(sharded.App), N: sharded.N, Threads: sharded.Threads,
+			Nodes: sharded.Nodes, Iterations: sharded.Iterations, Platform: sharded.Platform, Shards: sharded.Shards},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, fsh := shardPair(t, fresh.Cases)
+	if fs.VirtualNS != seq.VirtualNS || fs.Dispatches != seq.Dispatches {
+		t.Errorf("sequential Mercury case drifted from baseline: virtual %d->%d dispatches %d->%d",
+			seq.VirtualNS, fs.VirtualNS, seq.Dispatches, fs.Dispatches)
+	}
+	if fsh.VirtualNS != sharded.VirtualNS || fsh.Dispatches != sharded.Dispatches {
+		t.Errorf("sharded Mercury case drifted from baseline: virtual %d->%d dispatches %d->%d",
+			sharded.VirtualNS, fsh.VirtualNS, sharded.Dispatches, fsh.Dispatches)
+	}
+}
+
+// Committed reports written before Platform/Shards existed must keep
+// validating: absent keys decode to zero values, which the schema accepts
+// and the selectors treat as "CSPI, sequential".
+func TestCommittedBaselinesStillValidate(t *testing.T) {
+	for _, path := range []string{"../../BENCH_0.json", "../../BENCH_1.json"} {
+		r, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, c := range r.Cases {
+			if c.Platform != "" || c.Shards != 0 {
+				t.Fatalf("%s: case %q unexpectedly carries platform/shards (%q, %d)", path, c.Name, c.Platform, c.Shards)
+			}
+		}
+	}
+}

@@ -7,12 +7,14 @@ import (
 	"repro/internal/experiments"
 )
 
-// xlPair pulls the wide-topology des/twin pair out of a case list or report.
+// xlPair pulls the classic CSPI wide-topology des/twin pair out of a case
+// list or report. The Mercury sharded pair also has Threads set, so the
+// selector pins platform and shard count too.
 func xlPair(t *testing.T, cases []CaseResult) (des, twin CaseResult) {
 	t.Helper()
 	var haveDes, haveTwin bool
 	for _, c := range cases {
-		if c.Threads == 0 {
+		if c.Threads == 0 || c.Platform != "" || c.Shards > 1 {
 			continue
 		}
 		switch c.Kind {

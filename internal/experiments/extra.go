@@ -270,7 +270,9 @@ func RunPortability(kind AppKind, n, nodes int, proto Protocol) (*Portability, e
 		if err != nil {
 			return nil, err
 		}
-		return sagert.Run(tbl.Tables, pl, sagert.Options{Iterations: proto.Iterations})
+		o := sagert.Options{Iterations: proto.Iterations}
+		applyShards(proto, tbl.Tables, pl, &o)
+		return sagert.Run(tbl.Tables, pl, o)
 	})
 	if err != nil {
 		return nil, err

@@ -39,6 +39,9 @@ func (m *Machine) SetTrace(c *trace.Collector) {
 func (m *Machine) SetFaults(inj *fault.Injector) {
 	m.faults = inj
 	inj.SetTrace(m.tr)
+	// Pre-size the injector's per-node state so a sharded run never grows
+	// it concurrently.
+	inj.Bind(len(m.nodes))
 }
 
 // Faults returns the installed injector (nil — the disabled injector — when
@@ -131,12 +134,16 @@ func New(k *sim.Kernel, pl Platform, n int) *Machine {
 		m.fabric = sim.NewResource(k, pl.Name+".fabric", pl.FabricConcurrency)
 	}
 	for i := 0; i < n; i++ {
+		// Per-node resources live on the shard owning the node (shard 0 on
+		// an unsharded kernel), since only processes on that node touch
+		// them. The fabric above stays global: a platform with a shared
+		// fabric cannot shard (the runtime layer forces one shard).
 		m.nodes = append(m.nodes, &Node{
 			ID:     i,
 			Board:  pl.Board(i),
 			mach:   m,
-			egress: sim.NewResource(k, fmt.Sprintf("%s.n%d.egress", pl.Name, i), 1),
-			cpu:    sim.NewResource(k, fmt.Sprintf("%s.n%d.cpu", pl.Name, i), 1),
+			egress: sim.NewResourceOn(k, i, fmt.Sprintf("%s.n%d.egress", pl.Name, i), 1),
+			cpu:    sim.NewResourceOn(k, i, fmt.Sprintf("%s.n%d.cpu", pl.Name, i), 1),
 			speed:  1,
 		})
 	}

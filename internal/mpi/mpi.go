@@ -104,7 +104,7 @@ func (e *endpoint) getWaiter(src, tag int) *waiter {
 	if w == nil {
 		return &waiter{
 			src: src, tag: tag,
-			ch: sim.NewChan[message](e.k, fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag)),
+			ch: sim.NewChanOn[message](e.k, e.rank, fmt.Sprintf("mpi.rank%d.recv(src=%d,tag=%d)", e.rank, src, tag)),
 		}
 	}
 	e.free = w.next
@@ -176,7 +176,9 @@ func (e *endpoint) recvTimeout(p *sim.Proc, src, tag int, d sim.Duration) (messa
 	e.waiters = append(e.waiters, w)
 	timedOut := false
 	gen := w.gen
-	e.k.After(d, func() {
+	// The timer is shard-local: p executes on the endpoint's rank, and the
+	// callback only touches this endpoint's state.
+	p.AfterOn(e.rank, d, func() {
 		// gen mismatch: this wait resolved and the waiter was recycled for
 		// a later receive; the stale timer must not touch it.
 		if w.gen != gen || w.matched {
@@ -249,7 +251,7 @@ type Rank struct {
 func (w *World) Launch(name string, body func(r *Rank)) {
 	for i := 0; i < w.Size(); i++ {
 		i := i
-		w.Mach.K.Spawn(fmt.Sprintf("%s.rank%d", name, i), func(p *sim.Proc) {
+		w.Mach.K.SpawnOn(i, fmt.Sprintf("%s.rank%d", name, i), func(p *sim.Proc) {
 			body(&Rank{w: w, id: i, node: w.Mach.Node(i), proc: p})
 		})
 	}
@@ -305,10 +307,14 @@ func (r *Rank) Send(dst, tag int, body Payload) {
 	ep := r.w.endpoints[dst]
 	m := message{src: r.id, tag: tag, body: body}
 	if arrival <= r.proc.Now() {
+		// Only self-transfers arrive instantly (cross-node latency is
+		// always positive), so delivering inline stays on dst's shard.
 		ep.deliver(m)
 		return
 	}
-	r.w.Mach.K.After(arrival.Sub(r.proc.Now()), func() { ep.deliver(m) })
+	// Delivery executes on dst's shard; the fabric latency of a
+	// cross-shard link is what bounds the kernel's lookahead.
+	r.proc.AfterOn(dst, arrival.Sub(r.proc.Now()), func() { ep.deliver(m) })
 }
 
 // sendResilient pushes bytes to dst through the fault injector, retrying

@@ -2,6 +2,8 @@ package sagert
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/funclib"
 	"repro/internal/gluegen"
@@ -63,6 +65,15 @@ type runner struct {
 	localQueues map[localKey]*sim.Chan[*funclib.Block]
 	iterBarrier *sim.Barrier // non-nil in Sequential mode
 	maxOverrun  sim.Duration
+
+	// On a sharded kernel function threads execute concurrently (one
+	// goroutine per shard), so the cross-thread endpoint bookkeeping —
+	// iteration timestamps, overrun, the first failure — is mutex-guarded.
+	// The locks are uncontended-cheap and touched at most a few times per
+	// iteration, far off the per-event fast path.
+	noteMu sync.Mutex // guards sourceStart, sinkDone, maxOverrun
+	errMu  sync.Mutex // guards err
+	failed atomic.Bool
 
 	err error
 }
@@ -142,11 +153,11 @@ func (r *runner) localOptimised(srcNode, dstNode int) bool {
 	return r.opts.OptimizedBuffers && srcNode == dstNode
 }
 
-// spawn launches every function thread.
+// spawn launches every function thread on its mapped node's shard.
 func (r *runner) spawn(k *sim.Kernel) {
 	for _, tp := range r.plans {
 		tp := tp
-		k.Spawn(fmt.Sprintf("%s.%s[%d]", r.tables.AppName, tp.fn.Name, tp.thread), func(p *sim.Proc) {
+		k.SpawnOn(tp.node, fmt.Sprintf("%s.%s[%d]", r.tables.AppName, tp.fn.Name, tp.thread), func(p *sim.Proc) {
 			rank := r.world.Attach(tp.node, p)
 			r.threadMain(tp, rank)
 		})
@@ -154,17 +165,44 @@ func (r *runner) spawn(k *sim.Kernel) {
 }
 
 func (r *runner) fail(err error) {
+	r.errMu.Lock()
 	if r.err == nil {
 		r.err = err
+		r.failed.Store(true)
 		r.mach.K.Stop()
+	}
+	r.errMu.Unlock()
+}
+
+// buildLocalQueues pre-creates every optimised node-local handoff channel,
+// before the kernel runs. Creating them lazily mid-run would mutate the
+// shared map from concurrent shard goroutines; eager creation is free (a
+// channel is inert until used) and changes nothing observable.
+func (r *runner) buildLocalQueues(k *sim.Kernel) {
+	if !r.opts.OptimizedBuffers {
+		return
+	}
+	for bi := range r.tables.Buffers {
+		buf := &r.tables.Buffers[bi]
+		src, _ := r.tables.Function(buf.SrcFn)
+		dst, _ := r.tables.Function(buf.DstFn)
+		for _, x := range buf.Transfers {
+			if src.Nodes[x.SrcThread] != dst.Nodes[x.DstThread] {
+				continue
+			}
+			key := localKey{buf.ID, x.SrcThread, x.DstThread}
+			if _, ok := r.localQueues[key]; !ok {
+				r.localQueues[key] = sim.NewChanOn[*funclib.Block](k, src.Nodes[x.SrcThread],
+					fmt.Sprintf("local b%d %d->%d", key.buf, key.srcThread, key.dstThread))
+			}
+		}
 	}
 }
 
 func (r *runner) localQueue(key localKey) *sim.Chan[*funclib.Block] {
-	q, ok := r.localQueues[key]
-	if !ok {
-		q = sim.NewChan[*funclib.Block](r.mach.K, fmt.Sprintf("local b%d %d->%d", key.buf, key.srcThread, key.dstThread))
-		r.localQueues[key] = q
+	q := r.localQueues[key]
+	if q == nil {
+		panic(fmt.Sprintf("sagert: no local queue for b%d %d->%d", key.buf, key.srcThread, key.dstThread))
 	}
 	return q
 }
@@ -199,7 +237,7 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 		FuncName: tp.fn.Name, Params: tp.fn.Params,
 		Thread: tp.thread, Threads: tp.fn.Threads,
 	}
-	for iter := 0; iter < r.opts.Iterations && r.err == nil; iter++ {
+	for iter := 0; iter < r.opts.Iterations && !r.failed.Load(); iter++ {
 		compute := iter < r.opts.ComputeIterations
 
 		if tp.isSource {
@@ -210,8 +248,8 @@ func (r *runner) threadMain(tp *threadPlan, rank *mpi.Rank) {
 				scheduled := sim.Time(0).Add(sim.Duration(iter) * r.opts.InputPeriod)
 				if rank.Proc().Now() < scheduled {
 					rank.Proc().SleepUntil(scheduled)
-				} else if over := rank.Proc().Now().Sub(scheduled); over > r.maxOverrun {
-					r.maxOverrun = over
+				} else {
+					r.noteOverrun(rank.Proc().Now().Sub(scheduled))
 				}
 			}
 			r.noteSourceStart(iter, rank.Proc().Now())
@@ -460,15 +498,27 @@ func (r *runner) orderXfers(xfers []xferRef, now sim.Time) []xferRef {
 }
 
 func (r *runner) noteSourceStart(iter int, t sim.Time) {
+	r.noteMu.Lock()
 	if r.sourceStart[iter] == 0 || t < r.sourceStart[iter] {
 		r.sourceStart[iter] = t
 	}
+	r.noteMu.Unlock()
 }
 
 func (r *runner) noteSinkDone(iter int, t sim.Time) {
+	r.noteMu.Lock()
 	if t > r.sinkDone[iter] {
 		r.sinkDone[iter] = t
 	}
+	r.noteMu.Unlock()
+}
+
+func (r *runner) noteOverrun(over sim.Duration) {
+	r.noteMu.Lock()
+	if over > r.maxOverrun {
+		r.maxOverrun = over
+	}
+	r.noteMu.Unlock()
 }
 
 func (r *runner) trace(tp *threadPlan, iter int, phase string, start, end sim.Time) {

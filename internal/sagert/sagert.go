@@ -94,6 +94,23 @@ type Options struct {
 	// Resilience tunes the resilient mode's timeouts and overcommit budget;
 	// zero fields take fault.Resilience defaults. Ignored without Faults.
 	Resilience fault.Resilience
+	// Shards requests conservative sharded execution of the simulation
+	// (sim.Kernel.SetShards): the machine's nodes are partitioned into up
+	// to Shards shards that advance concurrently on separate goroutines,
+	// synchronising at lookahead windows derived from the platform's link
+	// latencies. Results, traces, fault verdicts and dispatch counts are
+	// byte-identical to the sequential kernel's — sharding buys wall-clock
+	// speed, never different answers. Values <= 1 select the classic
+	// sequential kernel. The request is a ceiling, not a promise: runs that
+	// cannot shard soundly (shared-fabric platforms, Sequential mode, the
+	// legacy Trace probe, fewer nodes than shards) silently fall back to
+	// fewer shards or one.
+	Shards int
+	// ShardWeights optionally biases the shard partitioner with per-node
+	// load weights (higher = busier); the analytical twin's per-node busy
+	// forecast (twin.ShardWeights) is the intended source. Missing or short
+	// weights default to uniform. Ignored unless Shards > 1.
+	ShardWeights []float64
 	// Cancel, when non-nil, aborts the run as soon as the channel is closed:
 	// the kernel polls it between dispatched events (sim.Kernel.SetCancel),
 	// halts, and Run returns ErrCanceled instead of a result. The deferred
@@ -246,6 +263,12 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 	// (runner errors call Stop mid-execution); without this every failed run
 	// leaks one goroutine per function thread.
 	defer k.Shutdown()
+	// Sharding must be decided before anything binds to the kernel: node
+	// resources, channels and processes attach to their owning shard at
+	// creation time.
+	if n, domainOf, lookahead := planShards(tables, pl, &o); n > 1 {
+		k.SetShards(n, domainOf, lookahead)
+	}
 	mach := machine.New(k, pl, tables.NumNodes)
 	mach.SetNodeSpeeds(o.NodeSpeeds)
 	mach.SetTrace(o.Collector)
@@ -258,6 +281,7 @@ func Run(tables *gluegen.Tables, pl machine.Platform, opts Options) (*Result, er
 		localQueues: map[localKey]*sim.Chan[*funclib.Block]{},
 	}
 	r.buildPlan()
+	r.buildLocalQueues(k)
 	r.collectOutput()
 	if o.Sequential {
 		r.iterBarrier = sim.NewBarrier(k, "iteration", len(r.plans))

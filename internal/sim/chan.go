@@ -10,17 +10,29 @@ import "fmt"
 // once the clock reaches it. Receivers block in virtual time until a value is
 // available. Delivery order is (arrival time, send sequence), so simultaneous
 // arrivals are received in the order they were sent.
+//
+// On a sharded kernel a mailbox belongs to one shard: every process that
+// sends or receives on it must be pinned there (create it with NewChanOn).
+// Cross-shard communication goes through Proc.AfterOn, which schedules a
+// callback on the destination shard that then operates on its local
+// channels.
 type Chan[T any] struct {
-	k       *Kernel
+	sh      *shard
 	name    string
 	ready   []T     // values whose arrival time has passed
 	waiters []*Proc // receivers blocked on an empty mailbox, FIFO
 }
 
-// NewChan creates a mailbox owned by kernel k. The name appears in deadlock
-// reports.
+// NewChan creates a mailbox owned by kernel k (on shard 0 when sharded).
+// The name appears in deadlock reports.
 func NewChan[T any](k *Kernel, name string) *Chan[T] {
-	return &Chan[T]{k: k, name: name}
+	return &Chan[T]{sh: k.s0, name: name}
+}
+
+// NewChanOn creates a mailbox on the shard owning the given scheduling
+// domain. Identical to NewChan on an unsharded kernel.
+func NewChanOn[T any](k *Kernel, domain int, name string) *Chan[T] {
+	return &Chan[T]{sh: k.shardFor(domain), name: name}
 }
 
 // Len reports the number of values currently available to receivers.
@@ -41,20 +53,20 @@ func (c *Chan[T]) Send(v T) { c.deliver(v) }
 // SendAt schedules v to arrive at virtual time at (clamped to now). The
 // sender does not block; use Resource to model the sender holding a link.
 func (c *Chan[T]) SendAt(at Time, v T) {
-	if at <= c.k.now {
+	if at <= c.sh.now {
 		c.deliver(v)
 		return
 	}
-	c.k.schedule(at, func() { c.deliver(v) })
+	c.sh.schedule(at, func() { c.deliver(v) })
 }
 
 // SendAfter schedules v to arrive after virtual duration d.
-func (c *Chan[T]) SendAfter(d Duration, v T) { c.SendAt(c.k.now.Add(d), v) }
+func (c *Chan[T]) SendAfter(d Duration, v T) { c.SendAt(c.sh.now.Add(d), v) }
 
 func (c *Chan[T]) deliver(v T) {
 	c.ready = append(c.ready, v)
-	if tr := c.k.tracer; tr != nil {
-		tr.ChanOp("send", c.name, len(c.ready), c.k.now)
+	if tr := c.sh.tracer; tr != nil {
+		tr.ChanOp("send", c.name, len(c.ready), c.sh.now)
 	}
 	if len(c.waiters) > 0 {
 		p := c.waiters[0]
@@ -64,28 +76,28 @@ func (c *Chan[T]) deliver(v T) {
 		c.waiters = c.waiters[:len(c.waiters)-1]
 		// Wake at the current instant; the receiver will take the value
 		// when dispatched.
-		c.k.wake(p, c.k.now)
+		c.sh.wake(p, c.sh.now)
 	}
 }
 
 // Recv blocks the calling process until a value is available and returns it.
 func (c *Chan[T]) Recv(p *Proc) T {
 	if len(c.ready) == 0 {
-		start := c.k.now
+		start := c.sh.now
 		for len(c.ready) == 0 {
 			c.waiters = append(c.waiters, p)
 			p.yield("recv", c.name)
 		}
-		if tr := c.k.tracer; tr != nil && c.k.now > start {
-			tr.Wait(p.pid, p.name, "recv", c.name, start, c.k.now, 0)
+		if tr := c.sh.tracer; tr != nil && c.sh.now > start {
+			tr.Wait(p.pid, p.name, "recv", c.name, start, c.sh.now, 0)
 		}
 	}
 	v := c.ready[0]
 	// Shift rather than reslice forever to keep memory bounded.
 	copy(c.ready, c.ready[1:])
 	c.ready = c.ready[:len(c.ready)-1]
-	if tr := c.k.tracer; tr != nil {
-		tr.ChanOp("recv", c.name, len(c.ready), c.k.now)
+	if tr := c.sh.tracer; tr != nil {
+		tr.ChanOp("recv", c.name, len(c.ready), c.sh.now)
 	}
 	return v
 }
@@ -104,9 +116,10 @@ func (c *Chan[T]) TryRecv() (T, bool) {
 
 // Resource models a counted resource (a link, a bus, a DMA engine) that
 // processes hold for spans of virtual time. Waiters are served FIFO, which
-// models fair arbitration and keeps runs deterministic.
+// models fair arbitration and keeps runs deterministic. Like Chan, a
+// Resource belongs to one shard of a sharded kernel (NewResourceOn).
 type Resource struct {
-	k        *Kernel
+	sh       *shard
 	name     string
 	capacity int
 	inUse    int
@@ -124,12 +137,22 @@ type resWaiter struct {
 	woken bool
 }
 
-// NewResource creates a resource with the given capacity (must be >= 1).
+// NewResource creates a resource with the given capacity (must be >= 1),
+// owned by kernel k (on shard 0 when sharded).
 func NewResource(k *Kernel, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{k: k, name: name, capacity: capacity}
+	return &Resource{sh: k.s0, name: name, capacity: capacity}
+}
+
+// NewResourceOn creates a resource on the shard owning the given scheduling
+// domain. Identical to NewResource on an unsharded kernel.
+func NewResourceOn(k *Kernel, domain int, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{sh: k.shardFor(domain), name: name, capacity: capacity}
 }
 
 // Capacity returns the total capacity.
@@ -153,7 +176,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	// capacity is momentarily available.
 	if r.inUse+n > r.capacity || len(r.waiters) > 0 {
 		depth := len(r.waiters)
-		start := r.k.now
+		start := r.sh.now
 		w := &p.rw
 		w.p, w.n, w.woken = p, n, false
 		r.waiters = append(r.waiters, w)
@@ -167,13 +190,13 @@ func (r *Resource) Acquire(p *Proc, n int) {
 			// Spurious wake: allow a future release to wake us again.
 			w.woken = false
 		}
-		if tr := r.k.tracer; tr != nil && r.k.now > start {
-			tr.Wait(p.pid, p.name, "acquire", r.name, start, r.k.now, depth)
+		if tr := r.sh.tracer; tr != nil && r.sh.now > start {
+			tr.Wait(p.pid, p.name, "acquire", r.name, start, r.sh.now, depth)
 		}
 	}
 	r.inUse += n
-	if tr := r.k.tracer; tr != nil {
-		tr.ResourceOp("acquire", r.name, r.inUse, r.capacity, len(r.waiters), r.k.now)
+	if tr := r.sh.tracer; tr != nil {
+		tr.ResourceOp("acquire", r.name, r.inUse, r.capacity, len(r.waiters), r.sh.now)
 	}
 	// Leftover capacity may satisfy the next queued waiter.
 	r.wakeHead()
@@ -185,8 +208,8 @@ func (r *Resource) Release(n int) {
 	if r.inUse < 0 {
 		panic(fmt.Sprintf("sim: resource %q over-released", r.name))
 	}
-	if tr := r.k.tracer; tr != nil {
-		tr.ResourceOp("release", r.name, r.inUse, r.capacity, len(r.waiters), r.k.now)
+	if tr := r.sh.tracer; tr != nil {
+		tr.ResourceOp("release", r.name, r.inUse, r.capacity, len(r.waiters), r.sh.now)
 	}
 	r.wakeHead()
 }
@@ -194,7 +217,7 @@ func (r *Resource) Release(n int) {
 func (r *Resource) wakeHead() {
 	if len(r.waiters) > 0 && !r.waiters[0].woken && r.inUse+r.waiters[0].n <= r.capacity {
 		r.waiters[0].woken = true
-		r.k.wake(r.waiters[0].p, r.k.now)
+		r.sh.wake(r.waiters[0].p, r.sh.now)
 	}
 }
 
@@ -209,6 +232,8 @@ func (r *Resource) Use(p *Proc, n int, d Duration) {
 // Barrier synchronises a fixed set of processes: each process calls Wait and
 // blocks until all n have arrived, at which point every process resumes at
 // the same virtual instant. The barrier is reusable (generation counted).
+// On a sharded kernel all participants must be pinned to the same shard
+// (the first waiter's shard adopts the barrier).
 type Barrier struct {
 	k       *Kernel
 	name    string
@@ -228,24 +253,28 @@ func NewBarrier(k *Kernel, name string, n int) *Barrier {
 
 // Wait blocks until all participants of the current generation have arrived.
 func (b *Barrier) Wait(p *Proc) {
+	sh := p.sh
 	b.arrived++
 	if b.arrived == b.n {
 		b.arrived = 0
 		b.gen++
 		for _, w := range b.waiting {
-			b.k.wake(w, b.k.now)
+			if w.sh != sh {
+				panic(fmt.Sprintf("sim: barrier %q spans shards", b.name))
+			}
+			sh.wake(w, sh.now)
 		}
 		b.waiting = b.waiting[:0]
 		return
 	}
 	gen := b.gen
 	depth := len(b.waiting)
-	start := b.k.now
+	start := sh.now
 	b.waiting = append(b.waiting, p)
 	for b.gen == gen {
 		p.yield("barrier", b.name)
 	}
-	if tr := b.k.tracer; tr != nil && b.k.now > start {
-		tr.Wait(p.pid, p.name, "barrier", b.name, start, b.k.now, depth)
+	if tr := sh.tracer; tr != nil && sh.now > start {
+		tr.Wait(p.pid, p.name, "barrier", b.name, start, sh.now, depth)
 	}
 }

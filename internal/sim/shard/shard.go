@@ -1,0 +1,150 @@
+// Package shard partitions a machine model's nodes across kernel shards
+// for conservative parallel simulation (sim.Kernel.SetShards).
+//
+// The partitioner balances per-shard busy time using whatever per-node
+// weights the caller has — typically the analytical twin's bottleneck
+// decomposition (internal/twin exposes exact per-node busy accounting),
+// falling back to uniform weights when no estimate exists. Partitions are
+// contiguous bands of nodes, aligned to board boundaries when the caller
+// provides a board map and the request allows it: splitting a board shrinks
+// the kernel's lookahead from the inter-board latency to the (smaller)
+// intra-board latency, costing window overhead, so boards stay whole while
+// there are at least as many boards as requested shards. A request for more
+// shards than boards deliberately splits them — the caller asked for
+// parallelism over lookahead — and SplitsBoard tells the caller which
+// latency bound now applies.
+//
+// The package is deliberately free of machine/twin imports so the
+// dependency arrow keeps pointing one way (runtime layers depend on sim,
+// never the reverse); callers translate their topology into the neutral
+// Input form.
+package shard
+
+// Input describes one partitioning problem.
+type Input struct {
+	// Nodes is the number of scheduling domains (machine-model nodes).
+	Nodes int
+	// Shards is the requested shard count (clamped to [1, Nodes]).
+	Shards int
+	// BoardOf optionally maps each node to a board index; nodes sharing a
+	// board are kept on one shard. Nil means every node is its own unit.
+	// Board indices must be non-decreasing in node order (true for the
+	// machine model's id/NodesPerBoard layout).
+	BoardOf []int
+	// Weight optionally gives each node's estimated busy time (any unit).
+	// Nil or all-zero means uniform weights.
+	Weight []float64
+}
+
+// Partition maps every node to a shard in [0, K) where K = the clamped
+// shard count, and returns the mapping with K. Partitions are contiguous,
+// board-aligned bands balanced by weight: band boundaries are placed so
+// each shard's cumulative weight tracks total/K as closely as the unit
+// granularity allows. Deterministic for identical inputs.
+func Partition(in Input) (domainOf []int, shards int) {
+	n := in.Nodes
+	k := in.Shards
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	domainOf = make([]int, n)
+	if k <= 1 {
+		return domainOf, 1
+	}
+
+	// Units: maximal runs of nodes sharing a board (single nodes when no
+	// board map). unitEnd[u] is one past the last node of unit u. When the
+	// request exceeds the board count, boards stop being atomic: fall back
+	// to per-node units and let the caller pay the intra-board lookahead.
+	var unitEnd []int
+	if in.BoardOf != nil {
+		for i := 1; i < n; i++ {
+			if in.BoardOf[i] != in.BoardOf[i-1] {
+				unitEnd = append(unitEnd, i)
+			}
+		}
+		unitEnd = append(unitEnd, n)
+	}
+	if in.BoardOf == nil || k > len(unitEnd) {
+		unitEnd = make([]int, n)
+		for i := range unitEnd {
+			unitEnd[i] = i + 1
+		}
+	}
+	if k <= 1 {
+		return domainOf, 1
+	}
+
+	w := make([]float64, len(unitEnd))
+	var total float64
+	start := 0
+	for u, end := range unitEnd {
+		for i := start; i < end; i++ {
+			if in.Weight != nil && i < len(in.Weight) && in.Weight[i] > 0 {
+				w[u] += in.Weight[i]
+			} else {
+				w[u] += 1
+			}
+		}
+		total += w[u]
+		start = end
+	}
+
+	// Walk units in order, cutting to the next shard when the running sum
+	// crosses the ideal boundary — whichever side of the boundary is
+	// closer — while leaving enough units for the remaining shards.
+	sh, used := 0, 0 // current shard, units consumed
+	var acc float64
+	start = 0
+	for u, end := range unitEnd {
+		if sh < k-1 && used > 0 {
+			unitsLeft := len(unitEnd) - u // including u
+			shardsAfter := k - 1 - sh     // shards beyond the current one
+			// Forced cut: just enough units remain to give every later
+			// shard one. Otherwise cut when the running sum is closer to
+			// the ideal boundary before this unit than after it.
+			mustCut := unitsLeft <= shardsAfter
+			boundary := total * float64(sh+1) / float64(k)
+			wantCut := acc >= boundary || (acc+w[u])-boundary > boundary-acc
+			if mustCut || wantCut {
+				sh++
+				used = 0
+			}
+		}
+		for i := start; i < end; i++ {
+			domainOf[i] = sh
+		}
+		acc += w[u]
+		used++
+		start = end
+	}
+	return domainOf, sh + 1
+}
+
+// SplitsBoard reports whether the partition places two nodes of one board
+// on different shards. Callers use it to pick the lookahead bound: an
+// unsplit partition's minimum cross-shard latency is the inter-board
+// latency; a split partition must fall back to the intra-board latency.
+func SplitsBoard(domainOf, boardOf []int) bool {
+	for i := 1; i < len(domainOf); i++ {
+		if boardOf[i] == boardOf[i-1] && domainOf[i] != domainOf[i-1] {
+			return true
+		}
+	}
+	// Contiguous bands make the adjacent check sufficient for the machine
+	// model's monotone board layout; guard the general case too.
+	if len(domainOf) != len(boardOf) {
+		return false
+	}
+	seen := map[int]int{}
+	for i, b := range boardOf {
+		if sh, ok := seen[b]; ok && sh != domainOf[i] {
+			return true
+		}
+		seen[b] = domainOf[i]
+	}
+	return false
+}

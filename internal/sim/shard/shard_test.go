@@ -1,0 +1,102 @@
+package shard
+
+import "testing"
+
+func TestPartitionUniform(t *testing.T) {
+	dom, k := Partition(Input{Nodes: 8, Shards: 4})
+	if k != 4 {
+		t.Fatalf("k = %d", k)
+	}
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if dom[i] != want[i] {
+			t.Fatalf("dom = %v, want %v", dom, want)
+		}
+	}
+}
+
+func TestPartitionClamps(t *testing.T) {
+	dom, k := Partition(Input{Nodes: 3, Shards: 8})
+	if k != 3 {
+		t.Fatalf("k = %d, want 3", k)
+	}
+	for i, s := range dom {
+		if s != i {
+			t.Fatalf("dom = %v", dom)
+		}
+	}
+	if _, k := Partition(Input{Nodes: 5, Shards: 1}); k != 1 {
+		t.Fatalf("k = %d, want 1", k)
+	}
+	if _, k := Partition(Input{Nodes: 5, Shards: 0}); k != 1 {
+		t.Fatalf("k = %d, want 1", k)
+	}
+}
+
+func TestPartitionBoardAligned(t *testing.T) {
+	// 8 nodes, 2 per board: shards must not split boards.
+	boardOf := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	dom, k := Partition(Input{Nodes: 8, Shards: 3, BoardOf: boardOf})
+	if k != 3 {
+		t.Fatalf("k = %d", k)
+	}
+	if SplitsBoard(dom, boardOf) {
+		t.Fatalf("partition splits a board: %v", dom)
+	}
+	// More shards than boards: boards stop being atomic and split into
+	// per-node units so the request is honoured.
+	boardOf2 := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	dom, k = Partition(Input{Nodes: 8, Shards: 6, BoardOf: boardOf2})
+	if k != 6 {
+		t.Fatalf("k = %d, want 6 (boards split on demand)", k)
+	}
+	if !SplitsBoard(dom, boardOf2) {
+		t.Fatalf("expected split boards: %v", dom)
+	}
+	// Exactly as many boards as shards: still board-aligned.
+	dom, k = Partition(Input{Nodes: 8, Shards: 2, BoardOf: boardOf2})
+	if k != 2 || SplitsBoard(dom, boardOf2) {
+		t.Fatalf("k = %d dom = %v, want 2 board-aligned shards", k, dom)
+	}
+}
+
+func TestPartitionWeighted(t *testing.T) {
+	// One hot node: the greedy cut should isolate it rather than pairing
+	// it with half the remaining weight.
+	w := []float64{100, 1, 1, 1}
+	dom, k := Partition(Input{Nodes: 4, Shards: 2, Weight: w})
+	if k != 2 {
+		t.Fatalf("k = %d", k)
+	}
+	if dom[0] != 0 || dom[1] != 1 || dom[2] != 1 || dom[3] != 1 {
+		t.Fatalf("dom = %v, want [0 1 1 1]", dom)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	in := Input{Nodes: 64, Shards: 8, BoardOf: make([]int, 64), Weight: make([]float64, 64)}
+	for i := 0; i < 64; i++ {
+		in.BoardOf[i] = i / 4
+		in.Weight[i] = float64((i*37)%11 + 1)
+	}
+	a, _ := Partition(in)
+	b, _ := Partition(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic partition")
+		}
+	}
+	// Every shard non-empty, bands contiguous and monotone.
+	seen := make([]bool, 8)
+	for i, s := range a {
+		seen[s] = true
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("non-monotone bands: %v", a)
+		}
+	}
+	for s, ok := range seen {
+		if !ok {
+			t.Fatalf("shard %d empty: %v", s, a)
+		}
+	}
+}

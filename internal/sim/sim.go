@@ -27,6 +27,20 @@
 //     continues without any channel operation at all. Dispatch order is
 //     identical to a central loop's because all holders pop the same queue.
 //
+// # Sharded execution
+//
+// A kernel can be partitioned into K shards with SetShards: every scheduling
+// domain (a machine-model node) is pinned to one shard, each shard owns a
+// private event heap, FIFO lane and free list, and Run advances the shards
+// concurrently inside conservative lookahead windows, exchanging cross-shard
+// events through per-(src,dst) mailboxes at window barriers. A barrier-time
+// sequencer replay re-assigns every event scheduled during the window the
+// exact sequence number the sequential kernel would have used, so results,
+// traces and dispatch counts are byte-identical to K=1 on every input. See
+// DESIGN.md §12 for the algorithm and the determinism argument. With K=1
+// (the default) none of the sharded machinery is active and the kernel runs
+// the classic sequential fast path.
+//
 // # Trace hook contract
 //
 // A Tracer installed with Kernel.SetTracer observes the kernel without
@@ -36,12 +50,16 @@
 //   - Hooks are invoked synchronously while exactly one goroutine of the
 //     simulation is executing (the scheduler-token holder: the kernel loop
 //     or the currently dispatched process), so implementations need no
-//     locking as long as each Tracer serves a single kernel.
+//     locking as long as each Tracer serves a single kernel. On a sharded
+//     kernel this holds per shard: hooks fire on the per-shard child tracers
+//     a ShardTracer provides, one executing goroutine per shard.
 //   - Virtual time is frozen for the duration of a hook; the timestamps
 //     passed in equal Kernel.Now() at the instant of the call, and hooks may
 //     call the kernel's read-only accessors (Now, Pending, LiveProcs,
 //     Dispatched) freely. Instrumentation must use these accessors rather
-//     than reach into kernel internals.
+//     than reach into kernel internals. On a sharded kernel the accessors
+//     are exact between windows and at run end, and at-least-last-barrier
+//     fresh during a window.
 //   - Hooks must not call back into scheduling operations: no Spawn, After,
 //     Stop, Shutdown, channel or resource operations. Tracing observes; it
 //     never advances the simulation, so enabling it cannot change any
@@ -53,12 +71,19 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Time is an absolute virtual timestamp in nanoseconds since simulation start.
 type Time int64
+
+// maxTime is the "no event / no horizon" sentinel: later than any real
+// timestamp a simulation can reach.
+const maxTime = Time(math.MaxInt64)
 
 // Duration is a virtual time span. It aliases time.Duration so the standard
 // unit constants (time.Microsecond etc.) can be used when building models.
@@ -100,8 +125,8 @@ type Tracer interface {
 	ResourceOp(op, name string, inUse, capacity, queued int, at Time)
 }
 
-// event is a scheduled entry in the kernel's queue: either a callback (fn)
-// or a process wake/start (proc). Nodes are recycled through the kernel's
+// event is a scheduled entry in a shard's queue: either a callback (fn)
+// or a process wake/start (proc). Nodes are recycled through the shard's
 // intrusive free list; next links both the free list and the same-time FIFO
 // lane.
 type event struct {
@@ -112,19 +137,29 @@ type event struct {
 	next *event
 }
 
-// Kernel is a sequential discrete-event simulator.
-//
-// A kernel and everything attached to it (processes, channels, resources)
-// belong to one goroutine: the one that calls Run. Distinct kernels share no
-// state, so independent simulations may run concurrently, one kernel per
-// goroutine — this is what the parallel experiment engine does.
-//
-// Internally exactly one goroutine at a time holds the scheduler token and
-// mutates kernel state; every token transfer is a channel handoff, so all
-// accesses are ordered even under the race detector.
-//
-// The zero value is not usable; create kernels with NewKernel.
-type Kernel struct {
+// dispatchRec is one entry of a shard's window dispatch log: enough to
+// replay the window's dispatches in global sequential order at the barrier.
+// seq is the event's sequence number at dispatch time (provisional if the
+// event was scheduled during the window); allocs counts the provisional
+// allocations the shard had made before this dispatch began, so the replay
+// can attribute every window allocation to the dispatch that performed it.
+type dispatchRec struct {
+	at     Time
+	seq    uint64
+	allocs uint64
+}
+
+// shard is one scheduling domain partition of a kernel: a complete private
+// event scheduler (heap, same-time FIFO lane, pooled free list, clock).
+// An unsharded kernel is exactly one shard. All shard fields are owned by
+// the single goroutine executing the shard (the scheduler-token holder)
+// during a window, and by the coordinator (the Run goroutine) between
+// windows; the window barrier channels order the ownership transfer, so no
+// field needs a lock.
+type shard struct {
+	k  *Kernel
+	id int
+
 	now   Time
 	queue eventHeap
 	// fifoHead/fifoTail hold events due at the current instant, in seq
@@ -135,49 +170,161 @@ type Kernel struct {
 	fifoTail *event
 	fifoLen  int
 	free     *event // recycled event nodes, linked through next
-	seq      uint64
-	park     chan struct{} // scheduler token returned to Run (or Shutdown)
-	dead     chan struct{} // closed by Shutdown: kernel will never dispatch again
-	running  *Proc
-	procs    []*Proc // live processes in spawn (= PID) order
-	nextPID  int
-	stopped  bool
-	tracef   func(format string, args ...any)
-	tracer   Tracer
-	// dispatched counts events executed across the kernel's lifetime;
-	// exposed through Dispatched for trace collectors.
+	// seq is the shard's sequence counter. Unsharded (and during the setup
+	// and teardown phases of a sharded kernel) it is unused — allocations
+	// draw from the kernel-global counter. During a parallel window it
+	// counts provisional sequence numbers from base; the barrier replay
+	// rewrites them to the exact sequential values.
+	seq        uint64
+	park       chan struct{} // scheduler token returned to the window driver
+	running    *Proc
+	stopped    bool
 	dispatched uint64
-	// Cancellation poll (SetCancel): every cancelEvery dispatched events the
-	// loop polls cancelCh; a closed channel stops the kernel like Stop.
+	cancelLeft uint64
+	tracer     Tracer // shard-routed trace hook (per-shard child when sharded)
+
+	// Sharded-window state; see DESIGN.md §12.
+	par     bool   // inside a parallel window
+	horizon Time   // events at >= horizon stay queued this window
+	base    uint64 // kernel seq at window start; seq > base ⇒ provisional
+	log     []dispatchRec
+	di      uint64     // index of the current dispatch in log (for tracers)
+	outbox  [][]*event // cross-shard events by destination shard, this window
+	outCnt  int
+	next    Time          // next-event snapshot taken by the coordinator
+	windowGo chan struct{} // window start signal for the shard worker
+
+	// Barrier-published snapshots backing the kernel's concurrent-read
+	// accessors while shards are executing.
+	pubDispatched atomic.Uint64
+	pubPending    atomic.Int64
+	pubNow        atomic.Int64
+}
+
+// Kernel phases (sharded kernels only; unsharded kernels never leave 0).
+const (
+	phaseSetup int32 = iota
+	phaseRun
+	phasePost
+)
+
+// Kernel is a deterministic discrete-event simulator.
+//
+// A kernel and everything attached to it (processes, channels, resources)
+// belong to one goroutine: the one that calls Run. Distinct kernels share no
+// state, so independent simulations may run concurrently, one kernel per
+// goroutine — this is what the parallel experiment engine does.
+//
+// Internally exactly one goroutine at a time holds a shard's scheduler token
+// and mutates that shard's state; every token transfer is a channel handoff,
+// so all accesses are ordered even under the race detector. An unsharded
+// kernel has exactly one shard; SetShards partitions scheduling across
+// several, with Run coordinating conservative lookahead windows (see the
+// package documentation).
+//
+// The zero value is not usable; create kernels with NewKernel.
+type Kernel struct {
+	shards []*shard
+	s0     *shard // shards[0]; the only shard when unsharded
+	nsh    int
+	seqG   uint64 // global sequence counter (authoritative between windows)
+
+	shardOf   []int32 // scheduling domain -> shard index (nil when unsharded)
+	lookahead Time    // min cross-shard event latency (sharded kernels only)
+	phase     atomic.Int32
+
+	dead    chan struct{} // closed by Shutdown: kernel will never dispatch again
+	procs   []*Proc       // live processes in spawn (= PID) order
+	procsMu sync.Mutex    // guards procs (procs end concurrently across shards)
+	nextPID int
+	tracef  func(format string, args ...any)
+	tracer  Tracer
+	// Cancellation poll (SetCancel): every cancelEvery dispatched events a
+	// shard polls cancelCh; a closed channel stops the kernel like Stop.
 	cancelCh    <-chan struct{}
 	cancelEvery uint64
-	cancelLeft  uint64
-	canceled    bool
+	canceled    atomic.Bool
+	// globalStop broadcasts Stop/cancel across shard workers mid-window.
+	globalStop atomic.Bool
+
+	// Window coordination (sharded kernels only).
+	windowDone chan struct{}
+	workersUp  bool
+	replay     refHeap
+	order      []ShardDispatch
+	trueOf     [][]uint64
+	dispOf     [][]int32
 }
 
-// NewKernel returns an empty kernel with the clock at zero.
+// NewKernel returns an empty (single-shard) kernel with the clock at zero.
 func NewKernel() *Kernel {
-	return &Kernel{
-		park: make(chan struct{}),
-		dead: make(chan struct{}),
-	}
+	k := &Kernel{dead: make(chan struct{})}
+	s := &shard{k: k, park: make(chan struct{}), horizon: maxTime}
+	k.s0 = s
+	k.shards = []*shard{s}
+	k.nsh = 1
+	return k
 }
 
-// Now reports the current virtual time.
-func (k *Kernel) Now() Time { return k.now }
+// Now reports the current virtual time. On a sharded kernel mid-run this is
+// the latest barrier-published shard clock; between windows and after Run it
+// is exact (the maximum shard clock, which equals the sequential clock).
+func (k *Kernel) Now() Time {
+	if k.nsh == 1 {
+		return k.s0.now
+	}
+	var max Time
+	if k.phase.Load() == phaseRun {
+		for _, s := range k.shards {
+			if t := Time(s.pubNow.Load()); t > max {
+				max = t
+			}
+		}
+		return max
+	}
+	for _, s := range k.shards {
+		if s.now > max {
+			max = s.now
+		}
+	}
+	return max
+}
 
 // SetTrace installs a debug trace function (nil disables tracing).
 func (k *Kernel) SetTrace(f func(format string, args ...any)) { k.tracef = f }
 
 // SetTracer installs a structured trace hook (nil disables structured
 // tracing). See the package documentation for the hook contract. Install the
-// tracer before Run; one tracer serves one kernel.
-func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+// tracer before Run; one tracer serves one kernel. A sharded kernel requires
+// the tracer to also implement ShardTracer (internal/trace.Collector does).
+func (k *Kernel) SetTracer(tr Tracer) {
+	k.tracer = tr
+	for _, s := range k.shards {
+		s.tracer = tr
+	}
+}
 
 // Dispatched reports the number of events the kernel has executed. It is one
 // of the read-only accessors trace hooks may call (see the trace hook
-// contract).
-func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+// contract). On a sharded kernel mid-run the count is aggregated from the
+// latest window barrier; between windows and after Run it is exact.
+func (k *Kernel) Dispatched() uint64 {
+	if k.nsh == 1 {
+		return k.s0.dispatched
+	}
+	if k.phase.Load() == phaseRun {
+		var n uint64
+		for _, s := range k.shards {
+			n += s.pubDispatched.Load()
+		}
+		return n
+	}
+	var n uint64
+	for _, s := range k.shards {
+		n += s.dispatched
+	}
+	return n
+}
 
 func (k *Kernel) trace(format string, args ...any) {
 	if k.tracef != nil {
@@ -185,90 +332,126 @@ func (k *Kernel) trace(format string, args ...any) {
 	}
 }
 
-// alloc takes an event node off the free list (or allocates one) and stamps
-// it with the next sequence number.
-func (k *Kernel) alloc(at Time) *event {
-	ev := k.free
+// alloc takes an event node off the shard's free list (or allocates one) and
+// stamps it with the next sequence number: the kernel-global counter when
+// the kernel is executing sequentially, the shard's provisional counter
+// inside a parallel window (the barrier replay later rewrites provisional
+// numbers to the exact sequential values).
+func (s *shard) alloc(at Time) *event {
+	ev := s.free
 	if ev != nil {
-		k.free = ev.next
+		s.free = ev.next
 		ev.next = nil
 	} else {
 		ev = &event{}
 	}
-	k.seq++
+	if s.par {
+		s.seq++
+		ev.seq = s.seq
+	} else {
+		s.k.seqG++
+		ev.seq = s.k.seqG
+	}
 	ev.at = at
-	ev.seq = k.seq
 	return ev
 }
 
 // release returns a fired event node to the free list. Callers must have
 // copied fn/proc out first.
-func (k *Kernel) release(ev *event) {
+func (s *shard) release(ev *event) {
 	ev.fn = nil
 	ev.proc = nil
-	ev.next = k.free
-	k.free = ev
+	ev.next = s.free
+	s.free = ev
 }
 
 // enqueue routes an event to the same-time FIFO lane (due now) or the time
 // heap (due later).
-func (k *Kernel) enqueue(ev *event) {
-	if ev.at == k.now {
-		if k.fifoTail == nil {
-			k.fifoHead = ev
+func (s *shard) enqueue(ev *event) {
+	if ev.at == s.now {
+		if s.fifoTail == nil {
+			s.fifoHead = ev
 		} else {
-			k.fifoTail.next = ev
+			s.fifoTail.next = ev
 		}
-		k.fifoTail = ev
-		k.fifoLen++
+		s.fifoTail = ev
+		s.fifoLen++
 		return
 	}
-	k.queue.push(ev)
+	s.queue.push(ev)
 }
 
-// popEvent removes the globally earliest event by (time, seq), merging the
-// FIFO lane with the heap. A heap entry can tie the FIFO head's time only
-// with a smaller sequence number (it was scheduled before the clock reached
-// now), so the comparison preserves exact scheduling order.
-func (k *Kernel) popEvent() *event {
-	if f := k.fifoHead; f != nil {
-		if t := k.queue.top(); t == nil || eventLess(f, t) {
-			k.fifoHead = f.next
-			if k.fifoHead == nil {
-				k.fifoTail = nil
+// popEvent removes the shard's earliest event by (time, seq), merging the
+// FIFO lane with the heap, and refusing events at or beyond the window
+// horizon (maxTime when unsharded, so the check never fires). A heap entry
+// can tie the FIFO head's time only with a smaller sequence number (it was
+// scheduled before the clock reached now), so the comparison preserves
+// exact scheduling order. FIFO events are always dispatchable: their time
+// equals the shard clock, which is strictly below the horizon.
+func (s *shard) popEvent() *event {
+	if f := s.fifoHead; f != nil {
+		if t := s.queue.top(); t == nil || eventLess(f, t) {
+			s.fifoHead = f.next
+			if s.fifoHead == nil {
+				s.fifoTail = nil
 			}
 			f.next = nil
-			k.fifoLen--
+			s.fifoLen--
 			return f
 		}
 	}
-	return k.queue.pop()
+	if t := s.queue.top(); t == nil || t.at >= s.horizon {
+		return nil
+	}
+	return s.queue.pop()
 }
 
 // schedule enqueues fn to run at time at. It panics if at precedes the clock,
 // since the kernel can never travel backwards.
-func (k *Kernel) schedule(at Time, fn func()) {
-	if at < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+func (s *shard) schedule(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := k.alloc(at)
+	ev := s.alloc(at)
 	ev.fn = fn
-	k.enqueue(ev)
+	s.enqueue(ev)
 }
 
 // After schedules fn to run after virtual duration d. It may be called from
-// process context or from event callbacks.
+// process context or from event callbacks. On a sharded kernel After has no
+// way to know which shard the caller executes on, so it panics; use
+// Proc.AfterOn (or Kernel.AfterOn before Run) instead.
 func (k *Kernel) After(d Duration, fn func()) {
+	if k.nsh > 1 {
+		panic("sim: After on a sharded kernel needs a scheduling domain; use Proc.AfterOn or Kernel.AfterOn")
+	}
 	if d < 0 {
 		d = 0
 	}
-	k.schedule(k.now.Add(d), fn)
+	s := k.s0
+	s.schedule(s.now.Add(d), fn)
+}
+
+// AfterOn schedules fn to run after virtual duration d on the shard owning
+// the given scheduling domain. On an unsharded kernel it is identical to
+// After. On a sharded kernel it may only be called before Run (setup phase);
+// running processes must use Proc.AfterOn, which knows their shard.
+func (k *Kernel) AfterOn(domain int, d Duration, fn func()) {
+	if k.nsh > 1 && k.phase.Load() == phaseRun {
+		panic("sim: Kernel.AfterOn during a sharded run; use Proc.AfterOn")
+	}
+	if d < 0 {
+		d = 0
+	}
+	s := k.shardFor(domain)
+	s.schedule(s.now.Add(d), fn)
 }
 
 // Proc is the handle through which a logical process interacts with the
 // kernel. A Proc is only valid inside the body function it was created with.
 type Proc struct {
 	k       *Kernel
+	sh      *shard // the shard this process is pinned to
 	pid     int
 	name    string
 	resume  chan struct{}
@@ -301,8 +484,43 @@ func (p *Proc) PID() int { return p.pid }
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
 
-// Now reports current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
+// Now reports current virtual time (the clock of the process's shard, which
+// is the kernel clock on an unsharded kernel).
+func (p *Proc) Now() Time { return p.sh.now }
+
+// AfterOn schedules fn to run after virtual duration d on the shard owning
+// the given scheduling domain. Same-shard scheduling (including every call
+// on an unsharded kernel) is the ordinary fast path. Cross-shard scheduling
+// places the event in the window's outbound mailbox; the delay must be at
+// least the kernel's lookahead — the cross-shard latency bound SetShards was
+// given — or the conservative window algorithm would be unsound, so shorter
+// delays panic.
+func (p *Proc) AfterOn(domain int, d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sh
+	t := s.k.shardFor(domain)
+	if t == s {
+		s.schedule(s.now.Add(d), fn)
+		return
+	}
+	if Time(d) < s.k.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard event delay %v under lookahead %v", d, Duration(s.k.lookahead)))
+	}
+	at := s.now.Add(d)
+	ev := s.alloc(at)
+	ev.fn = fn
+	s.outbox[t.id] = append(s.outbox[t.id], ev)
+	s.outCnt++
+	// The destination may react to this event as soon as it lands, and that
+	// reaction can reach back here after one more lookahead hop — so this
+	// shard must not simulate past it (matters only when the static horizon
+	// was unbounded because every other shard looked idle).
+	if h := at + s.k.lookahead; h < s.horizon {
+		s.horizon = h
+	}
+}
 
 // blockedReason renders the deadlock-report description of what the process
 // is waiting on.
@@ -318,14 +536,34 @@ func (p *Proc) blockedReason() string {
 
 // Spawn creates a process executing body, scheduled to start at the current
 // virtual time. Spawn may be called before Run or from inside a running
-// process or event callback.
+// process or event callback. On a sharded kernel processes must be pinned
+// with SpawnOn before Run; plain Spawn pins to shard 0 during setup and
+// panics mid-run.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{k: k, pid: k.nextPID, name: name, resume: make(chan struct{}), body: body}
+	if k.nsh > 1 && k.phase.Load() == phaseRun {
+		panic("sim: Spawn during a sharded run; spawn processes with SpawnOn before Run")
+	}
+	return k.spawnOn(k.s0, name, body)
+}
+
+// SpawnOn creates a process pinned to the shard owning the given scheduling
+// domain, scheduled to start at that shard's current virtual time. On an
+// unsharded kernel it is identical to Spawn. Processes cannot be spawned
+// while a sharded kernel is running.
+func (k *Kernel) SpawnOn(domain int, name string, body func(p *Proc)) *Proc {
+	if k.nsh > 1 && k.phase.Load() == phaseRun {
+		panic("sim: SpawnOn during a sharded run; spawn processes before Run")
+	}
+	return k.spawnOn(k.shardFor(domain), name, body)
+}
+
+func (k *Kernel) spawnOn(s *shard, name string, body func(p *Proc)) *Proc {
+	p := &Proc{k: k, sh: s, pid: k.nextPID, name: name, resume: make(chan struct{}), body: body}
 	k.nextPID++
 	k.procs = append(k.procs, p)
-	ev := k.alloc(k.now)
+	ev := s.alloc(s.now)
 	ev.proc = p
-	k.enqueue(ev)
+	s.enqueue(ev)
 	return p
 }
 
@@ -333,7 +571,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 // dispatch, runs the user body, and on exit — normal return or Shutdown's
 // sentinel — keeps the event loop going with the scheduler token it holds.
 func (p *Proc) main() {
-	k := p.k
+	s := p.sh
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killSentinel); !ok {
@@ -341,14 +579,15 @@ func (p *Proc) main() {
 			}
 		}
 		p.done = true
-		k.removeProc(p)
-		if k.tracer != nil {
-			k.tracer.ProcEnd(p.pid, p.name, k.now)
+		p.k.removeProc(p)
+		if s.tracer != nil {
+			s.tracer.ProcEnd(p.pid, p.name, s.now)
 		}
 		// The dying process still holds the scheduler token: either pass
-		// it on by advancing the event loop, or hand it back to Run.
-		if k.advance(nil) != advHanded {
-			k.parkOrDie()
+		// it on by advancing the event loop, or hand it back to the window
+		// driver (Run, the shard worker, or Shutdown).
+		if s.advance(nil) != advHanded {
+			s.parkOrDie()
 		}
 	}()
 	<-p.resume
@@ -361,13 +600,16 @@ func (p *Proc) main() {
 }
 
 // removeProc drops p from the live-process slice (spawn order preserved).
+// Processes on different shards can finish concurrently, hence the lock.
 func (k *Kernel) removeProc(p *Proc) {
+	k.procsMu.Lock()
 	for i, q := range k.procs {
 		if q == p {
 			k.procs = append(k.procs[:i], k.procs[i+1:]...)
-			return
+			break
 		}
 	}
+	k.procsMu.Unlock()
 }
 
 // advResult reports how a call to advance relinquished (or kept) the
@@ -375,47 +617,59 @@ func (k *Kernel) removeProc(p *Proc) {
 type advResult int
 
 const (
-	// advDrained: the queue emptied or Stop was called; the caller still
-	// holds the token and must return it to Run if it is a process.
+	// advDrained: the queue emptied (or reached the window horizon) or Stop
+	// was called; the caller still holds the token and must return it to
+	// the window driver if it is a process.
 	advDrained advResult = iota
 	// advHanded: the token was transferred to another process via its
-	// resume channel; the caller no longer owns kernel state.
+	// resume channel; the caller no longer owns shard state.
 	advHanded
 	// advSelf: the calling process's own wake event fired; it keeps the
 	// token and simply continues executing.
 	advSelf
 )
 
-// advance runs the event loop on behalf of the current scheduler-token
-// holder (self, or nil for the Run goroutine). Callback events execute
-// inline; a wake or start event for another process hands the token over
-// with a single channel send — the direct switch that replaces the classic
-// park-then-dispatch round trip. Dispatch order is identical to a central
-// loop's because every holder pops the same (time, seq)-ordered queue.
-func (k *Kernel) advance(self *Proc) advResult {
-	for !k.stopped {
-		ev := k.popEvent()
+// advance runs the shard's event loop on behalf of the current
+// scheduler-token holder (self, or nil for the window driver). Callback
+// events execute inline; a wake or start event for another process hands the
+// token over with a single channel send — the direct switch that replaces
+// the classic park-then-dispatch round trip. Dispatch order is identical to
+// a central loop's because every holder pops the same (time, seq)-ordered
+// queue.
+func (s *shard) advance(self *Proc) advResult {
+	k := s.k
+	for !s.stopped {
+		if s.par && k.globalStop.Load() {
+			s.stopped = true
+			return advDrained
+		}
+		ev := s.popEvent()
 		if ev == nil {
 			return advDrained
 		}
-		if ev.at < k.now {
+		if ev.at < s.now {
 			panic("sim: event queue returned time in the past")
 		}
-		k.now = ev.at
-		k.dispatched++
+		s.now = ev.at
+		s.dispatched++
+		if s.par {
+			s.di = uint64(len(s.log))
+			s.log = append(s.log, dispatchRec{at: ev.at, seq: ev.seq, allocs: s.seq - s.base})
+		}
 		if k.cancelCh != nil {
-			if k.cancelLeft--; k.cancelLeft == 0 {
-				k.cancelLeft = k.cancelEvery
+			if s.cancelLeft--; s.cancelLeft == 0 {
+				s.cancelLeft = k.cancelEvery
 				select {
 				case <-k.cancelCh:
-					k.canceled = true
-					k.stopped = true
+					k.canceled.Store(true)
+					k.globalStop.Store(true)
+					s.stopped = true
 				default:
 				}
 			}
 		}
 		p, fn := ev.proc, ev.fn
-		k.release(ev)
+		s.release(ev)
 		if p == nil {
 			fn()
 			continue
@@ -423,10 +677,10 @@ func (k *Kernel) advance(self *Proc) advResult {
 		if !p.started {
 			p.started = true
 			go p.main()
-			if k.tracer != nil {
-				k.tracer.ProcStart(p.pid, p.name, k.now)
+			if s.tracer != nil {
+				s.tracer.ProcStart(p.pid, p.name, s.now)
 			}
-			k.running = p
+			s.running = p
 			p.resume <- struct{}{}
 			return advHanded
 		}
@@ -438,7 +692,7 @@ func (k *Kernel) advance(self *Proc) advResult {
 			continue
 		}
 		p.blockedVerb, p.blockedObj = "", ""
-		k.running = p
+		s.running = p
 		if p == self {
 			return advSelf
 		}
@@ -448,14 +702,14 @@ func (k *Kernel) advance(self *Proc) advResult {
 	return advDrained
 }
 
-// parkOrDie returns the scheduler token to the goroutine blocked in Run (or
-// Shutdown). After Shutdown, nothing will ever receive on park again, so a
-// completion racing the teardown becomes a no-op instead of a wedged
-// goroutine.
-func (k *Kernel) parkOrDie() {
+// parkOrDie returns the scheduler token to the goroutine driving the shard
+// (Run, the shard's window worker, or Shutdown). After Shutdown, nothing
+// will ever receive on park again, so a completion racing the teardown
+// becomes a no-op instead of a wedged goroutine.
+func (s *shard) parkOrDie() {
 	select {
-	case k.park <- struct{}{}:
-	case <-k.dead:
+	case s.park <- struct{}{}:
+	case <-s.k.dead:
 	}
 }
 
@@ -463,23 +717,23 @@ func (k *Kernel) parkOrDie() {
 // it waits on for the deadlock report. The process first runs the event loop
 // itself: if its own wake fires at the current instant it returns without
 // any goroutine switch; otherwise it hands the scheduler token on (to the
-// next process directly, or back to Run when the queue drains) and parks. It
-// terminates (by sentinel panic, recovered in the spawn wrapper) when
-// Shutdown tears the kernel down.
+// next process directly, or back to the window driver when the queue
+// drains) and parks. It terminates (by sentinel panic, recovered in the
+// spawn wrapper) when Shutdown tears the kernel down.
 func (p *Proc) yield(verb, obj string) {
 	p.blockedVerb, p.blockedObj = verb, obj
-	k := p.k
-	switch k.advance(p) {
+	s := p.sh
+	switch s.advance(p) {
 	case advSelf:
 		return // woken at the same instant: zero channel operations
 	case advDrained:
-		k.parkOrDie()
+		s.parkOrDie()
 	case advHanded:
 		// token moved to another process; our wake will hand it back
 	}
 	select {
 	case <-p.resume:
-	case <-k.dead:
+	case <-s.k.dead:
 		panic(killSentinel{})
 	}
 	if p.killed {
@@ -488,13 +742,13 @@ func (p *Proc) yield(verb, obj string) {
 }
 
 // wake schedules p to resume at time at.
-func (k *Kernel) wake(p *Proc, at Time) {
-	if at < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, k.now))
+func (s *shard) wake(p *Proc, at Time) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := k.alloc(at)
+	ev := s.alloc(at)
 	ev.proc = p
-	k.enqueue(ev)
+	s.enqueue(ev)
 }
 
 // Sleep suspends the process for virtual duration d. Negative durations are
@@ -503,17 +757,17 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.wake(p, p.k.now.Add(d))
+	p.sh.wake(p, p.sh.now.Add(d))
 	p.yield("sleep", "")
 }
 
 // SleepUntil suspends the process until virtual time t (no-op if t is in the
 // past, though the process still yields).
 func (p *Proc) SleepUntil(t Time) {
-	if t < p.k.now {
-		t = p.k.now
+	if t < p.sh.now {
+		t = p.sh.now
 	}
-	p.k.wake(p, t)
+	p.sh.wake(p, t)
 	p.yield("sleep-until", "")
 }
 
@@ -528,34 +782,52 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at %v with %d blocked process(es): %v", e.At, len(e.Blocked), e.Blocked)
 }
 
+// deadlockError builds the report. Called single-threaded after the run.
+func (k *Kernel) deadlockError(at Time) *DeadlockError {
+	blocked := make([]string, 0, len(k.procs))
+	for _, p := range k.procs {
+		blocked = append(blocked, fmt.Sprintf("%s(%d): %s", p.name, p.pid, p.blockedReason()))
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{At: at, Blocked: blocked}
+}
+
 // Run executes events until the queue drains or Stop is called. It returns a
 // *DeadlockError if live processes remain blocked when the queue empties, and
 // nil otherwise. Run must not be called re-entrantly, and not after Shutdown.
+// On a sharded kernel Run coordinates the conservative window loop (see the
+// package documentation); results are byte-identical to the unsharded run.
 func (k *Kernel) Run() error {
 	if k.isDead() {
 		return fmt.Errorf("sim: Run on a kernel that has been shut down")
 	}
-	k.stopped = false
-	if k.advance(nil) == advHanded {
+	if k.nsh > 1 {
+		return k.runSharded()
+	}
+	s := k.s0
+	s.stopped = false
+	if s.advance(nil) == advHanded {
 		// The token is cascading from process to process; it comes back
 		// here when the queue drains or Stop fires.
-		<-k.park
+		<-s.park
 	}
-	k.running = nil
-	if len(k.procs) > 0 && !k.stopped {
-		blocked := make([]string, 0, len(k.procs))
-		for _, p := range k.procs {
-			blocked = append(blocked, fmt.Sprintf("%s(%d): %s", p.name, p.pid, p.blockedReason()))
-		}
-		sort.Strings(blocked)
-		return &DeadlockError{At: k.now, Blocked: blocked}
+	s.running = nil
+	if len(k.procs) > 0 && !s.stopped {
+		return k.deadlockError(s.now)
 	}
 	return nil
 }
 
 // Stop halts Run after the current event completes. Processes keep their
 // state; Run may not be resumed after Stop (create a fresh kernel instead).
-func (k *Kernel) Stop() { k.stopped = true }
+// On a sharded kernel every shard observes the stop at its next dispatch.
+func (k *Kernel) Stop() {
+	if k.nsh == 1 {
+		k.s0.stopped = true
+		return
+	}
+	k.globalStop.Store(true)
+}
 
 // DefaultCancelEvery is the dispatch-count poll interval SetCancel uses when
 // given a non-positive interval: frequent enough that a runaway simulation
@@ -571,7 +843,10 @@ const DefaultCancelEvery = 8192
 // changes any result a completed run reports: no extra events are
 // scheduled, the clock is untouched, and Dispatched counts only real work.
 // Combine with Shutdown to release the parked processes of an aborted run —
-// the mid-run-abort contract long-lived servers rely on.
+// the mid-run-abort contract long-lived servers rely on. On a sharded
+// kernel every shard polls independently (the issue's "cancellation polls
+// on every shard"), and a fired poll stops all shards at the next window
+// boundary or dispatch, whichever comes first.
 //
 // Call before Run; every <= 0 selects DefaultCancelEvery; a nil ch disables
 // polling.
@@ -581,11 +856,13 @@ func (k *Kernel) SetCancel(ch <-chan struct{}, every int) {
 		every = DefaultCancelEvery
 	}
 	k.cancelEvery = uint64(every)
-	k.cancelLeft = k.cancelEvery
+	for _, s := range k.shards {
+		s.cancelLeft = k.cancelEvery
+	}
 }
 
 // Canceled reports whether a SetCancel poll halted the kernel.
-func (k *Kernel) Canceled() bool { return k.canceled }
+func (k *Kernel) Canceled() bool { return k.canceled.Load() }
 
 // isDead reports whether Shutdown has completed.
 func (k *Kernel) isDead() bool {
@@ -605,7 +882,10 @@ func (k *Kernel) isDead() bool {
 // simulation). Shutdown wakes each live process with a terminal signal — a
 // sentinel panic raised at its current yield point and recovered in the
 // spawn wrapper — walking the live-process slice in spawn (= PID) order, so
-// teardown, including its trace events, is reproducible.
+// teardown, including its trace events, is reproducible. On a sharded
+// kernel the walk is the same PID order; each process hands its token back
+// through its own shard's park channel, so parked processes are released on
+// every shard.
 //
 // Call Shutdown from the goroutine that called Run, after Run has returned.
 // It is idempotent, safe on a kernel that ran to completion (no live
@@ -616,7 +896,9 @@ func (k *Kernel) Shutdown() {
 	if k.isDead() {
 		return
 	}
-	k.stopped = true
+	for _, s := range k.shards {
+		s.stopped = true
+	}
 	live := make([]*Proc, 0, len(k.procs))
 	for _, p := range k.procs {
 		if p.started {
@@ -630,15 +912,38 @@ func (k *Kernel) Shutdown() {
 	for _, p := range live {
 		p.killed = true
 		p.resume <- struct{}{} // proc panics with the sentinel and unwinds
-		<-k.park               // its spawn wrapper confirms the exit
+		<-p.sh.park            // its spawn wrapper confirms the exit
 	}
 	k.procs = nil
 	close(k.dead)
 }
 
-// Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return k.queue.len() + k.fifoLen }
+// Pending reports the number of queued events. On a sharded kernel mid-run
+// the count is aggregated from the latest window barrier; between windows
+// and after Run it is exact.
+func (k *Kernel) Pending() int {
+	if k.nsh == 1 {
+		return k.s0.queue.len() + k.s0.fifoLen
+	}
+	if k.phase.Load() == phaseRun {
+		var n int64
+		for _, s := range k.shards {
+			n += s.pubPending.Load()
+		}
+		return int(n)
+	}
+	n := 0
+	for _, s := range k.shards {
+		n += s.queue.len() + s.fifoLen + s.outCnt
+	}
+	return n
+}
 
 // LiveProcs reports the number of processes that have been spawned and have
-// not finished.
-func (k *Kernel) LiveProcs() int { return len(k.procs) }
+// not finished. Safe to call concurrently with a sharded run.
+func (k *Kernel) LiveProcs() int {
+	k.procsMu.Lock()
+	n := len(k.procs)
+	k.procsMu.Unlock()
+	return n
+}

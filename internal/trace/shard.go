@@ -1,0 +1,169 @@
+package trace
+
+// Sharded-kernel support: the Collector implements sim.ShardTracer so one
+// collector can observe a conservative sharded run (sim.Kernel.SetShards)
+// and still produce output byte-identical to the sequential run's.
+//
+// Mechanics: at run start the parent collector hands the kernel one child
+// collector per shard; kernel hooks fire on the children (one executing
+// goroutine per shard, so children stay lock-free), and node-keyed
+// recording calls from the layers above (machine, mpi, sagert, fault) are
+// routed by the parent to the child owning the node — which is always the
+// shard the calling process executes on, so each child remains
+// single-writer. Every child record is tagged with the shard's current
+// dispatch-log index; at each window barrier the kernel supplies the exact
+// sequential interleaving of the window's dispatches (sim.ShardDispatch)
+// and WindowEnd drains the children into the parent in that order. The
+// spans, instants and gauges streams merge independently — they are
+// separate slices with no observable cross-ordering. Counter maps (links,
+// waits, collectives, faults, streams) are order-independent sums and fold
+// into the parent once, at RunEnd.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// shardState is the per-child tagging state: the kernel's dispatch cursor
+// for the child's shard, one tag per recorded span/instant/gauge (the
+// dispatch-log index current when the record was appended), and the merge
+// cursors WindowEnd uses to drain the window's records in order.
+type shardState struct {
+	cursor   *uint64
+	spanTag  []uint64
+	instTag  []uint64
+	gaugeTag []uint64
+	spanCur  int
+	instCur  int
+	gaugeCur int
+}
+
+// route returns the collector that must record an event owned by node: the
+// per-shard child during a sharded run, c itself otherwise.
+func (c *Collector) route(node int) *Collector {
+	return c.children[c.kernel.ShardOf(node)]
+}
+
+// addSpan appends a span, tagging it with the current dispatch when the
+// collector is a sharded child.
+func (c *Collector) addSpan(s Span) {
+	c.spans = append(c.spans, s)
+	if c.shard != nil {
+		c.shard.spanTag = append(c.shard.spanTag, *c.shard.cursor)
+	}
+}
+
+func (c *Collector) addInstant(i Instant) {
+	c.instants = append(c.instants, i)
+	if c.shard != nil {
+		c.shard.instTag = append(c.shard.instTag, *c.shard.cursor)
+	}
+}
+
+func (c *Collector) addGauge(g Gauge) {
+	c.gauges = append(c.gauges, g)
+	if c.shard != nil {
+		c.shard.gaugeTag = append(c.shard.gaugeTag, *c.shard.cursor)
+	}
+}
+
+// ShardStart implements sim.ShardTracer: create one child collector per
+// shard and activate parent-side routing.
+func (c *Collector) ShardStart(k *sim.Kernel, nshards int) []sim.Tracer {
+	c.kernel = k
+	c.children = make([]*Collector, nshards)
+	out := make([]sim.Tracer, nshards)
+	for i := 0; i < nshards; i++ {
+		ch := New(c.Label)
+		ch.Verbose = c.Verbose
+		ch.shard = &shardState{cursor: k.ShardCursor(i)}
+		c.children[i] = ch
+		out[i] = ch
+	}
+	return out
+}
+
+// WindowEnd implements sim.ShardTracer: drain the children's window
+// records into the parent in the exact sequential dispatch order, then
+// reset the children's window buffers. Called single-threaded at the
+// window barrier.
+func (c *Collector) WindowEnd(order []sim.ShardDispatch) {
+	for _, d := range order {
+		ch := c.children[d.Shard]
+		st := ch.shard
+		di := uint64(d.Index)
+		for st.spanCur < len(ch.spans) && st.spanTag[st.spanCur] == di {
+			c.spans = append(c.spans, ch.spans[st.spanCur])
+			st.spanCur++
+		}
+		for st.instCur < len(ch.instants) && st.instTag[st.instCur] == di {
+			c.instants = append(c.instants, ch.instants[st.instCur])
+			st.instCur++
+		}
+		for st.gaugeCur < len(ch.gauges) && st.gaugeTag[st.gaugeCur] == di {
+			c.gauges = append(c.gauges, ch.gauges[st.gaugeCur])
+			st.gaugeCur++
+		}
+	}
+	for i, ch := range c.children {
+		st := ch.shard
+		if st.spanCur != len(ch.spans) || st.instCur != len(ch.instants) || st.gaugeCur != len(ch.gauges) {
+			panic(fmt.Sprintf("trace: shard %d window left %d/%d/%d unmerged records",
+				i, len(ch.spans)-st.spanCur, len(ch.instants)-st.instCur, len(ch.gauges)-st.gaugeCur))
+		}
+		ch.spans = ch.spans[:0]
+		ch.instants = ch.instants[:0]
+		ch.gauges = ch.gauges[:0]
+		st.spanTag = st.spanTag[:0]
+		st.instTag = st.instTag[:0]
+		st.gaugeTag = st.gaugeTag[:0]
+		st.spanCur, st.instCur, st.gaugeCur = 0, 0, 0
+	}
+}
+
+// RunEnd implements sim.ShardTracer: fold the children's counter state
+// into the parent and deactivate routing, so post-run recording (teardown
+// ProcEnd hooks, node totals, Finish) lands on the parent directly.
+// Per-shard counter maps merge in shard order; every exported view sorts
+// its keys, so the merged output is independent of that order anyway.
+func (c *Collector) RunEnd() {
+	for _, ch := range c.children {
+		for k, v := range ch.links {
+			lt := c.links[k]
+			if lt == nil {
+				lt = &LinkTotals{}
+				c.links[k] = lt
+			}
+			lt.Msgs += v.Msgs
+			lt.Bytes += v.Bytes
+		}
+		for k, v := range ch.waits {
+			wt := c.waits[k]
+			if wt == nil {
+				wt = &WaitTotals{}
+				c.waits[k] = wt
+			}
+			wt.Count += v.Count
+			wt.Total += v.Total
+		}
+		for k, v := range ch.collectives {
+			c.collectives[k] += v
+		}
+		for k, v := range ch.faults {
+			c.faults[k] += v
+		}
+		for k, v := range ch.streams {
+			c.streams[k] += v
+		}
+		// A process still live at run end (deadlock, stop) started on
+		// exactly one shard; move its start time up so the parent's
+		// teardown ProcEnd hook can emit the lifetime span.
+		for pid, t := range ch.procStart {
+			c.procStart[pid] = t
+		}
+		c.nodes = append(c.nodes, ch.nodes...)
+	}
+	c.children = nil
+	c.kernel = nil
+}

@@ -82,6 +82,26 @@ type NodeCost struct {
 	Comm    sim.Duration
 }
 
+// ShardWeights returns per-node load weights for seeding the sharded
+// kernel's partitioner (sim/shard.Partition, via sagert.Options.ShardWeights):
+// each node's predicted total busy time under protocol o. The twin's
+// bottleneck decomposition puts the cut boundaries between the busy nodes
+// instead of bisecting them, which balances the shards' event load. The
+// weights only steer the partition — a byte-identical run falls out of any
+// partition — so callers may freely ignore an error and pass nil (uniform).
+func ShardWeights(t *gluegen.Tables, pl machine.Platform, o Options) ([]float64, error) {
+	e, err := NewEvaluator(t, pl)
+	if err != nil {
+		return nil, err
+	}
+	p := e.Predict(o)
+	w := make([]float64, len(p.Nodes))
+	for i, nc := range p.Nodes {
+		w[i] = float64(nc.Compute + nc.Copy + nc.Comm)
+	}
+	return w, nil
+}
+
 // Phases is a per-phase cost breakdown: total thread-occupied time summed
 // over all threads and iterations, split the way the runtime's own phase
 // trace splits it.
