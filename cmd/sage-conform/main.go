@@ -15,6 +15,7 @@
 //	sage-conform -seed 17                           # one seed, verbose
 //	sage-conform -seed-range 0:64 -quick -parallel 8
 //	sage-conform -seed-range 0:32 -mutate           # harness self-test
+//	sage-conform -seed-range 0:32 -mutate-exec      # generated-code self-test
 //	sage-conform -replay internal/conformance/testdata/corpus
 //	sage-conform -seed-range 0:64 -corpus ./failing # write reproducers
 package main
@@ -26,7 +27,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/cli"
@@ -41,15 +41,16 @@ func cliMain(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sage-conform", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seedRange = fs.String("seed-range", "", "half-open seed range from:to, e.g. 0:200")
-		seed      = fs.Int64("seed", -1, "check a single seed (prints the generated case summary)")
-		quick     = fs.Bool("quick", false, "bound graph and platform sizes (CI smoke runs)")
-		parallel  = fs.Int("parallel", 1, "concurrent checker workers; output is identical for any value")
-		mutate    = fs.Bool("mutate", false, "self-test: inject a runtime miscomputation; every seed must fail and shrink small")
-		corpus    = fs.String("corpus", "", "directory receiving seed-<n>.case reproducers for failing seeds")
-		replay    = fs.String("replay", "", "replay every .case reproducer in a directory instead of generating")
-		noShrink  = fs.Bool("no-shrink", false, "report raw failures without minimizing")
-		maxShrink = fs.Int("max-shrink-checks", 0, "differential check budget per shrink (0 = default)")
+		seedRange  = fs.String("seed-range", "", "half-open seed range from:to, e.g. 0:200")
+		seed       = fs.Int64("seed", -1, "check a single seed (prints the generated case summary)")
+		quick      = fs.Bool("quick", false, "bound graph and platform sizes (CI smoke runs)")
+		parallel   = fs.Int("parallel", 1, "concurrent checker workers; output is identical for any value")
+		mutate     = fs.Bool("mutate", false, "self-test: inject a runtime miscomputation; every seed must fail and shrink small")
+		mutateExec = fs.Bool("mutate-exec", false, "self-test: corrupt the generated-code execution output; every seed must fail on the exec variant")
+		corpus     = fs.String("corpus", "", "directory receiving seed-<n>.case reproducers for failing seeds")
+		replay     = fs.String("replay", "", "replay every .case reproducer in a directory instead of generating")
+		noShrink   = fs.Bool("no-shrink", false, "report raw failures without minimizing")
+		maxShrink  = fs.Int("max-shrink-checks", 0, "differential check budget per shrink (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
@@ -59,9 +60,9 @@ func cliMain(args []string, stderr io.Writer) int {
 	case *replay != "":
 		return replayDir(*replay)
 	case *seed >= 0:
-		return oneSeed(*seed, *quick, *mutate, *maxShrink)
+		return oneSeed(*seed, *quick, *mutate, *mutateExec, *maxShrink)
 	case *seedRange != "":
-		from, to, err := parseRange(*seedRange)
+		from, to, err := cli.ParseRange(*seedRange)
 		if err != nil {
 			fmt.Fprintln(stderr, "sage-conform:", err)
 			return cli.ExitUsage
@@ -70,6 +71,7 @@ func cliMain(args []string, stderr io.Writer) int {
 			Quick:           *quick,
 			Parallelism:     *parallel,
 			Mutate:          *mutate,
+			MutateExec:      *mutateExec,
 			CorpusDir:       *corpus,
 			MaxShrinkChecks: *maxShrink,
 			NoShrink:        *noShrink,
@@ -92,28 +94,8 @@ func cliMain(args []string, stderr io.Writer) int {
 	}
 }
 
-// parseRange parses "from:to" (half-open).
-func parseRange(s string) (int64, int64, error) {
-	lo, hi, ok := strings.Cut(s, ":")
-	if !ok {
-		return 0, 0, fmt.Errorf("bad -seed-range %q, want from:to", s)
-	}
-	from, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
-	if err != nil {
-		return 0, 0, fmt.Errorf("bad -seed-range %q: %v", s, err)
-	}
-	to, err := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
-	if err != nil {
-		return 0, 0, fmt.Errorf("bad -seed-range %q: %v", s, err)
-	}
-	if to < from {
-		return 0, 0, fmt.Errorf("bad -seed-range %q: empty or reversed", s)
-	}
-	return from, to, nil
-}
-
 // oneSeed checks a single seed verbosely.
-func oneSeed(seed int64, quick, mutate bool, maxShrink int) int {
+func oneSeed(seed int64, quick, mutate, mutateExec bool, maxShrink int) int {
 	c, err := conformance.Generate(seed, conformance.GenConfig{Quick: quick})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sage-conform: seed %d: generator: %v\n", seed, err)
@@ -124,7 +106,7 @@ func oneSeed(seed int64, quick, mutate bool, maxShrink int) int {
 	for _, f := range c.App.Functions {
 		fmt.Printf("  %-24s kind=%-18s threads=%d\n", f.Name, f.Kind, f.Threads)
 	}
-	opt := conformance.CheckOptions{MutateRuntime: mutate}
+	opt := conformance.CheckOptions{MutateRuntime: mutate, MutateExec: mutateExec}
 	fail := c.Check(opt)
 	if fail == nil {
 		fmt.Printf("seed %d: PASS (oracle + all metamorphic variants agree bit for bit)\n", seed)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// TestExitCodes pins the CLI contract: usage mistakes exit 2, differential
+// failures exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, cli.ExitUsage},
+		{"no mode selected", nil, cli.ExitUsage},
+		{"bad range", []string{"-seed-range", "7"}, cli.ExitUsage},
+		{"reversed range", []string{"-seed-range", "9:3"}, cli.ExitUsage},
+		{"unknown app", []string{"-app", "nope"}, cli.ExitUsage},
+		{"bad platform", []string{"-app", "fft2d", "-platform", "nope"}, cli.ExitUsage},
+		{"empty range passes", []string{"-seed-range", "0:0"}, cli.ExitOK},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSeedSweepPasses runs the in-process differential loop for a few
+// generated seeds end to end through the CLI surface.
+func TestSeedSweepPasses(t *testing.T) {
+	var out bytes.Buffer
+	if got := cliMain([]string{"-seed-range", "0:3", "-quick"}, &out, io.Discard); got != cli.ExitOK {
+		t.Fatalf("exit %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "3/3 seeds pass") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if strings.HasPrefix(line, "seed ") && !strings.Contains(line, "PASS oracle+sim") {
+			t.Fatalf("seed line without PASS: %q", line)
+		}
+	}
+}
+
+// TestAppModeVerifies runs a small benchmark app through plan/execute/oracle.
+func TestAppModeVerifies(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-app", "ct", "-n", "16", "-nodes", "2", "-iterations", "2"}
+	if got := cliMain(args, &out, io.Discard); got != cli.ExitOK {
+		t.Fatalf("exit %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "verified vs oracle") {
+		t.Fatalf("missing verification line:\n%s", out.String())
+	}
+}
+
+// TestEmitWritesPackage checks -emit materializes a source package.
+func TestEmitWritesPackage(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-app", "fft2d", "-n", "16", "-nodes", "2", "-emit", dir}
+	if got := cliMain(args, &out, io.Discard); got != cli.ExitOK {
+		t.Fatalf("exit %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "emitted ") {
+		t.Fatalf("missing emit line:\n%s", out.String())
+	}
+}

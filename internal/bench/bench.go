@@ -17,6 +17,9 @@
 package bench
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,6 +27,8 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/codegen"
+	"repro/internal/codegen/rtl"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/gluegen"
@@ -81,6 +86,12 @@ type Case struct {
 	// The deterministic columns are byte-identical at any shard count; only
 	// wall-clock measurements may move. Zero or one means sequential.
 	Shards int
+	// Exec runs the case as a real program instead of a simulation: the
+	// tables are lowered into the generated goroutines-and-channels runtime
+	// (internal/codegen) and executed on actual data. WallNS is then real
+	// compute time and OutputHash fingerprints the bitwise output; no
+	// virtual time or dispatches exist.
+	Exec bool
 }
 
 // CaseResult is one executed cell. Fields under "deterministic" depend only
@@ -110,6 +121,12 @@ type CaseResult struct {
 	// Deterministic: identical across hosts, runs and pool widths.
 	VirtualNS  int64  `json:"virtual_ns"`
 	Dispatches uint64 `json:"dispatches"`
+
+	// OutputHash is the SHA-256 of the canonical sink-output text for exec
+	// cases: deterministic across hosts and runs (the generated program is
+	// bitwise reproducible), so it joins the fingerprint as a regression
+	// gate on the computed data itself.
+	OutputHash string `json:"output_hash,omitempty"`
 
 	// Host-dependent measurements.
 	WallNS         int64   `json:"wall_ns"`
@@ -281,6 +298,19 @@ func Matrix(quick bool) []Case {
 		App:  experiments.AppFFT2D, N: strN, Nodes: nodes,
 		Iterations: strFrames, Stream: true,
 	})
+	// Real-execution case: the same generated tables lowered to actual
+	// goroutines and channels and run on real data — the acceptance number
+	// for emitted-code and funclib-kernel optimisations, with the output
+	// hash gating bitwise reproducibility.
+	execN := 256
+	if quick {
+		execN = 64
+	}
+	cases = append(cases, Case{
+		Name: fmt.Sprintf("fft%d.exec", execN),
+		App:  experiments.AppFFT2D, N: execN, Nodes: nodes,
+		Iterations: iters, Exec: true,
+	})
 	cases = append(cases, Case{Name: "kernel.schedule", Events: events})
 	return cases
 }
@@ -306,6 +336,8 @@ func Run(cases []Case, log io.Writer) (*Report, error) {
 			res, err = runTwin(c)
 		case c.Stream:
 			res, err = runStream(c)
+		case c.Exec:
+			res, err = runExec(c)
 		default:
 			res, err = runSim(c)
 		}
@@ -488,6 +520,44 @@ func runStream(c Case) (CaseResult, error) {
 	return res, nil
 }
 
+// runExec lowers the case's tables into the generated real-execution
+// runtime and runs them on actual data: one goroutine per SAGE thread,
+// buffered-channel lanes, function-library kernels on []complex128. Wall
+// time is genuine host compute; the deterministic contribution is the
+// SHA-256 of the canonical output text, which must be identical on every
+// host and at every GOMAXPROCS.
+func runExec(c Case) (CaseResult, error) {
+	res := CaseResult{
+		Name: c.Name, App: string(c.App), N: c.N, Nodes: c.Nodes,
+		Iterations: c.Iterations, Threads: c.Threads, Platform: c.Platform, Kind: "exec",
+	}
+	out, err := caseTables(c)
+	if err != nil {
+		return res, err
+	}
+	prog, err := codegen.Plan(out.Tables, c.Iterations)
+	if err != nil {
+		return res, err
+	}
+	var run *rtl.Result
+	wallNS, allocs, allocBytes, err := measure(func() error {
+		r, err := rtl.Execute(prog)
+		run = r
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	var text bytes.Buffer
+	if err := run.WriteText(&text); err != nil {
+		return res, err
+	}
+	sum := sha256.Sum256(text.Bytes())
+	finish(&res, wallNS, allocs, allocBytes, 0, 0)
+	res.OutputHash = hex.EncodeToString(sum[:])
+	return res, nil
+}
+
 // runMicro is the kernel-scheduling microbenchmark: a chain of Events
 // self-rescheduled timer callbacks, the same loop as the package's
 // BenchmarkKernelSchedule. It is the acceptance number for scheduling-path
@@ -582,6 +652,19 @@ func Validate(r *Report) error {
 			if c.WallNS <= 0 || c.EventsPerSec <= 0 {
 				return fmt.Errorf("case %q: missing measurements (wall_ns=%d events_per_sec=%g)", c.Name, c.WallNS, c.EventsPerSec)
 			}
+		case "exec":
+			// Real-execution cases run generated code on actual data: no
+			// virtual time or dispatches exist, but the wall clock and the
+			// output hash (the bitwise-reproducibility gate) must be present.
+			if c.VirtualNS != 0 || c.Dispatches != 0 {
+				return fmt.Errorf("case %q: exec case carries simulated outputs (virtual_ns=%d dispatches=%d)", c.Name, c.VirtualNS, c.Dispatches)
+			}
+			if c.WallNS <= 0 {
+				return fmt.Errorf("case %q: missing measurement (wall_ns=%d)", c.Name, c.WallNS)
+			}
+			if len(c.OutputHash) != 64 {
+				return fmt.Errorf("case %q: exec case output_hash %q is not a sha-256 hex digest", c.Name, c.OutputHash)
+			}
 		case "twin":
 			// Analytical cases predict virtual time without simulating: the
 			// prediction must be present, the measurement must exist, and no
@@ -621,7 +704,11 @@ func Validate(r *Report) error {
 func (r *Report) Fingerprint() string {
 	var out []byte
 	for _, c := range r.Cases {
-		out = fmt.Appendf(out, "%s virtual_ns=%d dispatches=%d\n", c.Name, c.VirtualNS, c.Dispatches)
+		out = fmt.Appendf(out, "%s virtual_ns=%d dispatches=%d", c.Name, c.VirtualNS, c.Dispatches)
+		if c.OutputHash != "" {
+			out = fmt.Appendf(out, " output=%s", c.OutputHash)
+		}
+		out = append(out, '\n')
 	}
 	return string(out)
 }

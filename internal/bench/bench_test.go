@@ -17,6 +17,7 @@ func tinyCases() []Case {
 		{Name: "fft64.twin", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Twin: true},
 		{Name: "fft64.mercury.s2", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Platform: "Mercury", Shards: 2},
 		{Name: "stream64.mixed", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 8, Stream: true},
+		{Name: "fft64.exec", App: experiments.AppFFT2D, N: 64, Nodes: 4, Iterations: 2, Exec: true},
 		{Name: "kernel.schedule", Events: 10_000},
 	}
 }
@@ -60,7 +61,7 @@ func TestDeterministicFields(t *testing.T) {
 func TestMatrixShape(t *testing.T) {
 	for _, quick := range []bool{false, true} {
 		cases := Matrix(quick)
-		var traced, faulted, micro, wide, wideTwin, wideSharded, streamed int
+		var traced, faulted, micro, wide, wideTwin, wideSharded, streamed, execs int
 		seen := map[string]bool{}
 		for _, c := range cases {
 			if seen[c.Name] {
@@ -83,6 +84,12 @@ func TestMatrixShape(t *testing.T) {
 				streamed++
 				if c.Iterations <= 0 {
 					t.Fatalf("stream case %q offers no frames", c.Name)
+				}
+			}
+			if c.Exec {
+				execs++
+				if c.Traced || c.Faulted || c.Twin || c.Stream || c.Shards > 1 {
+					t.Fatalf("exec case %q mixes modes", c.Name)
 				}
 			}
 			if c.Threads > 0 {
@@ -113,7 +120,10 @@ func TestMatrixShape(t *testing.T) {
 		if streamed != 1 {
 			t.Fatalf("quick=%v: %d stream cases, want 1", quick, streamed)
 		}
-		sims := len(cases) - micro - wide - streamed
+		if execs != 1 {
+			t.Fatalf("quick=%v: %d exec cases, want 1", quick, execs)
+		}
+		sims := len(cases) - micro - wide - streamed - execs
 		if traced != sims/2 || faulted != sims/2 {
 			t.Fatalf("quick=%v: matrix unbalanced: %d sims, %d traced, %d faulted", quick, sims, traced, faulted)
 		}
@@ -177,6 +187,14 @@ func TestValidateRejectsBadReports(t *testing.T) {
 		{"unknown kind", func(r *Report) { r.Cases[0].Kind = "oracle" }},
 		{"twin that simulated", func(r *Report) { r.Cases[0].Kind = "twin" }}, // dispatches != 0
 		{"negative shards", func(r *Report) { r.Cases[0].Shards = -1 }},
+		{"exec with dispatches", func(r *Report) { r.Cases[0].Kind = "exec" }},
+		{"exec missing hash", func(r *Report) {
+			r.Cases[0].Kind = "exec"
+			r.Cases[0].VirtualNS = 0
+			r.Cases[0].Dispatches = 0
+			r.Cases[0].EventsPerSec = 0
+			r.Cases[0].OutputHash = "deadbeef"
+		}},
 		{"sharded twin", func(r *Report) {
 			r.Cases[0].Kind = "twin"
 			r.Cases[0].Dispatches = 0

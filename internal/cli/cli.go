@@ -19,6 +19,8 @@ package cli
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Exit codes shared by all SAGE commands.
@@ -39,6 +41,27 @@ func Usagef(format string, args ...any) error {
 
 // IsUsage reports whether err is (or wraps) a usage error.
 func IsUsage(err error) bool { return errors.Is(err, ErrUsage) }
+
+// ParseRange parses a half-open seed range "from:to" (to >= from). Shared
+// by every command taking a -seed-range flag so they agree on the grammar.
+func ParseRange(s string) (int64, int64, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, Usagef("bad seed range %q, want from:to", s)
+	}
+	from, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return 0, 0, Usagef("bad seed range %q: %v", s, err)
+	}
+	to, err := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+	if err != nil {
+		return 0, 0, Usagef("bad seed range %q: %v", s, err)
+	}
+	if to < from {
+		return 0, 0, Usagef("bad seed range %q: reversed", s)
+	}
+	return from, to, nil
+}
 
 // ExitCode maps an error to the command's exit code: nil is success, usage
 // errors exit 2, everything else exits 1.

@@ -26,6 +26,36 @@ func TestExitCode(t *testing.T) {
 	}
 }
 
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in       string
+		from, to int64
+		ok       bool
+	}{
+		{"0:200", 0, 200, true},
+		{"5:5", 5, 5, true},
+		{" 3 : 9 ", 3, 9, true},
+		{"-4:4", -4, 4, true},
+		{"9:3", 0, 0, false},
+		{"12", 0, 0, false},
+		{"a:b", 0, 0, false},
+		{"", 0, 0, false},
+	}
+	for _, tc := range cases {
+		from, to, err := ParseRange(tc.in)
+		if tc.ok && (err != nil || from != tc.from || to != tc.to) {
+			t.Errorf("ParseRange(%q) = %d, %d, %v; want %d, %d", tc.in, from, to, err, tc.from, tc.to)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("ParseRange(%q) accepted, want error", tc.in)
+			} else if !IsUsage(err) {
+				t.Errorf("ParseRange(%q) error is not a usage error: %v", tc.in, err)
+			}
+		}
+	}
+}
+
 func TestUsagefMessage(t *testing.T) {
 	err := Usagef("bad -seed-range %q", "x")
 	if !IsUsage(err) {

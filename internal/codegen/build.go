@@ -1,0 +1,124 @@
+package codegen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// ModuleRoot walks up from the working directory looking for this repo's
+// go.mod. The emitted program imports repro/internal/... packages, so the Go
+// toolchain will only build it from a directory inside the module — build
+// trees therefore live in throwaway .sage-exec-* directories under the root
+// (ignored by git).
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil && bytes.Contains(data, []byte("module repro")) {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("codegen: module root not found (run from inside the repro repo)")
+		}
+		dir = parent
+	}
+}
+
+// HaveToolchain reports whether a go toolchain is on PATH; tests use it to
+// skip compile-and-run coverage on stripped environments rather than fail.
+func HaveToolchain() bool {
+	_, err := exec.LookPath("go")
+	return err == nil
+}
+
+// BuildOptions controls BuildAndRun.
+type BuildOptions struct {
+	Race bool   // build the emitted program with -race
+	Vet  bool   // run `go vet` on the emitted package before building
+	Keep string // if non-empty, also copy the emitted source tree here
+}
+
+// BuildResult carries the compiled program's observable behaviour.
+type BuildResult struct {
+	Stdout []byte // canonical sink output text (rtl.ParseText-able)
+	Stderr string // wall-clock line and any diagnostics
+}
+
+// BuildAndRun writes the emitted source into a temporary package directory
+// under the module root, compiles it with the host toolchain, runs the
+// binary, and returns its output. The temp tree is always removed; pass
+// BuildOptions.Keep to also persist a copy of the source.
+func BuildAndRun(src []byte, opt BuildOptions) (*BuildResult, error) {
+	root, err := ModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp(root, ".sage-exec-")
+	if err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	if err := WritePackage(dir, src); err != nil {
+		return nil, err
+	}
+	if opt.Keep != "" {
+		if err := WritePackage(opt.Keep, src); err != nil {
+			return nil, err
+		}
+	}
+
+	if opt.Vet {
+		if out, err := runIn(dir, "go", "vet", "."); err != nil {
+			return nil, fmt.Errorf("codegen: go vet on emitted source: %w\n%s", err, out)
+		}
+	}
+	bin := filepath.Join(dir, "prog")
+	buildArgs := []string{"build", "-o", bin}
+	if opt.Race {
+		buildArgs = append(buildArgs, "-race")
+	}
+	buildArgs = append(buildArgs, ".")
+	if out, err := runIn(dir, "go", buildArgs...); err != nil {
+		return nil, fmt.Errorf("codegen: build emitted source: %w\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("codegen: run emitted program: %w\n%s", err, stderr.String())
+	}
+	return &BuildResult{Stdout: stdout.Bytes(), Stderr: stderr.String()}, nil
+}
+
+// WritePackage materializes the emitted source as a buildable package
+// directory (main.go), creating dir if needed.
+func WritePackage(dir string, src []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("codegen: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), src, 0o644); err != nil {
+		return fmt.Errorf("codegen: %w", err)
+	}
+	return nil
+}
+
+// runIn runs one toolchain command in dir with combined output. GOFLAGS=-mod=mod
+// is deliberately NOT set; the command inherits the environment so CI flags
+// apply to emitted-code builds too.
+func runIn(dir, name string, args ...string) (string, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return strings.TrimSpace(string(out)), err
+}

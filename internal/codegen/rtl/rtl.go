@@ -1,0 +1,400 @@
+// Package rtl is the run-time library of the real-execution backend: the
+// small substrate a generated SAGE program links against when it runs as an
+// actual Go process instead of on the simulated multicomputer. Where the sim
+// kernel realises a SAGE thread as a simulated process and a striped
+// transfer as an MPI message with explicit pipelining credits, rtl realises
+// the same plan with the host's own primitives:
+//
+//   - one goroutine per function thread;
+//   - one single-producer single-consumer buffered channel per planned
+//     transfer lane (buffer, source thread, destination thread), whose
+//     capacity IS the credit bound — a channel of capacity Slots admits at
+//     most Slots in-flight data sets and blocks the producer on the
+//     Slots+1th exactly where the credit protocol of internal/mpi would
+//     (the consumer frees a slot at the moment sagert returns a credit:
+//     immediately after receiving that transfer);
+//   - end-of-stream as channel close: a producer closes all its lanes after
+//     the final iteration, and every consumer verifies each lane delivers
+//     exactly Iterations messages — no more, no fewer.
+//
+// A Program is a closed plan: it references function kinds from
+// internal/funclib by name but carries every region, lane and thread
+// explicitly, so the generated source that embeds one is self-contained and
+// auditable. Execution is deterministic by construction — every lane has one
+// writer and one reader, every kind is a pure function of its inputs, and
+// sink assembly writes disjoint or identical regions — so two runs (or the
+// in-process and the compiled form of the same Program) produce bitwise
+// identical outputs regardless of GOMAXPROCS or scheduling.
+package rtl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/funclib"
+	"repro/internal/isspl"
+	"repro/internal/model"
+)
+
+// DefaultSlots is the per-lane pipelining bound used when a Program does not
+// set one; it matches sagert's default BufferSlots (double buffering).
+const DefaultSlots = 2
+
+// Xfer is one striped region moving over one lane each iteration.
+type Xfer struct {
+	// Conn indexes Program.Conns.
+	Conn int
+	// Region is the absolute sub-matrix carried per iteration; it lies
+	// inside both endpoint partitions.
+	Region model.Region
+}
+
+// Port is one thread's view of one of its function's ports: the partition
+// the thread holds and the lanes that fill (inputs) or drain (outputs) it.
+type Port struct {
+	Name   string
+	Region model.Region
+	Xfers  []Xfer
+}
+
+// Thread is one goroutine of the generated program: a single thread of a
+// function-table entry, bound to a funclib kind.
+type Thread struct {
+	Fn      string // function instance name
+	Kind    string // funclib kind
+	Node    int    // mapped processor (informational in real execution)
+	Thread  int
+	Threads int
+	Params  map[string]any
+	Ins     []Port
+	Outs    []Port
+	// SinkRows/SinkCols give the full assembly shape when Kind is
+	// "sink_matrix" (the sink's input port type before striping).
+	SinkRows, SinkCols int
+}
+
+// Conn is one single-producer single-consumer transfer lane. The identity
+// fields exist for diagnostics and for auditing emitted source; execution
+// only needs the index.
+type Conn struct {
+	Buf       int // gluegen logical buffer ID
+	SrcFn     string
+	SrcThread int
+	DstFn     string
+	DstThread int
+}
+
+func (c Conn) String() string {
+	return fmt.Sprintf("b%d %s[%d]->%s[%d]", c.Buf, c.SrcFn, c.SrcThread, c.DstFn, c.DstThread)
+}
+
+// Program is a complete executable plan.
+type Program struct {
+	App        string
+	Platform   string // platform the tables were generated for (informational)
+	Iterations int
+	// Slots is the per-lane pipelining credit; <= 0 selects DefaultSlots.
+	Slots   int
+	Threads []Thread
+	Conns   []Conn
+}
+
+// Result reports one execution.
+type Result struct {
+	App string
+	// Iters[i] holds iteration i's assembled sink outputs, one matrix per
+	// sink function name. Unlike the simulated runtime — which moves real
+	// samples only through its compute iterations — real execution computes
+	// every iteration, so each entry is independently checkable against the
+	// sequential oracle for that iteration.
+	Iters []map[string]*isspl.Matrix
+	// Wall is the host wall-clock time of the run (goroutine spawn to
+	// drain). Excluded from the canonical text output.
+	Wall time.Duration
+}
+
+// Validate checks the program's structural integrity: a positive iteration
+// count, known kinds, every lane referenced by exactly one producer and one
+// consumer xfer, every xfer region inside its port partition, and sink
+// threads carrying an assembly shape.
+func (p *Program) Validate() error {
+	if p.Iterations < 1 {
+		return fmt.Errorf("rtl: program declares %d iterations", p.Iterations)
+	}
+	if len(p.Threads) == 0 {
+		return fmt.Errorf("rtl: program has no threads")
+	}
+	produced := make([]int, len(p.Conns))
+	consumed := make([]int, len(p.Conns))
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		if _, err := funclib.Lookup(t.Kind); err != nil {
+			return fmt.Errorf("rtl: thread %s[%d]: %w", t.Fn, t.Thread, err)
+		}
+		if t.Thread < 0 || t.Thread >= t.Threads {
+			return fmt.Errorf("rtl: thread %s[%d]: index outside 0..%d", t.Fn, t.Thread, t.Threads-1)
+		}
+		if t.Kind == "sink_matrix" && (t.SinkRows < 1 || t.SinkCols < 1) {
+			return fmt.Errorf("rtl: sink %s[%d]: missing assembly shape", t.Fn, t.Thread)
+		}
+		check := func(ports []Port, counts []int, side string) error {
+			for pi := range ports {
+				pp := &ports[pi]
+				for _, x := range pp.Xfers {
+					if x.Conn < 0 || x.Conn >= len(p.Conns) {
+						return fmt.Errorf("rtl: %s[%d] %s port %s: conn %d out of range", t.Fn, t.Thread, side, pp.Name, x.Conn)
+					}
+					counts[x.Conn]++
+					if x.Region.Intersect(pp.Region) != x.Region {
+						return fmt.Errorf("rtl: %s[%d] %s port %s: transfer region %v spills outside partition %v",
+							t.Fn, t.Thread, side, pp.Name, x.Region, pp.Region)
+					}
+				}
+			}
+			return nil
+		}
+		if err := check(t.Ins, consumed, "input"); err != nil {
+			return err
+		}
+		if err := check(t.Outs, produced, "output"); err != nil {
+			return err
+		}
+	}
+	for ci := range p.Conns {
+		if produced[ci] != 1 || consumed[ci] != 1 {
+			return fmt.Errorf("rtl: conn %d (%s): %d producers, %d consumers (want exactly one of each)",
+				ci, p.Conns[ci], produced[ci], consumed[ci])
+		}
+	}
+	return nil
+}
+
+// slots returns the effective per-lane credit bound.
+func (p *Program) slots() int {
+	if p.Slots > 0 {
+		return p.Slots
+	}
+	return DefaultSlots
+}
+
+// exec is one execution's runtime state.
+type exec struct {
+	p     *Program
+	chans []chan *funclib.Block
+	abort chan struct{}
+
+	errOnce sync.Once
+	err     error
+
+	// sinkMu serialises sink assembly: replicated sink ports give several
+	// threads the same (whole-matrix) region, and without the lock those
+	// identical concurrent writes would be data races. Writes are identical
+	// or disjoint by striping construction, so serialisation order never
+	// changes the assembled bytes.
+	sinkMu sync.Mutex
+	iters  []map[string]*isspl.Matrix
+}
+
+// newExec prepares channels and per-iteration sink targets.
+func newExec(p *Program) *exec {
+	e := &exec{
+		p:     p,
+		chans: make([]chan *funclib.Block, len(p.Conns)),
+		abort: make(chan struct{}),
+		iters: make([]map[string]*isspl.Matrix, p.Iterations),
+	}
+	for i := range e.chans {
+		e.chans[i] = make(chan *funclib.Block, p.slots())
+	}
+	for i := range e.iters {
+		e.iters[i] = map[string]*isspl.Matrix{}
+	}
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		if t.Kind != "sink_matrix" || t.Thread != 0 {
+			continue
+		}
+		for i := range e.iters {
+			e.iters[i][t.Fn] = isspl.NewMatrix(t.SinkRows, t.SinkCols)
+		}
+	}
+	return e
+}
+
+// fail records the first error and releases every blocked thread.
+func (e *exec) fail(err error) {
+	e.errOnce.Do(func() {
+		e.err = err
+		close(e.abort)
+	})
+}
+
+// send delivers b on lane conn, blocking while the lane holds Slots
+// in-flight data sets (the credit bound). It reports false when the run
+// aborted.
+func (e *exec) send(conn int, b *funclib.Block) bool {
+	select {
+	case e.chans[conn] <- b:
+		return true
+	case <-e.abort:
+		return false
+	}
+}
+
+// recv takes the next data set from lane conn. A closed lane here is a
+// protocol violation: the producer signalled end-of-stream before the
+// consumer's final iteration.
+func (e *exec) recv(conn, iter int) (*funclib.Block, bool) {
+	select {
+	case b, ok := <-e.chans[conn]:
+		if !ok {
+			e.fail(fmt.Errorf("rtl: conn %d (%s): EOS before iteration %d", conn, e.p.Conns[conn], iter))
+			return nil, false
+		}
+		return b, true
+	case <-e.abort:
+		return nil, false
+	}
+}
+
+// closeOuts signals end-of-stream on every lane this thread produces.
+func (e *exec) closeOuts(t *Thread) {
+	for pi := range t.Outs {
+		for _, x := range t.Outs[pi].Xfers {
+			close(e.chans[x.Conn])
+		}
+	}
+}
+
+// drainEOS verifies every input lane is cleanly closed after the final
+// iteration: one extra message means the producer and consumer disagree on
+// the iteration count.
+func (e *exec) drainEOS(t *Thread) {
+	for pi := range t.Ins {
+		for _, x := range t.Ins[pi].Xfers {
+			select {
+			case b, ok := <-e.chans[x.Conn]:
+				if ok && b != nil {
+					e.fail(fmt.Errorf("rtl: conn %d (%s): message after the final iteration", x.Conn, e.p.Conns[x.Conn]))
+					return
+				}
+			case <-e.abort:
+				return
+			}
+		}
+	}
+}
+
+// storeSink assembles one sink thread's block into the iteration's output
+// matrix (same region arithmetic as the simulated runtime's sink path).
+func (e *exec) storeSink(target *isspl.Matrix, b *funclib.Block) {
+	e.sinkMu.Lock()
+	for i := 0; i < b.Region.Rows; i++ {
+		row := b.Region.R0 + i
+		copy(target.Data[row*target.Cols+b.Region.C0:], b.Data[i*b.Region.Cols:(i+1)*b.Region.Cols])
+	}
+	e.sinkMu.Unlock()
+}
+
+// threadMain is the per-goroutine iteration loop: receive and assemble
+// striped inputs, compute, pack and send striped outputs — then close lanes
+// (EOS) and verify the inbound lanes closed too.
+func (e *exec) threadMain(t *Thread, impl *funclib.Impl) {
+	for iter := 0; iter < e.p.Iterations; iter++ {
+		in := make(map[string]*funclib.Block, len(t.Ins))
+		for pi := range t.Ins {
+			pp := &t.Ins[pi]
+			blk := funclib.NewBlock(pp.Region)
+			for _, x := range pp.Xfers {
+				got, ok := e.recv(x.Conn, iter)
+				if !ok {
+					return
+				}
+				copyRegion(blk, got, x.Region)
+			}
+			in[pp.Name] = blk
+		}
+		out := make(map[string]*funclib.Block, len(t.Outs))
+		for pi := range t.Outs {
+			pp := &t.Outs[pi]
+			out[pp.Name] = funclib.NewBlock(pp.Region)
+		}
+		ctx := &funclib.Context{
+			FuncName: t.Fn, Params: t.Params,
+			Thread: t.Thread, Threads: t.Threads, Iteration: iter,
+		}
+		if t.Kind == "sink_matrix" {
+			if target := e.iters[iter][t.Fn]; target != nil {
+				ctx.Sink = func(port string, b *funclib.Block) { e.storeSink(target, b) }
+			}
+		}
+		if err := impl.Compute(ctx, in, out); err != nil {
+			e.fail(fmt.Errorf("rtl: %s thread %d iteration %d: %w", t.Fn, t.Thread, iter, err))
+			return
+		}
+		for pi := range t.Outs {
+			pp := &t.Outs[pi]
+			blk := out[pp.Name]
+			for _, x := range pp.Xfers {
+				if !e.send(x.Conn, extractRegion(blk, x.Region)) {
+					return
+				}
+			}
+		}
+	}
+	e.closeOuts(t)
+	e.drainEOS(t)
+}
+
+// Execute runs the program: one goroutine per thread, channel lanes between
+// them, outputs assembled per iteration. It blocks until every thread
+// finishes (or the first error aborts the run) and returns the per-iteration
+// sink outputs.
+func Execute(p *Program) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	impls := make([]*funclib.Impl, len(p.Threads))
+	for i := range p.Threads {
+		impl, err := funclib.Lookup(p.Threads[i].Kind)
+		if err != nil {
+			return nil, err // unreachable: Validate looked every kind up
+		}
+		impls[i] = impl
+	}
+	e := newExec(p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range p.Threads {
+		wg.Add(1)
+		go func(t *Thread, impl *funclib.Impl) {
+			defer wg.Done()
+			e.threadMain(t, impl)
+		}(&p.Threads[i], impls[i])
+	}
+	wg.Wait()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &Result{App: p.App, Iters: e.iters, Wall: time.Since(start)}, nil
+}
+
+// copyRegion copies region reg from src into dst; both blocks must contain
+// reg. Identical arithmetic to the simulated runtime's assembly path, so the
+// two backends touch samples in the same way.
+func copyRegion(dst, src *funclib.Block, reg model.Region) {
+	for i := 0; i < reg.Rows; i++ {
+		row := reg.R0 + i
+		dstOff := (row-dst.Region.R0)*dst.Region.Cols + (reg.C0 - dst.Region.C0)
+		srcOff := (row-src.Region.R0)*src.Region.Cols + (reg.C0 - src.Region.C0)
+		copy(dst.Data[dstOff:dstOff+reg.Cols], src.Data[srcOff:srcOff+reg.Cols])
+	}
+}
+
+// extractRegion returns a dense copy of region reg from blk.
+func extractRegion(blk *funclib.Block, reg model.Region) *funclib.Block {
+	out := funclib.NewBlock(reg)
+	copyRegion(out, blk, reg)
+	return out
+}

@@ -21,6 +21,11 @@ type Config struct {
 	// is injected after every run, every seed must FAIL, and each failure must
 	// shrink to a tiny reproducer. Proves the harness detects a broken runtime.
 	Mutate bool
+	// MutateExec runs the mutation self-test on the generated-code path
+	// instead: the executed program's output is corrupted before comparison,
+	// every seed must FAIL on the exec variant, and each failure must shrink.
+	// Proves the compiled-code differential check detects a broken emitter.
+	MutateExec bool
 	// CorpusDir, when set, receives a reproducer file seed-<seed>.case for
 	// every (shrunken) failing seed.
 	CorpusDir string
@@ -135,7 +140,7 @@ func runSeed(seed int64, cfg Config) SeedResult {
 		return r
 	}
 	r.Tasks, r.Arcs, r.Nodes = c.Tasks(), c.Arcs(), c.Nodes
-	opt := CheckOptions{MutateRuntime: cfg.Mutate}
+	opt := CheckOptions{MutateRuntime: cfg.Mutate, MutateExec: cfg.MutateExec}
 	r.Failure = c.Check(opt)
 	if r.Failure == nil {
 		return r
@@ -157,8 +162,11 @@ func runSeed(seed int64, cfg Config) SeedResult {
 func (rep *Report) Format() string {
 	var b strings.Builder
 	mode := "verify"
-	if rep.Config.Mutate {
+	switch {
+	case rep.Config.Mutate:
 		mode = "mutate (every seed must fail and shrink)"
+	case rep.Config.MutateExec:
+		mode = "mutate-exec (every seed must fail on the generated-code path and shrink)"
 	}
 	fmt.Fprintf(&b, "conformance: %d seeds, mode %s\n", len(rep.Seeds), mode)
 	for i := range rep.Seeds {
@@ -185,10 +193,10 @@ func (rep *Report) Format() string {
 }
 
 // OK reports whether the campaign met its expectation: in verify mode every
-// seed passes; in mutate mode every seed fails (the harness caught the
+// seed passes; in the mutate modes every seed fails (the harness caught the
 // injected miscomputation each time) and every shrunk reproducer is tiny.
 func (rep *Report) OK() bool {
-	if rep.Config.Mutate {
+	if rep.Config.Mutate || rep.Config.MutateExec {
 		for i := range rep.Seeds {
 			r := &rep.Seeds[i]
 			if r.GenErr != "" || r.Failure == nil {

@@ -244,7 +244,7 @@ func TestOracleFanOut(t *testing.T) {
 	if len(out) != 2 {
 		t.Fatalf("oracle produced %d sinks, want 2", len(out))
 	}
-	if d := compareOutputs(map[string]*isspl.Matrix{"x": out["s1"]}, map[string]*isspl.Matrix{"x": out["s2"]}); d != "" {
+	if d := CompareOutputs(map[string]*isspl.Matrix{"x": out["s1"]}, map[string]*isspl.Matrix{"x": out["s2"]}); d != "" {
 		t.Fatalf("fan-out copies diverge: %s", d)
 	}
 }

@@ -1,0 +1,98 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecCampaign is the acceptance campaign for the generated-code path:
+// a 100-seed sweep in which every seed's emitted-program execution must be
+// bitwise-equal to the sequential oracle and to the sim-kernel run (Check
+// wires the exec variant into every seed automatically).
+func TestExecCampaign(t *testing.T) {
+	n := int64(100)
+	if testing.Short() {
+		n = 20
+	}
+	rep, err := Run(0, n, Config{Quick: true, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("exec campaign failures:\n%s", rep.Format())
+	}
+}
+
+// TestExecMutationCaughtEverySeed: with a sign-flipped sink sample injected
+// into the generated-code execution, the exec variant must catch the
+// corruption on every seed of a 100-seed sweep. NoShrink keeps the sweep
+// wide and cheap; shrinking quality is covered separately below.
+func TestExecMutationCaughtEverySeed(t *testing.T) {
+	n := int64(100)
+	if testing.Short() {
+		n = 20
+	}
+	rep, err := Run(0, n, Config{Quick: true, Parallelism: 8, MutateExec: true, NoShrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Seeds {
+		r := &rep.Seeds[i]
+		if r.GenErr != "" {
+			t.Fatalf("seed %d: generator: %s", r.Seed, r.GenErr)
+		}
+		if r.Failure == nil {
+			t.Errorf("seed %d: injected exec corruption NOT caught", r.Seed)
+			continue
+		}
+		if !strings.HasPrefix(r.Failure.Variant, "exec") {
+			t.Errorf("seed %d: corruption caught by variant %q, want an exec variant", r.Seed, r.Failure.Variant)
+		}
+	}
+	if !rep.OK() {
+		t.Errorf("mutate-exec report not OK:\n%s", rep.Format())
+	}
+}
+
+// TestExecMutationShrinks: an exec-path corruption must not just be caught
+// but shrink to a tiny reproducer, exactly like a sim-kernel miscomputation.
+func TestExecMutationShrinks(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 3
+	}
+	rep, err := Run(0, n, Config{Quick: true, Parallelism: 4, MutateExec: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Seeds {
+		r := &rep.Seeds[i]
+		if r.Failure == nil {
+			t.Errorf("seed %d: injected exec corruption NOT caught", r.Seed)
+			continue
+		}
+		if !strings.HasPrefix(r.Failure.Variant, "exec") {
+			t.Errorf("seed %d: shrunk failure on variant %q, want an exec variant", r.Seed, r.Failure.Variant)
+		}
+		if r.ShrunkTasks > 5 {
+			t.Errorf("seed %d: shrunk reproducer still has %d tasks (want <= 5)", r.Seed, r.ShrunkTasks)
+		}
+	}
+	if !rep.OK() {
+		t.Errorf("mutate-exec report not OK:\n%s", rep.Format())
+	}
+}
+
+// TestExecIterationSemantics pins the contract the exec variant relies on:
+// the generated program captures every iteration, and each is independently
+// oracle-checkable (the source is iteration-addressed, kinds are stateless).
+func TestExecIterationSemantics(t *testing.T) {
+	c, err := Generate(1, GenConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Iterations = 3
+	if f := c.Check(CheckOptions{}); f != nil {
+		t.Fatalf("3-iteration check failed: %s", f)
+	}
+}

@@ -3,6 +3,8 @@ package conformance
 import (
 	"fmt"
 
+	"repro/internal/codegen"
+	"repro/internal/codegen/rtl"
 	"repro/internal/gluegen"
 	"repro/internal/isspl"
 	"repro/internal/model"
@@ -29,6 +31,29 @@ type CheckOptions struct {
 	// shrinker must reduce it to a tiny reproducer — the mutation self-test
 	// that proves the harness can actually detect a broken runtime.
 	MutateRuntime bool
+	// MutateExec applies the same sign-flip to the generated-code execution
+	// path instead: the emitted program's iteration-0 output is corrupted
+	// before comparison, so the exec variant must fail — proving the
+	// compiled-code differential check can actually detect a miscompiled or
+	// miscomputing generated program.
+	MutateExec bool
+}
+
+// mutateFirstSample sign-flips the first nonzero sample of the first sink
+// (flipping an exact zero is invisible: -0.0 == 0.0); an all-zero output
+// gets a spike instead.
+func mutateFirstSample(out map[string]*isspl.Matrix) {
+	if names := sortedNames(out); len(names) > 0 {
+		if m := out[names[0]]; m != nil && len(m.Data) > 0 {
+			for i, v := range m.Data {
+				if v != 0 {
+					m.Data[i] = -v
+					return
+				}
+			}
+			m.Data[0] = 1
+		}
+	}
 }
 
 // runVariant executes tables under the given options and returns the
@@ -43,33 +68,17 @@ func (c *Case) runVariant(tables *gluegen.Tables, opts sagert.Options, opt Check
 		return nil, 0, err
 	}
 	if opt.MutateRuntime {
-		// Sign-flip the first nonzero sample (flipping an exact zero is
-		// invisible: -0.0 == 0.0); an all-zero output gets a spike instead.
-		if names := sortedNames(res.Outputs); len(names) > 0 {
-			if m := res.Outputs[names[0]]; m != nil && len(m.Data) > 0 {
-				flipped := false
-				for i, v := range m.Data {
-					if v != 0 {
-						m.Data[i] = -v
-						flipped = true
-						break
-					}
-				}
-				if !flipped {
-					m.Data[0] = 1
-				}
-			}
-		}
+		mutateFirstSample(res.Outputs)
 	}
 	return res.Outputs, res.Dispatches, nil
 }
 
-// compareOutputs demands bit-identical agreement: the same sink set, the
+// CompareOutputs demands bit-identical agreement: the same sink set, the
 // same shapes, and exactly equal samples. Every library kind performs the
 // identical floating-point operations per element whether the data set is
 // whole or striped, so the distributed runtime has no legitimate reason to
 // deviate from the sequential oracle by even one ULP.
-func compareOutputs(want, got map[string]*isspl.Matrix) string {
+func CompareOutputs(want, got map[string]*isspl.Matrix) string {
 	wn, gn := sortedNames(want), sortedNames(got)
 	if len(wn) != len(gn) {
 		return fmt.Sprintf("sink sets differ: want %v, got %v", wn, gn)
@@ -158,7 +167,7 @@ func (c *Case) Check(opt CheckOptions) *Failure {
 	if err != nil {
 		return &Failure{Variant: "run", Detail: err.Error()}
 	}
-	if d := compareOutputs(want, baseOut); d != "" {
+	if d := CompareOutputs(want, baseOut); d != "" {
 		return &Failure{Variant: "oracle", Detail: d}
 	}
 
@@ -168,12 +177,43 @@ func (c *Case) Check(opt CheckOptions) *Failure {
 	if err != nil {
 		return &Failure{Variant: "replay", Detail: err.Error()}
 	}
-	if d := compareOutputs(baseOut, againOut); d != "" {
+	if d := CompareOutputs(baseOut, againOut); d != "" {
 		return &Failure{Variant: "replay", Detail: d}
 	}
 	if againDispatch != baseDispatch {
 		return &Failure{Variant: "replay",
 			Detail: fmt.Sprintf("dispatch count %d, want %d", againDispatch, baseDispatch)}
+	}
+
+	// Generated-code execution: the same tables lowered into a real
+	// goroutines-and-channels program computing on real data. Iteration 0
+	// must reproduce the base sim run bit for bit; because the generated
+	// program computes real data on every iteration (the sim kernel only
+	// materializes its final compute iteration), each later iteration is
+	// independently checked against the sequential oracle at that iteration.
+	prog, err := codegen.Plan(tables, c.Iterations)
+	if err != nil {
+		return &Failure{Variant: "exec-plan", Detail: err.Error()}
+	}
+	eres, err := rtl.Execute(prog)
+	if err != nil {
+		return &Failure{Variant: "exec-run", Detail: err.Error()}
+	}
+	if opt.MutateExec && len(eres.Iters) > 0 {
+		mutateFirstSample(eres.Iters[0])
+	}
+	if d := CompareOutputs(baseOut, eres.Iters[0]); d != "" {
+		return &Failure{Variant: "exec", Detail: d}
+	}
+	for iter := 1; iter < c.Iterations; iter++ {
+		iwant, err := Oracle(c.App, iter)
+		if err != nil {
+			return &Failure{Variant: "exec-oracle", Detail: err.Error()}
+		}
+		if d := CompareOutputs(iwant, eres.Iters[iter]); d != "" {
+			return &Failure{Variant: "exec-oracle",
+				Detail: fmt.Sprintf("iteration %d: %s", iter, d)}
+		}
 	}
 
 	// Sharded: the same tables on the shard-parallel kernel, with the shard
@@ -189,7 +229,7 @@ func (c *Case) Check(opt CheckOptions) *Failure {
 	if err != nil {
 		return &Failure{Variant: "sharded", Detail: err.Error()}
 	}
-	if d := compareOutputs(baseOut, shardOut); d != "" {
+	if d := CompareOutputs(baseOut, shardOut); d != "" {
 		return &Failure{Variant: "sharded", Detail: fmt.Sprintf("shards=%d: %s", shards, d)}
 	}
 	if shardDispatch != baseDispatch {
@@ -217,7 +257,7 @@ func (c *Case) Check(opt CheckOptions) *Failure {
 		if err != nil {
 			return &Failure{Variant: v.name, Detail: err.Error()}
 		}
-		if d := compareOutputs(baseOut, got); d != "" {
+		if d := CompareOutputs(baseOut, got); d != "" {
 			return &Failure{Variant: v.name, Detail: d}
 		}
 	}
@@ -236,7 +276,7 @@ func (c *Case) Check(opt CheckOptions) *Failure {
 		if err != nil {
 			return &Failure{Variant: "permuted", Detail: err.Error()}
 		}
-		if d := compareOutputs(baseOut, got); d != "" {
+		if d := CompareOutputs(baseOut, got); d != "" {
 			return &Failure{Variant: "permuted", Detail: d}
 		}
 	}

@@ -99,6 +99,13 @@ const (
 	AppCornerTurn AppKind = "Corner Turn"
 )
 
+// BuildApp constructs the application model for a kind; exported so the
+// real-execution driver (sage-exec) can evaluate the same model with the
+// sequential oracle it diffs the generated program against.
+func BuildApp(kind AppKind, n, threads int) (*model.App, error) {
+	return buildApp(kind, n, threads)
+}
+
 // buildApp constructs the application model for a kind.
 func buildApp(kind AppKind, n, threads int) (*model.App, error) {
 	switch kind {

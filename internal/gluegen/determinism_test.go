@@ -1,0 +1,104 @@
+package gluegen
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/alter"
+	"repro/internal/model"
+	"repro/internal/platforms"
+)
+
+// paramApp builds an app whose source carries a many-key parameter map —
+// the one place a map ever reaches the Alter emission path. If table
+// construction or script emission iterated that map directly, Go's
+// randomized map order would leak into the bytes.
+func paramApp(t *testing.T) (*model.App, *model.Mapping) {
+	t.Helper()
+	a := model.NewApp("paramful")
+	mt, err := a.AddType(&model.DataType{Name: "m", Rows: 8, Cols: 8, Elem: model.ElemComplex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]any{}
+	for i := 0; i < 12; i++ {
+		params[fmt.Sprintf("p%02d", i)] = i
+	}
+	params["seed"] = 3
+	params["gain"] = 0.5
+	params["tag"] = "x"
+	src := a.AddFunction(&model.Function{Name: "src", Kind: "source_matrix", Threads: 1, Params: params})
+	src.AddOutput("out", mt, model.ByRows)
+	snk := a.AddFunction(&model.Function{Name: "snk", Kind: "sink_matrix", Threads: 1})
+	snk.AddInput("in", mt, model.ByRows)
+	if _, err := a.Connect("src", "out", "snk", "in"); err != nil {
+		t.Fatal(err)
+	}
+	a.AssignIDs()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mapping, err := model.SpreadParallel(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, mapping
+}
+
+// TestGenerateDeterministic locks the full generation pipeline against map
+// iteration order: repeated generations from the same input must produce
+// byte-identical Alter table source, byte-identical glue listings, and
+// deeply equal parsed tables. This is the regression test for the
+// sorted-key invariant in paramsToAlist (and any future map that sneaks
+// into the emission path).
+func TestGenerateByteDeterministic(t *testing.T) {
+	app, mapping := paramApp(t)
+	in := Input{App: app, Mapping: mapping, Platform: platforms.CSPI(), NumNodes: 2}
+	first, err := Generate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		out, err := Generate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.TableSource != first.TableSource {
+			t.Fatalf("run %d: table source differs\n--- first\n%s--- now\n%s", i, first.TableSource, out.TableSource)
+		}
+		if out.GlueSource != first.GlueSource {
+			t.Fatalf("run %d: glue listing differs", i)
+		}
+		if !reflect.DeepEqual(out.Tables, first.Tables) {
+			t.Fatalf("run %d: parsed tables differ", i)
+		}
+	}
+}
+
+// TestParamsToAlistSorted pins the ordering contract directly: the alist
+// keys come out in sorted order on every call, regardless of map layout.
+func TestParamsToAlistSorted(t *testing.T) {
+	params := map[string]any{"z": 1, "a": 2, "m": 3, "b": 4}
+	for i := 0; i < 10; i++ {
+		l := paramsToAlist(params)
+		if len(l) != 4 {
+			t.Fatalf("alist has %d entries", len(l))
+		}
+		var prev string
+		for _, e := range l {
+			pair, ok := e.(alter.List)
+			if !ok || len(pair) != 2 {
+				t.Fatalf("run %d: alist entry %v is not a pair", i, e)
+			}
+			key, ok := pair[0].(string)
+			if !ok {
+				t.Fatalf("run %d: alist key %v is not a string", i, pair[0])
+			}
+			if key < prev {
+				t.Fatalf("run %d: alist not sorted: %v", i, l)
+			}
+			prev = key
+		}
+	}
+}

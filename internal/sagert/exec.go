@@ -73,6 +73,7 @@ type runner struct {
 	// iteration, far off the per-event fast path.
 	noteMu sync.Mutex // guards sourceStart, sinkDone, maxOverrun
 	errMu  sync.Mutex // guards err
+	sinkMu sync.Mutex // guards assembled sink matrices (replicated sinks overlap)
 	failed atomic.Bool
 
 	err error
@@ -536,6 +537,12 @@ func (r *runner) storeSink(target *isspl.Matrix, b *funclib.Block) {
 	if b.Data == nil {
 		return
 	}
+	// Replicated sink threads cover overlapping regions with identical
+	// data; under the sharded kernel they can run concurrently, so the
+	// assembly copy must be serialized. Non-overlapping writes pay an
+	// uncontended lock a few times per iteration — off the hot path.
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
 	for i := 0; i < b.Region.Rows; i++ {
 		row := b.Region.R0 + i
 		copy(target.Data[row*target.Cols+b.Region.C0:], b.Data[i*b.Region.Cols:(i+1)*b.Region.Cols])
